@@ -1,0 +1,90 @@
+//! Criterion microbenches for the FFT substrate: 1-D sizes (including the
+//! paper's awkward tile dimensions and their padded variants), 2-D
+//! transforms, planning modes, and real-vs-complex.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stitch_fft::{c64, Fft2d, PlanMode, Planner, RealFft2d, C64};
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let planner = Planner::default();
+    let mut group = c.benchmark_group("fft_1d");
+    // the paper's tile dims (1392 = 2^4·3·29, 1040 = 2^4·5·13), padded
+    // 7-smooth variants, a power of two, and a prime (Bluestein)
+    for n in [256usize, 348, 350, 1024, 1040, 1050, 1392, 1400, 1021] {
+        let plan = planner.plan(n, stitch_fft::Direction::Forward);
+        let input: Vec<C64> = (0..n).map(|k| c64((k % 101) as f64, 0.0)).collect();
+        let mut output = vec![C64::ZERO; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.process(&input, &mut output));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let planner = Planner::default();
+    let mut group = c.benchmark_group("fft_2d");
+    group.sample_size(20);
+    for (w, h) in [(174usize, 130usize), (348, 260), (350, 256)] {
+        let fft = Fft2d::new(&planner, w, h, stitch_fft::Direction::Forward);
+        let mut data: Vec<C64> = (0..w * h).map(|k| c64((k % 211) as f64, 0.0)).collect();
+        let mut scratch = vec![C64::ZERO; w * h];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &(w, h),
+            |b, _| {
+                b.iter(|| fft.process(&mut data, &mut scratch));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planning_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_planning");
+    group.sample_size(20);
+    let n = 1392;
+    for (name, mode) in [
+        ("estimate", PlanMode::Estimate),
+        ("measure", PlanMode::Measure),
+        ("patient", PlanMode::Patient),
+    ] {
+        let planner = Planner::new(mode);
+        let plan = planner.plan(n, stitch_fft::Direction::Forward);
+        let input: Vec<C64> = (0..n).map(|k| c64((k % 101) as f64, 0.0)).collect();
+        let mut output = vec![C64::ZERO; n];
+        group.bench_function(name, |b| b.iter(|| plan.process(&input, &mut output)));
+    }
+    group.finish();
+}
+
+fn bench_real_vs_complex(c: &mut Criterion) {
+    let planner = Planner::default();
+    let mut group = c.benchmark_group("fft_real_vs_complex");
+    group.sample_size(20);
+    let (w, h) = (348usize, 260usize);
+    {
+        let fft = Fft2d::new(&planner, w, h, stitch_fft::Direction::Forward);
+        let mut data: Vec<C64> = (0..w * h).map(|k| c64((k % 211) as f64, 0.0)).collect();
+        let mut scratch = vec![C64::ZERO; w * h];
+        group.bench_function("c2c_348x260", |b| {
+            b.iter(|| fft.process(&mut data, &mut scratch))
+        });
+    }
+    {
+        let real = RealFft2d::new(&planner, w, h);
+        let input: Vec<f64> = (0..w * h).map(|k| (k % 211) as f64).collect();
+        let mut spec = vec![C64::ZERO; real.spectrum_len()];
+        group.bench_function("r2c_348x260", |b| b.iter(|| real.forward(&input, &mut spec)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft_1d,
+    bench_fft_2d,
+    bench_planning_modes,
+    bench_real_vs_complex
+);
+criterion_main!(benches);

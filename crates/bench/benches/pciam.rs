@@ -1,0 +1,71 @@
+//! Criterion microbenches for the PCIAM kernels: forward transform,
+//! correlation peak (NCC + inverse FFT + reduction), CCF disambiguation,
+//! and the end-to-end pair displacement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stitch_core::opcount::OpCounters;
+use stitch_core::pciam::{ccf_at, PciamContext};
+use stitch_core::types::PairKind;
+use stitch_fft::Planner;
+use stitch_image::{Image, Scene, SceneParams};
+
+fn pair(w: usize, h: usize) -> (Image<u16>, Image<u16>) {
+    let scene = Scene::generate(w as f64 * 2.0, h as f64 * 2.0, SceneParams::default());
+    let a = scene.render_region(0.0, 0.0, w, h, 0.02, 40.0, 1);
+    let b = scene.render_region(w as f64 * 0.75, 2.0, w, h, 0.02, 40.0, 2);
+    (a, b)
+}
+
+fn bench_pciam(c: &mut Criterion) {
+    let (w, h) = (174usize, 130usize); // 1/8-scale paper tile
+    let (a, b) = pair(w, h);
+    let planner = Planner::default();
+    let mut ctx = PciamContext::new(&planner, w, h, OpCounters::new_shared());
+    let fa = ctx.forward_fft(&a);
+    let fb = ctx.forward_fft(&b);
+
+    let mut group = c.benchmark_group("pciam");
+    group.sample_size(20);
+    group.bench_function("forward_fft", |bch| b_iter_fft(bch, &mut ctx, &a));
+    group.bench_function("correlation_peaks", |bch| {
+        bch.iter(|| ctx.correlation_peaks(&fa, &fb, stitch_core::pciam::DEFAULT_PEAK_COUNT))
+    });
+    group.bench_function("ccf_single", |bch| {
+        bch.iter(|| ccf_at(&a, &b, (w as i64 * 3) / 4, 2))
+    });
+    group.bench_function("pair_displacement", |bch| {
+        bch.iter(|| ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West)))
+    });
+    group.finish();
+}
+
+fn b_iter_fft(bch: &mut criterion::Bencher, ctx: &mut PciamContext, img: &Image<u16>) {
+    bch.iter(|| ctx.forward_fft(img));
+}
+
+fn bench_compose(c: &mut Criterion) {
+    use stitch_core::prelude::*;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+    let src = SyntheticSource::new(SyntheticPlate::generate(ScanConfig {
+        grid_rows: 3,
+        grid_cols: 4,
+        tile_width: 96,
+        tile_height: 72,
+        overlap: 0.25,
+        ..ScanConfig::default()
+    }));
+    let result = SimpleCpuStitcher::default().compute_displacements(&src);
+    let positions = GlobalOptimizer::default().solve(&result);
+
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+    group.bench_function("global_opt_least_squares", |b| {
+        b.iter(|| GlobalOptimizer::default().solve(&result))
+    });
+    let composer = Composer::new(positions, Blend::Linear);
+    group.bench_function("compose_linear", |b| b.iter(|| composer.compose(&src)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pciam, bench_compose);
+criterion_main!(benches);

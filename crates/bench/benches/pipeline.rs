@@ -1,0 +1,101 @@
+//! Criterion microbenches for the pipeline and device substrates: queue
+//! throughput, buffer-pool churn, stream command overhead, and the
+//! end-to-end stitchers at small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use stitch_gpu::{Device, DeviceConfig};
+use stitch_pipeline::{Pipeline, Queue};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.bench_function("push_pop_uncontended", |b| {
+        let q: Queue<u64> = Queue::new(1024);
+        b.iter(|| {
+            q.push(1);
+            q.try_pop()
+        });
+    });
+    group.sample_size(20);
+    group.bench_function("spsc_10k_items", |b| {
+        b.iter(|| {
+            let q: Queue<u64> = Queue::new(256);
+            let mut pl = Pipeline::new();
+            let w = q.writer();
+            pl.add_source("src", move || {
+                for i in 0..10_000u64 {
+                    w.push(i);
+                }
+            });
+            let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let s2 = Arc::clone(&sum);
+            pl.add_stage("sink", 1, q.clone(), move |v| {
+                s2.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            });
+            pl.join();
+            sum.load(std::sync::atomic::Ordering::Relaxed)
+        });
+    });
+    group.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    group.sample_size(20);
+    let dev = Device::new(0, DeviceConfig::small(64 << 20));
+    group.bench_function("pool_acquire_release", |b| {
+        let pool = dev.buffer_pool::<u8>(4096, 8).unwrap();
+        b.iter(|| {
+            let a = pool.acquire();
+            drop(a);
+        });
+    });
+    group.bench_function("kernel_launch_sync", |b| {
+        let s = dev.create_stream("bench");
+        b.iter(|| {
+            s.launch("noop", |_| {});
+            s.synchronize();
+        });
+    });
+    group.bench_function("h2d_64k", |b| {
+        let s = dev.create_stream("copy");
+        let buf = dev.alloc::<u8>(65536).unwrap();
+        let host = Arc::new(vec![0u8; 65536]);
+        b.iter(|| {
+            s.h2d(Arc::clone(&host), &buf);
+            s.synchronize();
+        });
+    });
+    group.finish();
+}
+
+fn bench_stitchers(c: &mut Criterion) {
+    use stitch_core::prelude::*;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+    let src = SyntheticSource::new(SyntheticPlate::generate(ScanConfig {
+        grid_rows: 3,
+        grid_cols: 3,
+        tile_width: 64,
+        tile_height: 48,
+        overlap: 0.25,
+        ..ScanConfig::default()
+    }));
+    let mut group = c.benchmark_group("stitchers_3x3");
+    group.sample_size(10);
+    group.bench_function("simple_cpu", |b| {
+        b.iter(|| SimpleCpuStitcher::default().compute_displacements(&src))
+    });
+    group.bench_function("pipelined_cpu_2t", |b| {
+        b.iter(|| PipelinedCpuStitcher::new(2).compute_displacements(&src))
+    });
+    group.bench_function("pipelined_gpu", |b| {
+        b.iter(|| {
+            let dev = Device::new(0, DeviceConfig::small(128 << 20));
+            PipelinedGpuStitcher::single(dev).compute_displacements(&src)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue, bench_device, bench_stitchers);
+criterion_main!(benches);

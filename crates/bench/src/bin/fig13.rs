@@ -1,0 +1,82 @@
+//! Figs 13 & 14 — the composed stitched mosaic.
+//!
+//! Stitches a 42×59-shaped synthetic plate end-to-end (phase 1 → 2 → 3)
+//! and writes the composed image twice: the Fig 13 overlay blend and the
+//! Fig 14 variant with highlighted tile borders, plus a 3-level image
+//! pyramid (the §VI-A visualization prototype).
+//!
+//! ```text
+//! cargo run --release -p stitch-bench --bin fig13 [-- --full]
+//! ```
+
+use std::time::Instant;
+
+use stitch_bench::{full_scale, scaled_scan, synthetic_source, ResultTable};
+use stitch_core::compose::pyramid;
+use stitch_core::prelude::*;
+use stitch_image::{pgm, tiff};
+
+fn main() {
+    let (rows, cols, tw, th) = if full_scale() {
+        (42, 59, 256, 192)
+    } else {
+        (14, 20, 96, 72)
+    };
+    let src = synthetic_source(scaled_scan(rows, cols, tw, th));
+    let out_dir = std::env::temp_dir().join("stitch_fig13");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let mut t = ResultTable::new(
+        "fig13",
+        &format!("composed mosaic, {rows}x{cols} grid of {tw}x{th} tiles"),
+        &["step", "result"],
+    );
+
+    let t0 = Instant::now();
+    let result = PipelinedCpuStitcher::new(2).compute_displacements(&src);
+    t.row("phase 1 (displacements)", &[format!("{:.2?}", t0.elapsed())]);
+
+    let t1 = Instant::now();
+    let positions = GlobalOptimizer::default().solve(&result);
+    t.row("phase 2 (global optimization)", &[format!("{:.2?}", t1.elapsed())]);
+
+    let t2 = Instant::now();
+    let composer = Composer::new(positions.clone(), Blend::Overlay);
+    let mosaic = composer.compose(&src);
+    t.row(
+        "phase 3 (compose, overlay)",
+        &[format!(
+            "{}x{} px in {:.2?}",
+            mosaic.width(),
+            mosaic.height(),
+            t2.elapsed()
+        )],
+    );
+
+    let fig13_pgm = out_dir.join("fig13_overlay.pgm");
+    pgm::write_pgm(&fig13_pgm, &mosaic).expect("write fig13 pgm");
+    let fig13_tif = out_dir.join("fig13_overlay.tif");
+    tiff::write_tiff(&fig13_tif, &mosaic).expect("write fig13 tiff");
+    t.row("fig13 output", &[fig13_pgm.display().to_string()]);
+
+    // Fig 14: highlighted tile borders
+    let mut highlighter = Composer::new(positions, Blend::Overlay);
+    highlighter.highlight_tiles = true;
+    let highlighted = highlighter.compose(&src);
+    let fig14 = out_dir.join("fig14_highlighted.pgm");
+    pgm::write_pgm(&fig14, &highlighted).expect("write fig14");
+    t.row("fig14 output", &[fig14.display().to_string()]);
+
+    // §VI-A visualization prototype: image pyramid
+    let levels = pyramid(mosaic, 3);
+    for (i, level) in levels.iter().enumerate().skip(1) {
+        let p = out_dir.join(format!("fig13_pyramid_L{i}.pgm"));
+        pgm::write_pgm(&p, level).expect("write pyramid level");
+        t.row(
+            format!("pyramid level {i}"),
+            &[format!("{}x{} px", level.width(), level.height())],
+        );
+    }
+    t.note("paper's full-scale output: 17k x 22k px (~1cm x 1.4cm of plate)");
+    t.emit();
+}

@@ -1,0 +1,99 @@
+//! Figs 7 & 9 — device-profile timelines, Simple-GPU vs Pipelined-GPU.
+//!
+//! Runs both implementations over the paper's 8×8 profile grid on the
+//! simulated device with the PCIe transfer model, renders both timelines,
+//! and prints the kernel-density numbers the paper reads off its
+//! profiler screenshots ("much higher kernel execution density ... does
+//! not have the gaps").
+//!
+//! ```text
+//! cargo run --release -p stitch-bench --bin fig7_9
+//! ```
+
+use stitch_bench::{scaled_scan, synthetic_source, ResultTable};
+use stitch_core::prelude::*;
+use stitch_gpu::{Device, DeviceConfig, SpanKind};
+
+fn main() {
+    let src = synthetic_source(scaled_scan(8, 8, 128, 96));
+    let cfg = DeviceConfig {
+        memory_bytes: 512 << 20,
+        ..DeviceConfig::with_transfer_model()
+    };
+
+    let dev_simple = Device::new(0, cfg.clone());
+    let r_simple = SimpleGpuStitcher::new(dev_simple.clone()).compute_displacements(&src);
+    println!("-- Fig 7: Simple-GPU profile (8x8 grid) --");
+    print!("{}", dev_simple.profiler().render_timeline(110));
+
+    let dev_pipe = Device::new(1, cfg);
+    let r_pipe = PipelinedGpuStitcher::single(dev_pipe.clone()).compute_displacements(&src);
+    println!("\n-- Fig 9: Pipelined-GPU profile (8x8 grid) --");
+    print!("{}", dev_pipe.profiler().render_timeline(110));
+    println!("\nlegend: '>' H2D copy, '<' D2H copy, '#' kernel, '.' sync, ' ' idle\n");
+
+    let mut t = ResultTable::new(
+        "fig7_9",
+        "profile metrics: Simple-GPU (Fig 7) vs Pipelined-GPU (Fig 9)",
+        &["metric", "Simple-GPU", "Pipelined-GPU"],
+    );
+    t.row(
+        "kernel density",
+        &[
+            format!("{:.3}", dev_simple.profiler().kernel_density()),
+            format!("{:.3}", dev_pipe.profiler().kernel_density()),
+        ],
+    );
+    t.row(
+        "peak kernel concurrency",
+        &[
+            dev_simple
+                .profiler()
+                .peak_concurrency(SpanKind::Kernel)
+                .to_string(),
+            dev_pipe
+                .profiler()
+                .peak_concurrency(SpanKind::Kernel)
+                .to_string(),
+        ],
+    );
+    t.row(
+        "kernel spans",
+        &[
+            dev_simple
+                .profiler()
+                .spans()
+                .iter()
+                .filter(|s| s.kind == SpanKind::Kernel)
+                .count()
+                .to_string(),
+            dev_pipe
+                .profiler()
+                .spans()
+                .iter()
+                .filter(|s| s.kind == SpanKind::Kernel)
+                .count()
+                .to_string(),
+        ],
+    );
+    t.row(
+        "elapsed (this host)",
+        &[
+            format!("{:.2?}", r_simple.elapsed),
+            format!("{:.2?}", r_pipe.elapsed),
+        ],
+    );
+    t.note("the paper's contrast: the pipelined profile is dense and overlapped,");
+    t.note("the simple profile serialized (one kernel at a time, gaps between)");
+    t.emit();
+
+    // with --json DIR, also dump raw span CSVs for external plotting
+    if let Some(dir) = stitch_bench::json_dir() {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        std::fs::write(dir.join("fig7_simple_gpu_spans.csv"), dev_simple.profiler().to_csv())
+            .expect("write fig7 csv");
+        std::fs::write(dir.join("fig9_pipelined_gpu_spans.csv"), dev_pipe.profiler().to_csv())
+            .expect("write fig9 csv");
+        eprintln!("(wrote span CSVs to {})", dir.display());
+    }
+}

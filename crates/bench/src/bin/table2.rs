@@ -1,0 +1,160 @@
+//! Table II — run times and speedups for the 42×59 grid, all seven
+//! configurations.
+//!
+//! Two tables come out:
+//!
+//! 1. **virtual time, paper scale** — the discrete-event simulator runs
+//!    each architecture's task graph on the paper's virtual testbed (2×
+//!    quad-core HT Xeon, 2 GPUs) with costs back-derived from the paper;
+//!    the paper's own numbers are printed alongside;
+//! 2. **real wall-clock, scaled workload** — every real implementation
+//!    runs on this host over a scaled 42×59-shaped dataset on disk.
+//!    (This machine has one CPU core, so real times mostly measure total
+//!    work, not parallel speedup — that is exactly why table 1 exists.)
+//!
+//! ```text
+//! cargo run --release -p stitch-bench --bin table2 [-- --preset laptop]
+//!     [--costs calibrated] [--full]
+//! ```
+
+use stitch_bench::{fmt_ns, full_scale, scaled_scan, ResultTable};
+use stitch_core::prelude::*;
+use stitch_gpu::{Device, DeviceConfig};
+use stitch_image::SyntheticPlate;
+use stitch_sim::{
+    fiji_ns, mt_cpu_ns, pipelined_cpu_ns, pipelined_gpu_ns, simple_cpu_ns, simple_gpu_ns,
+    CostModel, MachineSpec, FIJI_OVERHEAD_FACTOR,
+};
+
+fn main() {
+    let laptop = std::env::args().any(|a| a == "--preset") && std::env::args().any(|a| a == "laptop");
+    let machine = if laptop {
+        MachineSpec::paper_laptop()
+    } else {
+        MachineSpec::paper_testbed()
+    };
+    let shape = GridShape::new(42, 59);
+    // --costs calibrated: measure this host's real kernels at full tile
+    // size and predict what the virtual testbed would do with *these*
+    // kernels instead of the paper's 2012 ones
+    let calibrated = std::env::args().any(|a| a == "calibrated");
+    let cost = if calibrated {
+        eprintln!("(calibrating kernel costs on this host at 1392x1040...)");
+        CostModel::calibrated(1392, 1040, 1)
+    } else {
+        CostModel::paper_c2070()
+    };
+
+    // ---- virtual time at paper scale ----
+    let simple = simple_cpu_ns(shape, &cost);
+    let rows: Vec<(&str, u64, &str)> = vec![
+        (
+            "ImageJ/Fiji",
+            fiji_ns(shape, &cost, &machine, 6, FIJI_OVERHEAD_FACTOR),
+            "3.6h",
+        ),
+        ("Simple-CPU", simple, "10.6min"),
+        ("MT-CPU (16t)", mt_cpu_ns(shape, &cost, &machine, 16), "1.6min"),
+        (
+            "Pipelined-CPU (16t)",
+            pipelined_cpu_ns(shape, &cost, &machine, 16),
+            "1.4min",
+        ),
+        ("Simple-GPU", simple_gpu_ns(shape, &cost), "9.3min"),
+        (
+            "Pipelined-GPU (1 GPU)",
+            pipelined_gpu_ns(shape, &cost, &machine, 1, 4),
+            "49.7s",
+        ),
+        (
+            "Pipelined-GPU (2 GPUs)",
+            pipelined_gpu_ns(shape, &cost, &machine, 2, 4),
+            "26.6s",
+        ),
+    ];
+    let mut t = ResultTable::new(
+        "table2_virtual",
+        &format!(
+            "run times & speedups, 42x59 grid of 1392x1040 tiles (virtual {} machine, {} costs)",
+            if laptop { "laptop" } else { "testbed" },
+            if calibrated { "host-calibrated" } else { "paper-derived" }
+        ),
+        &["implementation", "virtual time", "S/CPU", "paper time"],
+    );
+    for (name, ns, paper) in &rows {
+        t.row(
+            name,
+            &[
+                fmt_ns(*ns),
+                format!("{:.1}", simple as f64 / *ns as f64),
+                paper.to_string(),
+            ],
+        );
+    }
+    t.note("virtual time: discrete-event simulation of each architecture's task graph");
+    t.note("costs back-derived from the paper (CostModel::paper_c2070); see stitch-sim docs");
+    t.note("S/CPU = speedup relative to Simple-CPU, as in the paper's Table II");
+    t.emit();
+
+    // ---- real wall-clock at reduced scale ----
+    let (tile_w, tile_h) = if full_scale() { (1392, 1040) } else { (96, 72) };
+    let (rows_g, cols_g) = if full_scale() { (42, 59) } else { (14, 20) };
+    let dir = std::env::temp_dir().join("stitch_table2_dataset");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plate = SyntheticPlate::generate(scaled_scan(rows_g, cols_g, tile_w, tile_h));
+    plate.write_to_dir(&dir).expect("write dataset");
+    let source = DirSource::open(&dir).expect("open dataset");
+    let (tw, tn) = truth_vectors(&plate);
+
+    let gpu = |id| Device::new(id, DeviceConfig::default());
+    let stitchers: Vec<Box<dyn Stitcher>> = vec![
+        Box::new(FijiStyleStitcher::new(2)),
+        Box::new(SimpleCpuStitcher::default()),
+        Box::new(MtCpuStitcher::new(4)),
+        Box::new(PipelinedCpuStitcher::new(4)),
+        Box::new(SimpleGpuStitcher::new(gpu(0))),
+        Box::new(PipelinedGpuStitcher::single(gpu(0))),
+        Box::new(PipelinedGpuStitcher::new(
+            vec![gpu(0), gpu(1)],
+            Default::default(),
+        )),
+    ];
+    let mut r = ResultTable::new(
+        "table2_real",
+        &format!("real wall-clock, {rows_g}x{cols_g} grid of {tile_w}x{tile_h} tiles on this host"),
+        &["implementation", "time", "S/CPU", "pair errors", "fwd FFTs"],
+    );
+    let mut measured: Vec<(String, u64, usize, u64)> = Vec::new();
+    for s in stitchers {
+        let res = s.compute_displacements(&source);
+        measured.push((
+            s.name(),
+            res.elapsed.as_nanos() as u64,
+            res.count_errors(&tw, &tn, 0),
+            res.ops.forward_ffts,
+        ));
+    }
+    let simple_real = measured
+        .iter()
+        .find(|(n, ..)| n == "Simple-CPU")
+        .map(|&(_, ns, ..)| ns)
+        .unwrap_or(1);
+    for (name, ns, errors, ffts) in measured {
+        r.row(
+            name,
+            &[
+                fmt_ns(ns),
+                format!("{:.2}", simple_real as f64 / ns as f64),
+                errors.to_string(),
+                ffts.to_string(),
+            ],
+        );
+    }
+    r.note(format!(
+        "this host has {} CPU core(s) — real speedups are bounded by that; \
+         the virtual table above carries the scaling result",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    r.emit();
+    let _ = std::fs::remove_dir_all(&dir);
+}

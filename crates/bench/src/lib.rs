@@ -1,0 +1,184 @@
+//! # stitch-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md`'s experiment
+//! index), plus criterion microbenches for the substrates. This library
+//! holds the shared plumbing: standard workloads, results tables, and
+//! machine-readable output for `EXPERIMENTS.md`.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+
+use serde::Serialize;
+use stitch_core::prelude::*;
+use stitch_image::{ScanConfig, SyntheticPlate};
+
+/// The standard scaled-down experiment workload: the paper's 42×59 grid
+/// shape with smaller tiles, 25 % overlap (small tiles need a larger
+/// overlap *fraction* for the same overlap statistics — see DESIGN.md).
+pub fn scaled_scan(rows: usize, cols: usize, tile_w: usize, tile_h: usize) -> ScanConfig {
+    ScanConfig {
+        grid_rows: rows,
+        grid_cols: cols,
+        tile_width: tile_w,
+        tile_height: tile_h,
+        overlap: 0.25,
+        stage_jitter: 3.0,
+        backlash_x: 1.5,
+        noise_sigma: 50.0,
+        vignette: 0.03,
+        seed: 2014,
+    }
+}
+
+/// Builds an in-memory synthetic source for a scan config.
+pub fn synthetic_source(config: ScanConfig) -> SyntheticSource {
+    SyntheticSource::new(SyntheticPlate::generate(config))
+}
+
+/// One row of an experiment result table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (implementation, parameter value, …).
+    pub label: String,
+    /// Column values, aligned with the table's header.
+    pub values: Vec<String>,
+}
+
+/// A printable, JSON-dumpable experiment result table.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResultTable {
+    /// Experiment id ("table2", "fig11", …).
+    pub experiment: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (workload, substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(experiment: &str, title: &str, columns: &[&str]) -> ResultTable {
+        ResultTable {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Display, values: &[String]) {
+        self.rows.push(Row {
+            label: label.to_string(),
+            values: values.to_vec(),
+        });
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Display) {
+        self.notes.push(note.to_string());
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            widths[0] = widths[0].max(r.label.len());
+            for (i, v) in r.values.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(v.len());
+                }
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.experiment, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            let mut cells = vec![format!("{:>w$}", r.label, w = widths[0])];
+            for (i, v) in r.values.iter().enumerate() {
+                cells.push(format!("{v:>w$}", w = widths.get(i + 1).copied().unwrap_or(0)));
+            }
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table and, when `--json <dir>` was passed on the command
+    /// line, also writes `<dir>/<experiment>.json`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        if let Some(dir) = json_dir() {
+            std::fs::create_dir_all(&dir).expect("create json dir");
+            let path = dir.join(format!("{}.json", self.experiment));
+            std::fs::write(&path, serde_json::to_string_pretty(self).unwrap())
+                .expect("write json results");
+            eprintln!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// The `--json <dir>` command-line option.
+pub fn json_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// True when `--full` was passed (paper-scale workloads).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Formats a nanosecond duration human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 90.0 {
+        format!("{:.1}min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ResultTable::new("t", "demo", &["impl", "time", "speedup"]);
+        t.row("Simple-CPU", &["10.6min".into(), "1.0".into()]);
+        t.row("Pipelined-GPU", &["49.7s".into(), "12.8".into()]);
+        t.note("virtual time");
+        let s = t.render();
+        assert!(s.contains("Simple-CPU"));
+        assert!(s.contains("note: virtual time"));
+    }
+
+    #[test]
+    fn fmt_ns_ranges() {
+        assert_eq!(fmt_ns(500_000_000), "500ms");
+        assert_eq!(fmt_ns(49_700_000_000), "49.7s");
+        assert_eq!(fmt_ns(636_000_000_000), "10.6min");
+    }
+}

@@ -1,0 +1,301 @@
+//! Phase 3: composing the stitched mosaic (§III, §VI-A, Figs 13–14).
+//!
+//! "The third phase uses the absolute displacements to compose the
+//! stitched image"; the paper renders its 17k×22k result with an *overlay*
+//! blend (Fig 13) and a variant with highlighted tile borders (Fig 14),
+//! and prototypes a visualization tool that renders "at varying
+//! resolutions" (image pyramids). Composition is region-based so it can
+//! run on demand — "the third phase can be carried out on demand as part
+//! of visualizing the stitched image."
+
+use stitch_image::Image;
+
+use crate::global_opt::AbsolutePositions;
+use crate::source::TileSource;
+use crate::types::TileId;
+
+/// How overlapping pixels are resolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Blend {
+    /// Later tiles (row-major order) overwrite earlier ones — the paper's
+    /// Fig 13 overlay blend.
+    #[default]
+    Overlay,
+    /// The first tile to cover a pixel wins.
+    First,
+    /// Unweighted mean of every tile covering the pixel.
+    Average,
+    /// Distance-to-edge feathered mean (smooth seams).
+    Linear,
+}
+
+/// Mosaic composer: absolute positions + blend mode.
+pub struct Composer {
+    positions: AbsolutePositions,
+    blend: Blend,
+    /// Draw 1-px tile borders at full intensity (Fig 14's highlighted
+    /// tiles).
+    pub highlight_tiles: bool,
+}
+
+impl Composer {
+    /// Creates a composer.
+    pub fn new(positions: AbsolutePositions, blend: Blend) -> Composer {
+        Composer {
+            positions,
+            blend,
+            highlight_tiles: false,
+        }
+    }
+
+    /// The blend mode.
+    pub fn blend(&self) -> Blend {
+        self.blend
+    }
+
+    /// The absolute positions in use.
+    pub fn positions(&self) -> &AbsolutePositions {
+        &self.positions
+    }
+
+    /// Full mosaic dimensions for `source`'s tile size.
+    pub fn mosaic_dims(&self, source: &dyn TileSource) -> (usize, usize) {
+        let (tw, th) = source.tile_dims();
+        self.positions.mosaic_dims(tw, th)
+    }
+
+    /// Composes the whole mosaic.
+    pub fn compose(&self, source: &dyn TileSource) -> Image<u16> {
+        let (mw, mh) = self.mosaic_dims(source);
+        self.compose_region(source, 0, 0, mw, mh)
+    }
+
+    /// Composes only the `w × h` window at `(x0, y0)` of the mosaic —
+    /// the on-demand path used for interactive visualization.
+    pub fn compose_region(
+        &self,
+        source: &dyn TileSource,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+    ) -> Image<u16> {
+        let (tw, th) = source.tile_dims();
+        let shape = self.positions.shape;
+        let mut acc = vec![0.0f64; w * h];
+        let mut weight = vec![0.0f64; w * h];
+        let (rx0, ry0, rx1, ry1) = (x0 as i64, y0 as i64, (x0 + w) as i64, (y0 + h) as i64);
+        for id in shape.ids() {
+            let (px, py) = self.positions.get(id);
+            // intersect tile rectangle with the requested window
+            let ix0 = px.max(rx0);
+            let iy0 = py.max(ry0);
+            let ix1 = (px + tw as i64).min(rx1);
+            let iy1 = (py + th as i64).min(ry1);
+            if ix0 >= ix1 || iy0 >= iy1 {
+                continue;
+            }
+            let tile = source.load(id);
+            for gy in iy0..iy1 {
+                let ty = (gy - py) as usize;
+                for gx in ix0..ix1 {
+                    let tx = (gx - px) as usize;
+                    let v = tile.get(tx, ty) as f64;
+                    let oi = (gy - ry0) as usize * w + (gx - rx0) as usize;
+                    let border = self.highlight_tiles
+                        && (tx == 0 || ty == 0 || tx == tw - 1 || ty == th - 1);
+                    let v = if border { 65535.0 } else { v };
+                    match self.blend {
+                        Blend::Overlay => {
+                            acc[oi] = v;
+                            weight[oi] = 1.0;
+                        }
+                        Blend::First => {
+                            if weight[oi] == 0.0 {
+                                acc[oi] = v;
+                                weight[oi] = 1.0;
+                            }
+                        }
+                        Blend::Average => {
+                            acc[oi] += v;
+                            weight[oi] += 1.0;
+                        }
+                        Blend::Linear => {
+                            // weight by distance to the nearest tile edge
+                            let dxe = (tx.min(tw - 1 - tx) + 1) as f64;
+                            let dye = (ty.min(th - 1 - ty) + 1) as f64;
+                            let wgt = dxe * dye;
+                            acc[oi] += v * wgt;
+                            weight[oi] += wgt;
+                        }
+                    }
+                }
+            }
+        }
+        Image::from_vec(
+            w,
+            h,
+            acc.into_iter()
+                .zip(weight)
+                .map(|(a, wt)| {
+                    if wt > 0.0 {
+                        (a / wt).clamp(0.0, 65535.0).round() as u16
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Renders the tile at grid position `id` into mosaic coordinates —
+    /// convenience for spot checks.
+    pub fn tile_window(&self, source: &dyn TileSource, id: TileId) -> Image<u16> {
+        let (tw, th) = source.tile_dims();
+        let (x, y) = self.positions.get(id);
+        self.compose_region(source, x as usize, y as usize, tw, th)
+    }
+}
+
+/// Builds an image pyramid: level 0 is `base`, each further level halves
+/// both dimensions by 2×2 averaging (the §VI-A visualization prototype
+/// "generates image pyramids ... and renders a stitched image at varying
+/// resolutions").
+pub fn pyramid(base: Image<u16>, levels: usize) -> Vec<Image<u16>> {
+    let mut out = Vec::with_capacity(levels + 1);
+    out.push(base);
+    for _ in 0..levels {
+        let prev = out.last().unwrap();
+        let (w, h) = prev.dims();
+        if w <= 1 || h <= 1 {
+            break;
+        }
+        let (nw, nh) = (w / 2, h / 2);
+        let next = Image::from_fn(nw, nh, |x, y| {
+            let s = prev.get(2 * x, 2 * y) as u32
+                + prev.get(2 * x + 1, 2 * y) as u32
+                + prev.get(2 * x, 2 * y + 1) as u32
+                + prev.get(2 * x + 1, 2 * y + 1) as u32;
+            (s / 4) as u16
+        });
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_opt::AbsolutePositions;
+    use crate::grid::GridShape;
+    use crate::source::MemorySource;
+
+    fn simple_setup() -> (MemorySource, AbsolutePositions) {
+        // 1×2 grid of 8×8 tiles overlapping by 3 px
+        let shape = GridShape::new(1, 2);
+        let a = Image::filled(8, 8, 100u16);
+        let b = Image::filled(8, 8, 300u16);
+        let src = MemorySource::new(shape, vec![a, b]);
+        let pos = AbsolutePositions {
+            shape,
+            positions: vec![(0, 0), (5, 0)],
+        };
+        (src, pos)
+    }
+
+    #[test]
+    fn mosaic_dims() {
+        let (src, pos) = simple_setup();
+        let c = Composer::new(pos, Blend::Overlay);
+        assert_eq!(c.mosaic_dims(&src), (13, 8));
+    }
+
+    #[test]
+    fn overlay_last_tile_wins() {
+        let (src, pos) = simple_setup();
+        let m = Composer::new(pos, Blend::Overlay).compose(&src);
+        assert_eq!(m.get(2, 4), 100);
+        assert_eq!(m.get(6, 4), 300, "overlap region owned by tile b");
+        assert_eq!(m.get(12, 4), 300);
+    }
+
+    #[test]
+    fn first_blend_keeps_first_tile() {
+        let (src, pos) = simple_setup();
+        let m = Composer::new(pos, Blend::First).compose(&src);
+        assert_eq!(m.get(6, 4), 100, "overlap region owned by tile a");
+    }
+
+    #[test]
+    fn average_blend_midpoint_in_overlap() {
+        let (src, pos) = simple_setup();
+        let m = Composer::new(pos, Blend::Average).compose(&src);
+        assert_eq!(m.get(6, 4), 200);
+        assert_eq!(m.get(1, 1), 100);
+        assert_eq!(m.get(12, 7), 300);
+    }
+
+    #[test]
+    fn linear_blend_bounded_by_inputs() {
+        let (src, pos) = simple_setup();
+        let m = Composer::new(pos, Blend::Linear).compose(&src);
+        let v = m.get(6, 4);
+        assert!((100..=300).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn uncovered_pixels_are_black() {
+        let shape = GridShape::new(1, 2);
+        let src = MemorySource::new(shape, vec![Image::filled(4, 4, 9u16); 2]);
+        let pos = AbsolutePositions {
+            shape,
+            positions: vec![(0, 0), (10, 0)], // gap between tiles
+        };
+        let m = Composer::new(pos, Blend::Overlay).compose(&src);
+        assert_eq!(m.get(6, 2), 0);
+        assert_eq!(m.get(1, 1), 9);
+        assert_eq!(m.get(11, 1), 9);
+    }
+
+    #[test]
+    fn region_matches_full_compose() {
+        let (src, pos) = simple_setup();
+        let c = Composer::new(pos, Blend::Average);
+        let full = c.compose(&src);
+        let region = c.compose_region(&src, 4, 2, 6, 4);
+        for y in 0..4 {
+            for x in 0..6 {
+                assert_eq!(region.get(x, y), full.get(x + 4, y + 2));
+            }
+        }
+    }
+
+    #[test]
+    fn highlight_draws_borders() {
+        let (src, pos) = simple_setup();
+        let mut c = Composer::new(pos, Blend::Overlay);
+        c.highlight_tiles = true;
+        let m = c.compose(&src);
+        assert_eq!(m.get(0, 0), 65535);
+        assert_eq!(m.get(12, 7), 65535);
+        assert_eq!(m.get(2, 4), 100, "interior untouched");
+    }
+
+    #[test]
+    fn pyramid_halves_dimensions() {
+        let base = Image::from_fn(16, 12, |x, y| (x * y) as u16);
+        let pyr = pyramid(base, 3);
+        assert_eq!(pyr.len(), 4);
+        assert_eq!(pyr[1].dims(), (8, 6));
+        assert_eq!(pyr[2].dims(), (4, 3));
+        assert_eq!(pyr[3].dims(), (2, 1));
+    }
+
+    #[test]
+    fn pyramid_preserves_mean_roughly() {
+        let base = Image::filled(32, 32, 500u16);
+        let pyr = pyramid(base, 2);
+        assert_eq!(pyr[2].pixels().iter().copied().max(), Some(500));
+        assert_eq!(pyr[2].pixels().iter().copied().min(), Some(500));
+    }
+}

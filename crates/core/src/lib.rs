@@ -1,0 +1,91 @@
+//! # stitch-core — hybrid CPU-GPU image stitching (ICPP 2014)
+//!
+//! The paper's contribution: Fourier-based (phase-correlation) stitching
+//! of microscopy tile grids, organized as pipelines that overlap disk
+//! I/O, host↔device transfers and compute while staying inside strict
+//! memory limits.
+//!
+//! ## The three phases (§III)
+//!
+//! 1. **Relative displacements** — [`pciam`] implements Fig 1/2/3 (FFT →
+//!    NCC → inverse FFT → max → CCF disambiguation); the [`Stitcher`]
+//!    implementations compute it for every adjacent pair:
+//!    * [`SimpleCpuStitcher`] — sequential reference (§IV-A);
+//!    * [`MtCpuStitcher`] — SPMD spatial decomposition (§IV-A);
+//!    * [`PipelinedCpuStitcher`] — 3-stage CPU pipeline (§IV-B);
+//!    * [`SimpleGpuStitcher`] — synchronous single-stream GPU port (§IV-A);
+//!    * [`PipelinedGpuStitcher`] — the paper's six-stage multi-GPU
+//!      pipeline (§IV-B, Fig 8);
+//!    * [`FijiStyleStitcher`] — ImageJ/Fiji-plugin-style baseline (§V).
+//! 2. **Global optimization** — [`GlobalOptimizer`] resolves the
+//!    over-constrained displacement graph (spanning tree or weighted
+//!    least squares) into absolute positions.
+//! 3. **Composition** — [`Composer`] renders the mosaic (overlay /
+//!    average / feathered blends, on-demand regions, pyramids).
+//!
+//! ```no_run
+//! use stitch_core::prelude::*;
+//! use stitch_image::{ScanConfig, SyntheticPlate};
+//!
+//! let plate = SyntheticPlate::generate(ScanConfig::default());
+//! let source = SyntheticSource::new(plate);
+//! let result = SimpleCpuStitcher::default().compute_displacements(&source);
+//! let positions = GlobalOptimizer::default().solve(&result);
+//! let mosaic = Composer::new(positions, Blend::Overlay).compose(&source);
+//! println!("stitched {}x{} pixels", mosaic.width(), mosaic.height());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod compose;
+pub mod global_opt;
+pub mod grid;
+pub mod memlimit;
+pub mod mt_cpu;
+pub mod opcount;
+pub mod pciam;
+pub mod pciam_padded;
+pub mod pciam_real;
+pub mod pipelined_cpu;
+pub mod pipelined_gpu;
+pub mod quality;
+pub mod simple_cpu;
+pub mod simple_gpu;
+pub mod source;
+pub mod subpixel;
+pub mod stitcher;
+pub mod types;
+
+pub use baseline::FijiStyleStitcher;
+pub use compose::{pyramid, Blend, Composer};
+pub use global_opt::{AbsolutePositions, GlobalOptimizer, Method};
+pub use grid::{GridShape, Traversal};
+pub use mt_cpu::MtCpuStitcher;
+pub use opcount::{OpCounters, OpCounts};
+pub use pciam::PciamContext;
+pub use pciam_padded::PaddedPciamContext;
+pub use pciam_real::{Correlator, RealPciamContext, TransformKind};
+pub use pipelined_cpu::{PipelinedCpuConfig, PipelinedCpuStitcher};
+pub use pipelined_gpu::{GhostMode, PipelinedGpuConfig, PipelinedGpuStitcher};
+pub use quality::{correlation_stats, coverage, seam_error, CorrelationStats, SeamError};
+pub use simple_cpu::SimpleCpuStitcher;
+pub use simple_gpu::SimpleGpuStitcher;
+pub use source::{DirSource, MemorySource, SyntheticSource, TileSource};
+pub use stitcher::{truth_vectors, StitchResult, Stitcher};
+pub use subpixel::{refine_subpixel, SubpixelDisplacement};
+pub use types::{Displacement, PairKind, TileId};
+
+/// Convenience re-exports for application code.
+pub mod prelude {
+    pub use crate::compose::{Blend, Composer};
+    pub use crate::global_opt::{AbsolutePositions, GlobalOptimizer, Method};
+    pub use crate::grid::{GridShape, Traversal};
+    pub use crate::source::{DirSource, MemorySource, SyntheticSource, TileSource};
+    pub use crate::stitcher::{truth_vectors, StitchResult, Stitcher};
+    pub use crate::types::{Displacement, PairKind, TileId};
+    pub use crate::{
+        FijiStyleStitcher, MtCpuStitcher, PipelinedCpuStitcher, PipelinedGpuStitcher,
+        SimpleCpuStitcher, SimpleGpuStitcher,
+    };
+}

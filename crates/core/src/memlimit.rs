@@ -1,0 +1,315 @@
+//! Budgeted transform storage with disk spill — the Fig 5 substrate.
+//!
+//! §III: "A scalable parallel implementation must manage memory because
+//! the problem does not fit into main memory ... It will have a highly
+//! negative effect on performance when the program's working set exceeds
+//! physical memory limits and the virtual memory subsystem starts paging
+//! to disk." Fig 5 demonstrates the cliff with an application that "reads
+//! tiles and computes their transforms without releasing any memory".
+//!
+//! [`SpillStore`] makes that failure mode reproducible in-process without
+//! needing to exhaust the machine: buffers are kept in memory up to a
+//! byte budget; beyond it, least-recently-used buffers spill to a backing
+//! file and fault back in on access — real disk I/O, real cliff.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use stitch_fft::C64;
+
+/// Handle to a stored buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BufferHandle(u64);
+
+enum Slot {
+    /// Resident in memory.
+    Resident(Vec<C64>),
+    /// Spilled to the backing file at (offset, len).
+    Spilled { offset: u64, len: usize },
+}
+
+struct StoreState {
+    slots: HashMap<u64, Slot>,
+    /// LRU order of resident handles (front = coldest).
+    lru: Vec<u64>,
+    resident_bytes: usize,
+    file: File,
+    file_len: u64,
+    /// Free regions in the spill file, (offset, byte_len).
+    free_list: Vec<(u64, usize)>,
+}
+
+/// A byte-budgeted store for transform buffers with LRU disk spill.
+pub struct SpillStore {
+    budget_bytes: usize,
+    path: PathBuf,
+    state: Mutex<StoreState>,
+    next_id: AtomicU64,
+    spill_count: AtomicU64,
+    fault_count: AtomicU64,
+}
+
+fn buf_bytes(len: usize) -> usize {
+    len * std::mem::size_of::<C64>()
+}
+
+impl SpillStore {
+    /// Creates a store holding at most `budget_bytes` resident, spilling
+    /// into a temp file.
+    pub fn new(budget_bytes: usize) -> std::io::Result<SpillStore> {
+        let path = std::env::temp_dir().join(format!(
+            "stitch_spill_{}_{:x}.bin",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+        ));
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SpillStore {
+            budget_bytes,
+            path,
+            state: Mutex::new(StoreState {
+                slots: HashMap::new(),
+                lru: Vec::new(),
+                resident_bytes: 0,
+                file,
+                file_len: 0,
+                free_list: Vec::new(),
+            }),
+            next_id: AtomicU64::new(0),
+            spill_count: AtomicU64::new(0),
+            fault_count: AtomicU64::new(0),
+        })
+    }
+
+    /// Stores a buffer, spilling cold buffers if the budget overflows.
+    pub fn insert(&self, data: Vec<C64>) -> BufferHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = buf_bytes(data.len());
+        let mut st = self.state.lock();
+        st.resident_bytes += bytes;
+        st.slots.insert(id, Slot::Resident(data));
+        st.lru.push(id);
+        self.evict_to_budget(&mut st);
+        BufferHandle(id)
+    }
+
+    /// Accesses a buffer, faulting it in from disk if it was spilled
+    /// (possibly evicting others to make room).
+    pub fn with<R>(&self, h: BufferHandle, f: impl FnOnce(&[C64]) -> R) -> R {
+        let mut st = self.state.lock();
+        // fault in if spilled
+        let needs_fault = matches!(st.slots.get(&h.0), Some(Slot::Spilled { .. }));
+        if needs_fault {
+            let Some(Slot::Spilled { offset, len }) = st.slots.remove(&h.0) else {
+                unreachable!()
+            };
+            let mut raw = vec![0u8; buf_bytes(len)];
+            st.file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+            st.file.read_exact(&mut raw).expect("read spill file");
+            st.free_list.push((offset, buf_bytes(len)));
+            let mut data = vec![C64::ZERO; len];
+            for (i, chunk) in raw.chunks_exact(16).enumerate() {
+                data[i] = C64 {
+                    re: f64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                    im: f64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+                };
+            }
+            st.resident_bytes += buf_bytes(len);
+            st.slots.insert(h.0, Slot::Resident(data));
+            st.lru.push(h.0);
+            self.fault_count.fetch_add(1, Ordering::Relaxed);
+            self.evict_to_budget_except(&mut st, h.0);
+        } else {
+            // refresh LRU position
+            if let Some(pos) = st.lru.iter().position(|&x| x == h.0) {
+                st.lru.remove(pos);
+                st.lru.push(h.0);
+            }
+        }
+        match st.slots.get(&h.0) {
+            Some(Slot::Resident(data)) => f(data),
+            _ => panic!("buffer handle not found"),
+        }
+    }
+
+    /// Removes a buffer entirely.
+    pub fn remove(&self, h: BufferHandle) {
+        let mut st = self.state.lock();
+        match st.slots.remove(&h.0) {
+            Some(Slot::Resident(data)) => {
+                st.resident_bytes -= buf_bytes(data.len());
+                if let Some(pos) = st.lru.iter().position(|&x| x == h.0) {
+                    st.lru.remove(pos);
+                }
+            }
+            Some(Slot::Spilled { offset, len }) => {
+                st.free_list.push((offset, buf_bytes(len)));
+            }
+            None => {}
+        }
+    }
+
+    /// Bytes currently resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().resident_bytes
+    }
+
+    /// Number of buffers spilled to disk so far.
+    pub fn spill_count(&self) -> u64 {
+        self.spill_count.load(Ordering::Relaxed)
+    }
+
+    /// Number of faults (spilled buffers read back) so far.
+    pub fn fault_count(&self) -> u64 {
+        self.fault_count.load(Ordering::Relaxed)
+    }
+
+    fn evict_to_budget(&self, st: &mut StoreState) {
+        self.evict_to_budget_except(st, u64::MAX);
+    }
+
+    fn evict_to_budget_except(&self, st: &mut StoreState, keep: u64) {
+        while st.resident_bytes > self.budget_bytes {
+            // coldest resident handle that isn't the protected one
+            let Some(pos) = st.lru.iter().position(|&x| x != keep) else {
+                break;
+            };
+            let victim = st.lru.remove(pos);
+            let Some(Slot::Resident(data)) = st.slots.remove(&victim) else {
+                continue;
+            };
+            let bytes = buf_bytes(data.len());
+            // find or grow file space
+            let offset = if let Some(i) = st.free_list.iter().position(|&(_, l)| l >= bytes) {
+                let (off, l) = st.free_list.remove(i);
+                if l > bytes {
+                    st.free_list.push((off + bytes as u64, l - bytes));
+                }
+                off
+            } else {
+                let off = st.file_len;
+                st.file_len += bytes as u64;
+                off
+            };
+            let mut raw = Vec::with_capacity(bytes);
+            for v in &data {
+                raw.extend_from_slice(&v.re.to_le_bytes());
+                raw.extend_from_slice(&v.im.to_le_bytes());
+            }
+            st.file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+            st.file.write_all(&raw).expect("write spill file");
+            st.slots.insert(
+                victim,
+                Slot::Spilled {
+                    offset,
+                    len: data.len(),
+                },
+            );
+            st.resident_bytes -= bytes;
+            self.spill_count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_fft::c64;
+
+    fn buf(seed: usize, len: usize) -> Vec<C64> {
+        (0..len).map(|i| c64((seed * 1000 + i) as f64, -(i as f64))).collect()
+    }
+
+    #[test]
+    fn round_trip_without_spill() {
+        let store = SpillStore::new(1 << 20).unwrap();
+        let h = store.insert(buf(1, 100));
+        store.with(h, |d| {
+            assert_eq!(d.len(), 100);
+            assert_eq!(d[3].re, 1003.0);
+        });
+        assert_eq!(store.spill_count(), 0);
+    }
+
+    #[test]
+    fn spills_beyond_budget_and_faults_back() {
+        // budget of 2 buffers à 1600 B
+        let store = SpillStore::new(2 * 1600).unwrap();
+        let h1 = store.insert(buf(1, 100));
+        let h2 = store.insert(buf(2, 100));
+        let h3 = store.insert(buf(3, 100)); // evicts h1 (coldest)
+        assert_eq!(store.spill_count(), 1);
+        assert!(store.resident_bytes() <= 2 * 1600);
+        // h1 faults back intact
+        store.with(h1, |d| assert_eq!(d[0].re, 1000.0));
+        assert_eq!(store.fault_count(), 1);
+        // everyone still intact
+        store.with(h2, |d| assert_eq!(d[0].re, 2000.0));
+        store.with(h3, |d| assert_eq!(d[0].re, 3000.0));
+    }
+
+    #[test]
+    fn lru_access_protects_hot_buffers() {
+        let store = SpillStore::new(2 * 1600).unwrap();
+        let h1 = store.insert(buf(1, 100));
+        let _h2 = store.insert(buf(2, 100));
+        // touch h1 so h2 becomes the eviction victim
+        store.with(h1, |_| {});
+        let _h3 = store.insert(buf(3, 100));
+        // h1 should still be resident: accessing it must not fault
+        let faults_before = store.fault_count();
+        store.with(h1, |_| {});
+        assert_eq!(store.fault_count(), faults_before);
+    }
+
+    #[test]
+    fn remove_frees_budget() {
+        let store = SpillStore::new(1600).unwrap();
+        let h1 = store.insert(buf(1, 100));
+        store.remove(h1);
+        assert_eq!(store.resident_bytes(), 0);
+        let h2 = store.insert(buf(2, 100));
+        assert_eq!(store.spill_count(), 0, "no eviction needed after remove");
+        store.with(h2, |d| assert_eq!(d[0].re, 2000.0));
+    }
+
+    #[test]
+    fn spill_file_space_is_reused() {
+        let store = SpillStore::new(1600).unwrap();
+        let hs: Vec<BufferHandle> = (0..6).map(|i| store.insert(buf(i, 100))).collect();
+        // 5 spills happened; faulting one back frees its file region, the
+        // next spill should reuse it rather than grow the file
+        assert_eq!(store.spill_count(), 5);
+        store.with(hs[0], |_| {});
+        let len_after = store.state.lock().file_len;
+        store.with(hs[1], |_| {}); // causes another spill into the free slot
+        assert_eq!(store.state.lock().file_len, len_after);
+    }
+
+    #[test]
+    fn many_buffers_survive_heavy_thrash() {
+        let store = SpillStore::new(3 * 1600).unwrap();
+        let hs: Vec<BufferHandle> = (0..20).map(|i| store.insert(buf(i, 100))).collect();
+        for (i, &h) in hs.iter().enumerate().rev() {
+            store.with(h, |d| assert_eq!(d[0].re, (i * 1000) as f64));
+        }
+        assert!(store.fault_count() > 0);
+    }
+}

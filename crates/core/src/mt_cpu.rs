@@ -1,0 +1,201 @@
+//! MT-CPU: spatial-domain-decomposition SPMD stitcher (paper §IV-A).
+//!
+//! "We used the Simple-CPU implementation to develop a simple
+//! multi-threaded implementation MT CPU. This implementation uses spatial
+//! domain decomposition and a thread-variant of the SPMD approach to
+//! handle coarse-grained parallelism." — the grid is split into contiguous
+//! row bands, one worker per band. Each worker streams through its band
+//! row-major keeping only two rows of transforms live; the band's first
+//! row additionally recomputes the transforms of the row above it (the
+//! classic ghost-row cost of spatial decomposition, a `cols`-per-boundary
+//! overhead that vanishes as bands grow).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use stitch_fft::{PlanMode, Planner};
+use stitch_image::Image;
+
+use crate::opcount::OpCounters;
+use crate::pciam::PciamContext;
+use crate::source::TileSource;
+use crate::stitcher::{StitchResult, Stitcher};
+use crate::types::{Displacement, TileId};
+
+/// A cached tile: pixels for the CCF stage, transform for the NCC stage.
+type CachedTile = (Arc<Image<u16>>, Arc<Vec<stitch_fft::C64>>);
+
+/// SPMD multi-threaded stitcher.
+pub struct MtCpuStitcher {
+    threads: usize,
+    plan_mode: PlanMode,
+}
+
+impl MtCpuStitcher {
+    /// Creates an SPMD stitcher with `threads` workers.
+    pub fn new(threads: usize) -> MtCpuStitcher {
+        assert!(threads >= 1);
+        MtCpuStitcher {
+            threads,
+            plan_mode: PlanMode::Estimate,
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Splits `rows` into at most `parts` contiguous bands of near-equal size.
+fn row_bands(rows: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.min(rows).max(1);
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut bands = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        bands.push((start, start + len));
+        start += len;
+    }
+    bands
+}
+
+impl Stitcher for MtCpuStitcher {
+    fn name(&self) -> String {
+        format!("MT-CPU({})", self.threads)
+    }
+
+    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+        let t0 = Instant::now();
+        let shape = source.shape();
+        let (w, h) = source.tile_dims();
+        if shape.tiles() == 0 {
+            return StitchResult::empty(shape);
+        }
+        let counters = OpCounters::new_shared();
+        let planner = Planner::new(self.plan_mode);
+        let west: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
+        let north: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
+        let bands = row_bands(shape.rows, self.threads);
+
+        std::thread::scope(|scope| {
+            for &(r0, r1) in &bands {
+                let counters = Arc::clone(&counters);
+                let planner = &planner;
+                let west = &west;
+                let north = &north;
+                scope.spawn(move || {
+                    let mut ctx = PciamContext::new(planner, w, h, counters.clone());
+                    // rolling cache: the row above the current one
+                    let mut prev_row: Vec<Option<CachedTile>> = vec![None; shape.cols];
+                    // ghost row: recompute the transforms of row r0−1 so the
+                    // band's first north pairs can be computed locally
+                    let ghost_start = r0.saturating_sub(1);
+                    for r in ghost_start..r1 {
+                        let ghost = r < r0;
+                        let mut prev_in_row: Option<CachedTile> = None;
+                        #[allow(clippy::needless_range_loop)] // c builds TileIds too
+                        for c in 0..shape.cols {
+                            let id = TileId::new(r, c);
+                            let img = Arc::new(source.load(id));
+                            counters.count_read();
+                            let fft = Arc::new(ctx.forward_fft(&img));
+                            if !ghost {
+                                if let Some((pimg, pfft)) = &prev_in_row {
+                                    let d = ctx.displacement_oriented(pfft, &fft, pimg, &img, Some(crate::types::PairKind::West));
+                                    west.lock()[shape.index(id)] = Some(d);
+                                }
+                                if let Some((nimg, nfft)) = &prev_row[c] {
+                                    let d = ctx.displacement_oriented(nfft, &fft, nimg, &img, Some(crate::types::PairKind::North));
+                                    north.lock()[shape.index(id)] = Some(d);
+                                }
+                            }
+                            prev_in_row = Some((Arc::clone(&img), Arc::clone(&fft)));
+                            prev_row[c] = Some((img, fft));
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut result = StitchResult::empty(shape);
+        result.west = west.into_inner();
+        result.north = north.into_inner();
+        result.elapsed = t0.elapsed();
+        result.ops = counters.snapshot();
+        // each worker keeps ≤ 2 rows (+1 in-flight tile) live
+        result.peak_live_tiles = bands.len() * (2 * shape.cols + 1).min(shape.tiles());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_cpu::SimpleCpuStitcher;
+    use crate::source::SyntheticSource;
+    use crate::stitcher::truth_vectors;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+
+    fn plate(rows: usize, cols: usize) -> SyntheticPlate {
+        SyntheticPlate::generate(ScanConfig {
+            grid_rows: rows,
+            grid_cols: cols,
+            tile_width: 64,
+            tile_height: 48,
+            overlap: 0.25,
+            stage_jitter: 2.0,
+            backlash_x: 1.0,
+            noise_sigma: 40.0,
+            vignette: 0.03,
+            seed: 23,
+        })
+    }
+
+    #[test]
+    fn bands_partition_rows() {
+        assert_eq!(row_bands(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(row_bands(2, 8), vec![(0, 1), (1, 2)]);
+        assert_eq!(row_bands(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn matches_sequential_results() {
+        let src = SyntheticSource::new(plate(4, 4));
+        let seq = SimpleCpuStitcher::default().compute_displacements(&src);
+        for threads in [1, 2, 3, 4] {
+            let mt = MtCpuStitcher::new(threads).compute_displacements(&src);
+            assert_eq!(mt.west, seq.west, "threads={threads}");
+            assert_eq!(mt.north, seq.north, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recovers_ground_truth() {
+        let src = SyntheticSource::new(plate(3, 5));
+        let r = MtCpuStitcher::new(3).compute_displacements(&src);
+        assert!(r.is_complete());
+        let (tw, tn) = truth_vectors(src.plate());
+        assert_eq!(r.count_errors(&tw, &tn, 0), 0);
+    }
+
+    #[test]
+    fn ghost_rows_add_bounded_fft_overhead() {
+        let src = SyntheticSource::new(plate(4, 4));
+        let r = MtCpuStitcher::new(4).compute_displacements(&src);
+        // 4 bands of 1 row: 3 ghost rows → 16 + 12 forward FFTs
+        assert_eq!(r.ops.forward_ffts, 16 + 12);
+        // pair work is never duplicated
+        assert_eq!(r.ops.inverse_ffts, (2 * 16 - 4 - 4) as u64);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let src = SyntheticSource::new(plate(2, 3));
+        let r = MtCpuStitcher::new(16).compute_displacements(&src);
+        assert!(r.is_complete());
+    }
+}

@@ -1,0 +1,158 @@
+//! Operation counters validating the paper's Table I cost model.
+//!
+//! Table I gives, for an `n × m` grid of `h × w` tiles:
+//!
+//! | operation  | count            | per-op cost     |
+//! |------------|------------------|-----------------|
+//! | Read       | `n·m`            | `h·w`           |
+//! | FFT-2D     | `n·m`            | `h·w·log(h·w)`  |
+//! | ⊗ (NCC)    | `2nm − n − m`    | `h·w`           |
+//! | FFT-2D⁻¹   | `2nm − n − m`    | `h·w·log(h·w)`  |
+//! | /max       | `2nm − n − m`    | `h·w`           |
+//! | CCF₁..₄    | `2nm − n − m`    | `h·w`           |
+//!
+//! Every stitcher implementation threads an [`OpCounters`] through its
+//! kernels; integration tests assert the observed counts equal the
+//! formulas (baselines that recompute transforms legitimately exceed the
+//! FFT row — that surplus *is* their inefficiency, and the Table I bench
+//! prints both).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe operation tally.
+#[derive(Default, Debug)]
+pub struct OpCounters {
+    reads: AtomicU64,
+    forward_ffts: AtomicU64,
+    elementwise_mults: AtomicU64,
+    inverse_ffts: AtomicU64,
+    max_reductions: AtomicU64,
+    ccf_groups: AtomicU64,
+}
+
+impl OpCounters {
+    /// A fresh shared counter set.
+    pub fn new_shared() -> Arc<OpCounters> {
+        Arc::new(OpCounters::default())
+    }
+
+    /// Records a tile read.
+    pub fn count_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a forward 2-D FFT.
+    pub fn count_forward_fft(&self) {
+        self.forward_ffts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one element-wise normalized conjugate multiply (⊗).
+    pub fn count_elementwise(&self) {
+        self.elementwise_mults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an inverse 2-D FFT.
+    pub fn count_inverse_fft(&self) {
+        self.inverse_ffts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a max reduction.
+    pub fn count_max_reduction(&self) {
+        self.max_reductions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one CCF₁..₄ candidate-disambiguation group.
+    pub fn count_ccf_group(&self) {
+        self.ccf_groups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            reads: self.reads.load(Ordering::Relaxed),
+            forward_ffts: self.forward_ffts.load(Ordering::Relaxed),
+            elementwise_mults: self.elementwise_mults.load(Ordering::Relaxed),
+            inverse_ffts: self.inverse_ffts.load(Ordering::Relaxed),
+            max_reductions: self.max_reductions.load(Ordering::Relaxed),
+            ccf_groups: self.ccf_groups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable counter snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Tile reads.
+    pub reads: u64,
+    /// Forward 2-D FFTs.
+    pub forward_ffts: u64,
+    /// Element-wise NCC multiplies.
+    pub elementwise_mults: u64,
+    /// Inverse 2-D FFTs.
+    pub inverse_ffts: u64,
+    /// Max reductions.
+    pub max_reductions: u64,
+    /// CCF candidate groups.
+    pub ccf_groups: u64,
+}
+
+impl OpCounts {
+    /// The Table I prediction for an `n × m` grid (minimal-work
+    /// implementations: transforms computed once per tile).
+    pub fn predicted(rows: usize, cols: usize) -> OpCounts {
+        let nm = (rows * cols) as u64;
+        let pairs = if rows == 0 || cols == 0 {
+            0
+        } else {
+            (2 * rows * cols - rows - cols) as u64
+        };
+        OpCounts {
+            reads: nm,
+            forward_ffts: nm,
+            elementwise_mults: pairs,
+            inverse_ffts: pairs,
+            max_reductions: pairs,
+            ccf_groups: pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_matches_table1_formulas() {
+        let p = OpCounts::predicted(42, 59);
+        assert_eq!(p.reads, 42 * 59);
+        assert_eq!(p.forward_ffts, 42 * 59);
+        let pairs = 2 * 42 * 59 - 42 - 59;
+        assert_eq!(p.elementwise_mults, pairs);
+        assert_eq!(p.inverse_ffts, pairs);
+        assert_eq!(p.max_reductions, pairs);
+        assert_eq!(p.ccf_groups, pairs);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = OpCounters::new_shared();
+        let mut hs = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            hs.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.count_read();
+                    c.count_forward_fft();
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.reads, 400);
+        assert_eq!(s.forward_ffts, 400);
+        assert_eq!(s.ccf_groups, 0);
+    }
+}

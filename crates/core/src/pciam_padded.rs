@@ -1,0 +1,196 @@
+//! Padded PCIAM — §VI-A's other transform optimization, implemented.
+//!
+//! "Padding image tiles (or trimming them) to have smaller prime factors
+//! (e.g., 1536 × 1536) is known to enhance the performance of FFTW and
+//! cuFFT ... We expect to see performance benefits when computing the
+//! forward and inverse FFTs of padded images."
+//!
+//! Tiles are embedded into the smallest 7-smooth rectangle and padded with
+//! the tile mean (mean padding keeps the DC bin honest and avoids the hard
+//! zero-edge discontinuity that would inject spurious axis correlations).
+//! The correlation peak then lives on the padded torus, so candidate
+//! displacements come from the *padded* periodicity — but the CCF
+//! disambiguation still scores candidates against the original, unpadded
+//! pixels, so the final displacement is identical to the exact path's
+//! whenever both find the truth.
+
+use std::sync::Arc;
+
+use stitch_fft::{c64, factor::next_smooth, Direction, Fft2d, Planner, C64};
+use stitch_image::Image;
+
+use crate::opcount::OpCounters;
+use crate::pciam::{resolve_peaks_oriented, top_peaks, DEFAULT_PEAK_COUNT};
+use crate::types::{Displacement, PairKind};
+
+/// Per-thread context computing PCIAM on mean-padded 7-smooth tiles.
+pub struct PaddedPciamContext {
+    /// Original tile width.
+    width: usize,
+    /// Original tile height.
+    height: usize,
+    /// Padded (7-smooth) width.
+    padded_w: usize,
+    /// Padded (7-smooth) height.
+    padded_h: usize,
+    forward: Fft2d,
+    inverse: Fft2d,
+    scratch: Vec<C64>,
+    work: Vec<C64>,
+    counters: Arc<OpCounters>,
+}
+
+impl PaddedPciamContext {
+    /// Builds a context for `width × height` tiles, padding to the next
+    /// 7-smooth sizes.
+    pub fn new(planner: &Planner, width: usize, height: usize, counters: Arc<OpCounters>) -> Self {
+        let padded_w = next_smooth(width);
+        let padded_h = next_smooth(height);
+        let n = padded_w * padded_h;
+        PaddedPciamContext {
+            width,
+            height,
+            padded_w,
+            padded_h,
+            forward: Fft2d::new(planner, padded_w, padded_h, Direction::Forward),
+            inverse: Fft2d::new(planner, padded_w, padded_h, Direction::Inverse),
+            scratch: vec![C64::ZERO; n],
+            work: vec![C64::ZERO; n],
+            counters,
+        }
+    }
+
+    /// Original tile width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Original tile height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The padded transform dimensions `(w, h)`.
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.padded_w, self.padded_h)
+    }
+
+    /// Forward transform of a mean-padded tile. The spectrum has
+    /// `padded_w × padded_h` bins.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+        assert_eq!(img.dims(), (self.width, self.height), "tile dims mismatch");
+        let mean = img.mean();
+        let mut data = vec![c64(mean, 0.0); self.padded_w * self.padded_h];
+        for y in 0..self.height {
+            let row = img.row(y);
+            let dst = &mut data[y * self.padded_w..y * self.padded_w + self.width];
+            for (d, &p) in dst.iter_mut().zip(row) {
+                *d = c64(p as f64, 0.0);
+            }
+        }
+        self.forward.process(&mut data, &mut self.scratch);
+        self.counters.count_forward_fft();
+        data
+    }
+
+    /// NCC + inverse FFT + top-`k` peaks on the padded torus.
+    pub fn correlation_peaks(&mut self, fa: &[C64], fb: &[C64], k: usize) -> Vec<(usize, f64)> {
+        let n = self.padded_w * self.padded_h;
+        assert_eq!(fa.len(), n);
+        assert_eq!(fb.len(), n);
+        stitch_fft::vectorops::ncc_vectorized(fa, fb, &mut self.work);
+        self.counters.count_elementwise();
+        self.inverse.process(&mut self.work, &mut self.scratch);
+        self.counters.count_inverse_fft();
+        let peaks = top_peaks(&self.work, self.padded_w, k);
+        self.counters.count_max_reduction();
+        let scale = 1.0 / n as f64;
+        peaks.into_iter().map(|(i, m)| (i, m * scale)).collect()
+    }
+
+    /// Full pair computation: peaks from the padded torus, CCF against the
+    /// original pixels.
+    pub fn displacement_oriented(
+        &mut self,
+        fa: &[C64],
+        fb: &[C64],
+        img_a: &Image<u16>,
+        img_b: &Image<u16>,
+        kind: Option<PairKind>,
+    ) -> Displacement {
+        let peaks = self.correlation_peaks(fa, fb, DEFAULT_PEAK_COUNT);
+        let indices: Vec<usize> = peaks.iter().map(|&(i, _)| i).collect();
+        // candidates use the *padded* periodicity; the CCF and refinement
+        // inside resolve see the original images (their own dims)
+        let d = resolve_peaks_oriented(&indices, self.padded_w, self.padded_h, img_a, img_b, kind);
+        self.counters.count_ccf_group();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pciam::PciamContext;
+    use stitch_image::{Scene, SceneParams};
+
+    fn scene_pair(w: usize, h: usize, dx: i64, dy: i64) -> (Image<u16>, Image<u16>) {
+        let scene = Scene::generate(
+            w as f64 * 3.0,
+            h as f64 * 3.0,
+            SceneParams {
+                colony_count: 20,
+                seed: 777,
+                ..SceneParams::default()
+            },
+        );
+        let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
+        let b = scene.render_region(w as f64 + dx as f64, h as f64 + dy as f64, w, h, 0.02, 30.0, 2);
+        (a, b)
+    }
+
+    #[test]
+    fn pads_to_seven_smooth() {
+        // 87 = 3·29 (29-smooth), 58 = 2·29 — awkward on purpose
+        let ctx = PaddedPciamContext::new(&Planner::default(), 87, 58, OpCounters::new_shared());
+        let (pw, ph) = ctx.padded_dims();
+        assert_eq!((pw, ph), (90, 60)); // 2·3²·5 and 2²·3·5
+        assert!(pw >= 87 && ph >= 58);
+    }
+
+    #[test]
+    fn recovers_shift_on_awkward_sizes() {
+        let (w, h) = (87usize, 58usize);
+        let (a, b) = scene_pair(w, h, 64, 2);
+        let mut ctx = PaddedPciamContext::new(&Planner::default(), w, h, OpCounters::new_shared());
+        let fa = ctx.forward_fft(&a);
+        let fb = ctx.forward_fft(&b);
+        let d = ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West));
+        assert_eq!((d.x, d.y), (64, 2));
+    }
+
+    #[test]
+    fn agrees_with_exact_path() {
+        let (w, h) = (87usize, 58usize);
+        let planner = Planner::default();
+        for (dx, dy) in [(60i64, 3i64), (66, -2), (58, 0)] {
+            let (a, b) = scene_pair(w, h, dx, dy);
+            let mut exact = PciamContext::new(&planner, w, h, OpCounters::new_shared());
+            let ea = exact.forward_fft(&a);
+            let eb = exact.forward_fft(&b);
+            let de = exact.displacement_oriented(&ea, &eb, &a, &b, Some(PairKind::West));
+            let mut padded =
+                PaddedPciamContext::new(&planner, w, h, OpCounters::new_shared());
+            let pa = padded.forward_fft(&a);
+            let pb = padded.forward_fft(&b);
+            let dp = padded.displacement_oriented(&pa, &pb, &a, &b, Some(PairKind::West));
+            assert_eq!((dp.x, dp.y), (de.x, de.y), "({dx},{dy})");
+        }
+    }
+
+    #[test]
+    fn already_smooth_sizes_pad_to_themselves() {
+        let ctx = PaddedPciamContext::new(&Planner::default(), 96, 64, OpCounters::new_shared());
+        assert_eq!(ctx.padded_dims(), (96, 64));
+    }
+}

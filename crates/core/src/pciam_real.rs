@@ -1,0 +1,313 @@
+//! Real-to-complex PCIAM — the paper's §VI-A optimization, implemented.
+//!
+//! "The second optimization (using real to complex FFTs) will further
+//! improve performance by doing less work; it will also reduce the
+//! computation's memory footprint."
+//!
+//! Microscopy tiles are real, so their spectra are Hermitian and only
+//! `(w/2+1)·h` bins are independent. The whole of Fig 2 survives on the
+//! half-spectrum:
+//!
+//! * forward transforms: r2c, half the memory, nearly half the work;
+//! * NCC: the element-wise normalized product of two Hermitian spectra is
+//!   itself Hermitian, so computing it on the half-spectrum loses nothing;
+//! * inverse transform: a Hermitian spectrum inverts through c2r straight
+//!   to the *real* correlation surface;
+//! * peak search and CCF disambiguation proceed exactly as before.
+//!
+//! [`Correlator`] wraps the complex and real paths behind one interface so
+//! the stitcher implementations can switch with a config flag.
+
+use std::sync::Arc;
+
+use stitch_fft::{Planner, RealFft2d, C64};
+use stitch_image::Image;
+
+use crate::opcount::OpCounters;
+use crate::pciam::{resolve_peaks_oriented, PciamContext, DEFAULT_PEAK_COUNT};
+use crate::pciam_padded::PaddedPciamContext;
+use crate::types::{Displacement, PairKind};
+
+/// Chebyshev radius for top-K peak suppression (kept in sync with the
+/// complex path).
+const PEAK_SUPPRESSION_RADIUS: i64 = 2;
+
+/// Per-thread context for half-spectrum PCIAM computations.
+pub struct RealPciamContext {
+    width: usize,
+    height: usize,
+    fft: RealFft2d,
+    /// NCC workspace: half-spectrum.
+    work: Vec<C64>,
+    /// Real correlation surface, `width × height`.
+    surface: Vec<f64>,
+    counters: Arc<OpCounters>,
+}
+
+impl RealPciamContext {
+    /// Builds a context for `width × height` tiles.
+    pub fn new(planner: &Planner, width: usize, height: usize, counters: Arc<OpCounters>) -> Self {
+        let fft = RealFft2d::new(planner, width, height);
+        let spectrum_len = fft.spectrum_len();
+        RealPciamContext {
+            width,
+            height,
+            fft,
+            work: vec![C64::ZERO; spectrum_len],
+            surface: vec![0.0; width * height],
+            counters,
+        }
+    }
+
+    /// Tile width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Tile height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Length of the half-spectrum this context produces.
+    pub fn spectrum_len(&self) -> usize {
+        self.fft.spectrum_len()
+    }
+
+    /// The r2c forward transform of a tile — `(w/2+1)·h` complex bins,
+    /// half the footprint of the complex path's `w·h`.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+        assert_eq!(img.dims(), (self.width, self.height), "tile dims mismatch");
+        let input: Vec<f64> = img.pixels().iter().map(|&p| p as f64).collect();
+        let mut spec = vec![C64::ZERO; self.spectrum_len()];
+        self.fft.forward(&input, &mut spec);
+        self.counters.count_forward_fft();
+        spec
+    }
+
+    /// NCC on the half-spectrum, c2r inverse, top-`k` peak extraction over
+    /// the real correlation surface. Peak indices address the full
+    /// `width × height` surface, exactly like the complex path.
+    pub fn correlation_peaks(&mut self, fa: &[C64], fb: &[C64], k: usize) -> Vec<(usize, f64)> {
+        let sl = self.spectrum_len();
+        assert_eq!(fa.len(), sl);
+        assert_eq!(fb.len(), sl);
+        stitch_fft::vectorops::ncc_vectorized(fa, fb, &mut self.work);
+        self.counters.count_elementwise();
+        self.fft.inverse(&self.work, &mut self.surface);
+        self.counters.count_inverse_fft();
+        let peaks = top_real_peaks(&self.surface, self.width, k);
+        self.counters.count_max_reduction();
+        peaks
+    }
+
+    /// Full pair computation with the scan-geometry constraint (see
+    /// [`PciamContext::displacement_oriented`]).
+    pub fn displacement_oriented(
+        &mut self,
+        fa: &[C64],
+        fb: &[C64],
+        img_a: &Image<u16>,
+        img_b: &Image<u16>,
+        kind: Option<PairKind>,
+    ) -> Displacement {
+        let peaks = self.correlation_peaks(fa, fb, DEFAULT_PEAK_COUNT);
+        let indices: Vec<usize> = peaks.iter().map(|&(i, _)| i).collect();
+        let d = resolve_peaks_oriented(&indices, self.width, self.height, img_a, img_b, kind);
+        self.counters.count_ccf_group();
+        d
+    }
+}
+
+/// Top-`k` |·| maxima of a real surface with Chebyshev suppression —
+/// the f64 twin of the complex path's peak extraction.
+fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
+    let gather = (4 * k).max(16);
+    let mut cand: Vec<(usize, f64)> = Vec::with_capacity(gather + 1);
+    let mut floor = f64::MIN;
+    for (i, &v) in data.iter().enumerate() {
+        let m = v.abs();
+        if m <= floor {
+            continue;
+        }
+        let pos = cand.partition_point(|&(_, cm)| cm >= m);
+        cand.insert(pos, (i, m));
+        if cand.len() > gather {
+            cand.pop();
+            floor = cand.last().unwrap().1;
+        }
+    }
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(k);
+    'cands: for (i, m) in cand {
+        let (x, y) = ((i % width) as i64, (i / width) as i64);
+        for &(j, _) in &out {
+            let (px, py) = ((j % width) as i64, (j / width) as i64);
+            if (x - px).abs() <= PEAK_SUPPRESSION_RADIUS && (y - py).abs() <= PEAK_SUPPRESSION_RADIUS
+            {
+                continue 'cands;
+            }
+        }
+        out.push((i, m));
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+/// Which transform path phase 1 uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TransformKind {
+    /// Full complex-to-complex transforms (the paper's implementation).
+    #[default]
+    Complex,
+    /// Real-to-complex half-spectrum transforms (§VI-A future work).
+    Real,
+    /// Complex transforms on mean-padded 7-smooth tiles (§VI-A future
+    /// work — faster radix schedules at a few % more pixels).
+    PaddedComplex,
+}
+
+/// A transform-path-agnostic PCIAM context: the stitcher implementations
+/// hold one of these and switch paths by configuration.
+pub enum Correlator {
+    /// Complex path.
+    Complex(PciamContext),
+    /// Half-spectrum path.
+    Real(RealPciamContext),
+    /// Padded-complex path.
+    Padded(PaddedPciamContext),
+}
+
+impl Correlator {
+    /// Builds the requested path.
+    pub fn new(
+        kind: TransformKind,
+        planner: &Planner,
+        width: usize,
+        height: usize,
+        counters: Arc<OpCounters>,
+    ) -> Correlator {
+        match kind {
+            TransformKind::Complex => {
+                Correlator::Complex(PciamContext::new(planner, width, height, counters))
+            }
+            TransformKind::Real => {
+                Correlator::Real(RealPciamContext::new(planner, width, height, counters))
+            }
+            TransformKind::PaddedComplex => {
+                Correlator::Padded(PaddedPciamContext::new(planner, width, height, counters))
+            }
+        }
+    }
+
+    /// Forward transform of a tile (full or half spectrum by path).
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+        match self {
+            Correlator::Complex(c) => c.forward_fft(img),
+            Correlator::Real(r) => r.forward_fft(img),
+            Correlator::Padded(p) => p.forward_fft(img),
+        }
+    }
+
+    /// Pair displacement with the scan-geometry constraint.
+    pub fn displacement_oriented(
+        &mut self,
+        fa: &[C64],
+        fb: &[C64],
+        img_a: &Image<u16>,
+        img_b: &Image<u16>,
+        kind: Option<PairKind>,
+    ) -> Displacement {
+        match self {
+            Correlator::Complex(c) => c.displacement_oriented(fa, fb, img_a, img_b, kind),
+            Correlator::Real(r) => r.displacement_oriented(fa, fb, img_a, img_b, kind),
+            Correlator::Padded(p) => p.displacement_oriented(fa, fb, img_a, img_b, kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_image::{Scene, SceneParams};
+
+    fn scene_pair(w: usize, h: usize, dx: i64, dy: i64) -> (Image<u16>, Image<u16>) {
+        let scene = Scene::generate(
+            w as f64 * 3.0,
+            h as f64 * 3.0,
+            SceneParams {
+                colony_count: 24,
+                seed: 4242,
+                ..SceneParams::default()
+            },
+        );
+        let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
+        let b = scene.render_region(w as f64 + dx as f64, h as f64 + dy as f64, w, h, 0.02, 30.0, 2);
+        (a, b)
+    }
+
+    #[test]
+    fn real_path_recovers_shift() {
+        let (w, h) = (96usize, 64usize);
+        let (a, b) = scene_pair(w, h, 70, 3);
+        let mut ctx = RealPciamContext::new(&Planner::default(), w, h, OpCounters::new_shared());
+        let fa = ctx.forward_fft(&a);
+        let fb = ctx.forward_fft(&b);
+        let d = ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West));
+        assert_eq!((d.x, d.y), (70, 3));
+    }
+
+    #[test]
+    fn real_and_complex_paths_agree() {
+        let (w, h) = (64usize, 48usize);
+        let planner = Planner::default();
+        for (dx, dy) in [(45i64, 2i64), (48, -3), (40, 0)] {
+            let (a, b) = scene_pair(w, h, dx, dy);
+            let mut cc = PciamContext::new(&planner, w, h, OpCounters::new_shared());
+            let fa = cc.forward_fft(&a);
+            let fb = cc.forward_fft(&b);
+            let d_complex = cc.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West));
+            let mut rc = RealPciamContext::new(&planner, w, h, OpCounters::new_shared());
+            let ra = rc.forward_fft(&a);
+            let rb = rc.forward_fft(&b);
+            let d_real = rc.displacement_oriented(&ra, &rb, &a, &b, Some(PairKind::West));
+            assert_eq!((d_real.x, d_real.y), (d_complex.x, d_complex.y), "({dx},{dy})");
+            assert!((d_real.correlation - d_complex.correlation).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn half_spectrum_is_smaller() {
+        let ctx = RealPciamContext::new(&Planner::default(), 96, 64, OpCounters::new_shared());
+        assert_eq!(ctx.spectrum_len(), (96 / 2 + 1) * 64);
+        assert!(ctx.spectrum_len() < 96 * 64);
+    }
+
+    #[test]
+    fn correlator_switches_paths() {
+        let (w, h) = (64usize, 48usize);
+        let (a, b) = scene_pair(w, h, 44, 1);
+        let planner = Planner::default();
+        let mut results = Vec::new();
+        for kind in [TransformKind::Complex, TransformKind::Real] {
+            let mut c = Correlator::new(kind, &planner, w, h, OpCounters::new_shared());
+            let fa = c.forward_fft(&a);
+            let fb = c.forward_fft(&b);
+            results.push(c.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West)));
+        }
+        assert_eq!((results[0].x, results[0].y), (results[1].x, results[1].y));
+        assert_eq!((results[0].x, results[0].y), (44, 1));
+    }
+
+    #[test]
+    fn top_real_peaks_suppression() {
+        let mut data = vec![0.0; 100]; // 10x10
+        data[5 * 10 + 5] = 10.0;
+        data[5 * 10 + 6] = 9.0; // within radius — suppressed
+        data[10 + 1] = 8.0;
+        let peaks = top_real_peaks(&data, 10, 3);
+        assert_eq!(peaks[0].0, 55);
+        assert_eq!(peaks[1].0, 11);
+    }
+}

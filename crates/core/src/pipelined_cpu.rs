@@ -1,0 +1,441 @@
+//! Pipelined-CPU: the CPU-only pipeline implementation (paper §IV-B).
+//!
+//! "To better compare CPU and GPU performance, we implemented a
+//! Pipelined-CPU version which includes all the memory mechanisms in its
+//! GPU counterpart. The CPU pipeline consists of three stages: reader,
+//! displacement/fft, and bookkeeping."
+//!
+//! Structure (all queues are bounded monitors from `stitch-pipeline`):
+//!
+//! ```text
+//! traversal ─Q01→ [reader ×R] ─Q12→ [fft/displacement ×N] ⇄ [bookkeeping ×1]
+//! ```
+//!
+//! * the reader loads tiles from disk, throttled by a transform-pool
+//!   semaphore — the CPU-side equivalent of the GPU buffer pool, sized
+//!   past the smallest grid dimension so chained-diagonal traversal can
+//!   always recycle (§IV-B);
+//! * fft/displacement workers either transform a tile (then notify
+//!   bookkeeping) or compute a ready pair's displacement;
+//! * bookkeeping owns the dependency state: when both transforms of an
+//!   adjacent pair exist it emits the pair computation, and it drops each
+//!   tile's resources when its reference count reaches zero — releasing a
+//!   pool permit back to the reader.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use stitch_fft::{PlanMode, Planner, C64};
+use stitch_gpu::semaphore::{OwnedPermit, Semaphore};
+use stitch_image::Image;
+
+use crate::grid::Traversal;
+use crate::opcount::OpCounters;
+use crate::pciam_real::{Correlator, TransformKind};
+use crate::source::TileSource;
+use crate::stitcher::{StitchResult, Stitcher};
+use crate::types::{Displacement, PairKind, TileId};
+use stitch_pipeline::{Pipeline, Queue};
+
+/// Configuration for the CPU pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelinedCpuConfig {
+    /// Worker threads in the fft/displacement stage.
+    pub threads: usize,
+    /// Reader threads.
+    pub read_threads: usize,
+    /// Transform pool size (max in-flight tiles); `None` sizes it from the
+    /// grid (`4·min_dim + 8` — host RAM affords slack well beyond the
+    /// paper's "exceed the smallest grid dimension" minimum, and a tight
+    /// pool stalls the reader on recycle latency).
+    pub pool_size: Option<usize>,
+    /// Traversal order feeding the reader.
+    pub traversal: Traversal,
+    /// FFT planning effort.
+    pub plan_mode: PlanMode,
+    /// Transform path: complex (paper) or real-to-complex (§VI-A).
+    pub transform: TransformKind,
+}
+
+impl PipelinedCpuConfig {
+    /// A sensible default with `threads` compute workers.
+    pub fn with_threads(threads: usize) -> PipelinedCpuConfig {
+        PipelinedCpuConfig {
+            threads,
+            read_threads: 1,
+            pool_size: None,
+            traversal: Traversal::ChainedDiagonal,
+            plan_mode: PlanMode::Estimate,
+            transform: TransformKind::Complex,
+        }
+    }
+}
+
+/// The Pipelined-CPU stitcher.
+pub struct PipelinedCpuStitcher {
+    config: PipelinedCpuConfig,
+}
+
+struct TileData {
+    img: Arc<Image<u16>>,
+    fft: Arc<Vec<C64>>,
+}
+
+/// Work items for the fft/displacement stage.
+enum Work {
+    /// Transform this freshly read tile.
+    Fft(TileId, Arc<Image<u16>>, OwnedPermit),
+    /// Both transforms are ready: compute the displacement.
+    Pair {
+        a: TileData,
+        b: TileData,
+        kind: PairKind,
+        slot: usize,
+    },
+}
+
+/// Bookkeeping input: a completed transform.
+struct FftDone {
+    id: TileId,
+    data: TileData,
+    permit: OwnedPermit,
+}
+
+struct BookEntry {
+    data: TileData,
+    remaining: usize,
+    _permit: OwnedPermit,
+}
+
+impl PipelinedCpuStitcher {
+    /// Creates a pipeline stitcher with `threads` compute workers.
+    pub fn new(threads: usize) -> PipelinedCpuStitcher {
+        Self::with_config(PipelinedCpuConfig::with_threads(threads))
+    }
+
+    /// Creates a pipeline stitcher with an explicit configuration.
+    pub fn with_config(config: PipelinedCpuConfig) -> PipelinedCpuStitcher {
+        assert!(config.threads >= 1 && config.read_threads >= 1);
+        PipelinedCpuStitcher { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelinedCpuConfig {
+        &self.config
+    }
+}
+
+impl Stitcher for PipelinedCpuStitcher {
+    fn name(&self) -> String {
+        format!("Pipelined-CPU({})", self.config.threads)
+    }
+
+    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+        let t0 = Instant::now();
+        let shape = source.shape();
+        let (w, h) = source.tile_dims();
+        if shape.tiles() == 0 {
+            return StitchResult::empty(shape);
+        }
+        let counters = OpCounters::new_shared();
+        let planner = Arc::new(Planner::new(self.config.plan_mode));
+        let pool_size = self
+            .config
+            .pool_size
+            .unwrap_or(4 * shape.rows.min(shape.cols) + 8)
+            .max(4);
+        let pool = Arc::new(Semaphore::new(pool_size));
+        let total_pairs = shape.pairs();
+        let total_tiles = shape.tiles();
+
+        let q_ids: Queue<TileId> = Queue::new(64);
+        let q_work: Queue<Work> = Queue::new((2 * pool_size).max(8));
+        let q_bk: Queue<FftDone> = Queue::new(pool_size.max(8));
+
+        let west: Arc<Mutex<Vec<Option<Displacement>>>> =
+            Arc::new(Mutex::new(vec![None; shape.tiles()]));
+        let north: Arc<Mutex<Vec<Option<Displacement>>>> =
+            Arc::new(Mutex::new(vec![None; shape.tiles()]));
+        let live_peak = Arc::new(AtomicUsize::new(0));
+
+        // The scoped-thread trick is unnecessary: the source reference only
+        // needs to outlive the pipeline, which `join` below guarantees.
+        std::thread::scope(|scope| {
+            let mut pipeline = Pipeline::new();
+
+            // Stage 0 — feed tile ids in traversal order.
+            {
+                let ids = self.config.traversal.order(shape);
+                let w_ids = q_ids.writer();
+                pipeline.add_source("traversal", move || {
+                    for id in ids {
+                        if !w_ids.push(id) {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            // Stage 1 — reader(s): disk → memory, throttled by the pool.
+            // `source` borrows the caller's TileSource; a scoped spawn
+            // inside Pipeline isn't possible, so readers run on scoped
+            // threads of our own mirroring a pipeline stage.
+            for _ in 0..self.config.read_threads {
+                let w_work = q_work.writer();
+                let pool = Arc::clone(&pool);
+                let counters = Arc::clone(&counters);
+                let q_ids = q_ids.clone();
+                scope.spawn(move || {
+                    while let Some(id) = q_ids.pop() {
+                        let permit = pool.acquire_owned();
+                        let img = Arc::new(source.load(id));
+                        counters.count_read();
+                        if !w_work.push(Work::Fft(id, img, permit)) {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            // Stage 2 — fft/displacement workers.
+            for t in 0..self.config.threads {
+                let q_work = q_work.clone();
+                let w_bk = q_bk.writer();
+                let planner = Arc::clone(&planner);
+                let counters = Arc::clone(&counters);
+                let west = Arc::clone(&west);
+                let north = Arc::clone(&north);
+                let _ = t;
+                let transform = self.config.transform;
+                scope.spawn(move || {
+                    let mut ctx =
+                        Correlator::new(transform, &planner, w, h, Arc::clone(&counters));
+                    while let Some(work) = q_work.pop() {
+                        match work {
+                            Work::Fft(id, img, permit) => {
+                                let fft = Arc::new(ctx.forward_fft(&img));
+                                let done = FftDone {
+                                    id,
+                                    data: TileData { img, fft },
+                                    permit,
+                                };
+                                if !w_bk.push(done) {
+                                    break;
+                                }
+                            }
+                            Work::Pair { a, b, kind, slot } => {
+                                let d = ctx.displacement_oriented(
+                                    &a.fft,
+                                    &b.fft,
+                                    &a.img,
+                                    &b.img,
+                                    Some(kind),
+                                );
+                                match kind {
+                                    PairKind::West => west.lock()[slot] = Some(d),
+                                    PairKind::North => north.lock()[slot] = Some(d),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Stage 3 — bookkeeping: dependency resolution + recycling.
+            {
+                let q_bk2 = q_bk.clone();
+                let w_work = q_work.writer();
+                let live_peak = Arc::clone(&live_peak);
+                scope.spawn(move || {
+                    let mut book: HashMap<TileId, BookEntry> = HashMap::new();
+                    let mut tiles_seen = 0usize;
+                    let mut pairs_emitted = 0usize;
+                    while let Some(done) = q_bk2.pop() {
+                        tiles_seen += 1;
+                        book.insert(
+                            done.id,
+                            BookEntry {
+                                data: done.data,
+                                remaining: shape.degree(done.id),
+                                _permit: done.permit,
+                            },
+                        );
+                        let peak = book.len();
+                        live_peak.fetch_max(peak, Ordering::Relaxed);
+                        let id = done.id;
+                        // emit every pair that just became ready
+                        let mut ready: Vec<(TileId, TileId, PairKind)> = Vec::with_capacity(4);
+                        for (a, b, kind) in [
+                            (shape.west(id), Some(id), PairKind::West),
+                            (shape.north(id), Some(id), PairKind::North),
+                            (Some(id), shape.east(id), PairKind::West),
+                            (Some(id), shape.south(id), PairKind::North),
+                        ] {
+                            if let (Some(a), Some(b)) = (a, b) {
+                                if book.contains_key(&a) && book.contains_key(&b) {
+                                    ready.push((a, b, kind));
+                                }
+                            }
+                        }
+                        for (a, b, kind) in ready {
+                            let work = Work::Pair {
+                                a: TileData {
+                                    img: Arc::clone(&book[&a].data.img),
+                                    fft: Arc::clone(&book[&a].data.fft),
+                                },
+                                b: TileData {
+                                    img: Arc::clone(&book[&b].data.img),
+                                    fft: Arc::clone(&book[&b].data.fft),
+                                },
+                                kind,
+                                slot: shape.index(b),
+                            };
+                            if !w_work.push(work) {
+                                return;
+                            }
+                            pairs_emitted += 1;
+                            for t in [a, b] {
+                                let e = book.get_mut(&t).expect("endpoint resident");
+                                e.remaining -= 1;
+                                if e.remaining == 0 {
+                                    book.remove(&t); // releases the pool permit
+                                }
+                            }
+                        }
+                        if tiles_seen == total_tiles && pairs_emitted == total_pairs {
+                            break; // all work emitted; drop our work-queue writer
+                        }
+                    }
+                });
+            }
+
+            pipeline.join();
+            // the scope now waits for reader/workers/bookkeeping threads
+        });
+
+        let mut result = StitchResult::empty(shape);
+        result.west = Arc::try_unwrap(west).expect("sole owner").into_inner();
+        result.north = Arc::try_unwrap(north).expect("sole owner").into_inner();
+        result.elapsed = t0.elapsed();
+        result.ops = counters.snapshot();
+        result.peak_live_tiles = live_peak.load(Ordering::Relaxed);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_cpu::SimpleCpuStitcher;
+    use crate::source::SyntheticSource;
+    use crate::stitcher::truth_vectors;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+
+    fn source(rows: usize, cols: usize, seed: u64) -> SyntheticSource {
+        SyntheticSource::new(SyntheticPlate::generate(ScanConfig {
+            grid_rows: rows,
+            grid_cols: cols,
+            tile_width: 64,
+            tile_height: 48,
+            overlap: 0.25,
+            stage_jitter: 2.0,
+            backlash_x: 1.0,
+            noise_sigma: 40.0,
+            vignette: 0.03,
+            seed,
+        }))
+    }
+
+    #[test]
+    fn matches_sequential() {
+        let src = source(3, 4, 51);
+        let seq = SimpleCpuStitcher::default().compute_displacements(&src);
+        for threads in [1, 2, 4] {
+            let r = PipelinedCpuStitcher::new(threads).compute_displacements(&src);
+            assert_eq!(r.west, seq.west, "threads={threads}");
+            assert_eq!(r.north, seq.north, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recovers_ground_truth() {
+        let src = source(4, 4, 52);
+        let r = PipelinedCpuStitcher::new(4).compute_displacements(&src);
+        assert!(r.is_complete());
+        let (tw, tn) = truth_vectors(src.plate());
+        assert_eq!(r.count_errors(&tw, &tn, 0), 0);
+    }
+
+    #[test]
+    fn pool_bounds_live_tiles() {
+        let src = source(4, 6, 53);
+        let cfg = PipelinedCpuConfig {
+            pool_size: Some(6),
+            ..PipelinedCpuConfig::with_threads(4)
+        };
+        let r = PipelinedCpuStitcher::with_config(cfg).compute_displacements(&src);
+        assert!(r.is_complete());
+        assert!(r.peak_live_tiles <= 6, "peak {} > pool 6", r.peak_live_tiles);
+    }
+
+    #[test]
+    fn minimal_pool_does_not_deadlock() {
+        let src = source(3, 8, 54);
+        // the paper requires the pool to exceed the smallest grid
+        // dimension; with eager pair completion two anti-diagonals can be
+        // live at once, so the safe minimum is 2·min_dim + 2
+        let cfg = PipelinedCpuConfig {
+            pool_size: Some(8),
+            ..PipelinedCpuConfig::with_threads(2)
+        };
+        let r = PipelinedCpuStitcher::with_config(cfg).compute_displacements(&src);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn op_counts_match_table1() {
+        let src = source(3, 3, 55);
+        let r = PipelinedCpuStitcher::new(2).compute_displacements(&src);
+        assert_eq!(r.ops, crate::opcount::OpCounts::predicted(3, 3));
+    }
+
+    #[test]
+    fn real_transform_path_matches_complex() {
+        use crate::pciam_real::TransformKind;
+        let src = source(3, 4, 57);
+        let complex = PipelinedCpuStitcher::new(2).compute_displacements(&src);
+        let real = PipelinedCpuStitcher::with_config(PipelinedCpuConfig {
+            transform: TransformKind::Real,
+            ..PipelinedCpuConfig::with_threads(2)
+        })
+        .compute_displacements(&src);
+        assert_eq!(real.west, complex.west);
+        assert_eq!(real.north, complex.north);
+    }
+
+    #[test]
+    fn multiple_reader_threads() {
+        let src = source(3, 4, 58);
+        let seq = PipelinedCpuStitcher::new(2).compute_displacements(&src);
+        let r = PipelinedCpuStitcher::with_config(PipelinedCpuConfig {
+            read_threads: 3,
+            ..PipelinedCpuConfig::with_threads(2)
+        })
+        .compute_displacements(&src);
+        assert_eq!(r.west, seq.west);
+        assert_eq!(r.north, seq.north);
+        assert_eq!(r.ops.reads, 12);
+    }
+
+    #[test]
+    fn single_tile_grid() {
+        let src = source(1, 1, 56);
+        let r = PipelinedCpuStitcher::new(2).compute_displacements(&src);
+        assert!(r.is_complete());
+        assert_eq!(r.ops.forward_ffts, 1);
+        assert_eq!(r.ops.inverse_ffts, 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Post-stitch quality metrics.
+//!
+//! The paper's motivation is *computational steering*: a biologist looks
+//! at a freshly stitched plate and decides whether to intervene. That
+//! only works if the stitch itself can be trusted, so the production tool
+//! this paper became (MIST) reports quality statistics alongside the
+//! mosaic. This module provides the same observability:
+//!
+//! * [`correlation_stats`] — distribution of the per-pair correlation
+//!   factors from phase 1 (low tail ⇒ featureless or failed overlaps);
+//! * [`seam_error`] — RMS pixel disagreement inside every overlap region
+//!   under the final absolute positions (the ground-truth-free check that
+//!   phase 2 produced a geometrically consistent mosaic);
+//! * [`coverage`] — fraction of the mosaic bounding box covered by at
+//!   least one tile (gaps ⇒ a tile was placed wildly wrong).
+
+use crate::global_opt::AbsolutePositions;
+use crate::source::TileSource;
+use crate::stitcher::StitchResult;
+
+/// Summary statistics of the phase-1 pair correlations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrelationStats {
+    /// Number of pairs with a computed displacement.
+    pub pairs: usize,
+    /// Lowest correlation.
+    pub min: f64,
+    /// Highest correlation.
+    pub max: f64,
+    /// Mean correlation.
+    pub mean: f64,
+    /// Median correlation.
+    pub median: f64,
+    /// Pairs below 0.5 — the suspicious tail phase 2 must referee.
+    pub weak_pairs: usize,
+}
+
+/// Computes [`CorrelationStats`] from a phase-1 result.
+pub fn correlation_stats(result: &StitchResult) -> CorrelationStats {
+    let mut cs: Vec<f64> = result
+        .west
+        .iter()
+        .chain(result.north.iter())
+        .flatten()
+        .map(|d| d.correlation)
+        .collect();
+    if cs.is_empty() {
+        return CorrelationStats {
+            pairs: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            median: 0.0,
+            weak_pairs: 0,
+        };
+    }
+    cs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = cs.len();
+    CorrelationStats {
+        pairs: n,
+        min: cs[0],
+        max: cs[n - 1],
+        mean: cs.iter().sum::<f64>() / n as f64,
+        median: cs[n / 2],
+        weak_pairs: cs.iter().filter(|&&c| c < 0.5).count(),
+    }
+}
+
+/// Seam disagreement between two placed tiles sharing an overlap, plus
+/// aggregate statistics across the grid.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeamError {
+    /// Number of overlapping adjacent pairs evaluated.
+    pub seams: usize,
+    /// Mean of the per-seam RMS pixel differences.
+    pub mean_rms: f64,
+    /// Worst per-seam RMS.
+    pub max_rms: f64,
+}
+
+/// Measures pixel disagreement in every adjacent overlap under
+/// `positions`. With correct positions this is sensor noise plus
+/// vignetting; a misplaced tile shows up as an outlier seam.
+pub fn seam_error(source: &dyn TileSource, positions: &AbsolutePositions) -> SeamError {
+    let shape = positions.shape;
+    let (tw, th) = source.tile_dims();
+    let mut rms_values: Vec<f64> = Vec::new();
+    for id in shape.ids() {
+        let img = source.load(id);
+        let (px, py) = positions.get(id);
+        for nb in [shape.west(id), shape.north(id)].into_iter().flatten() {
+            let nb_img = source.load(nb);
+            let (qx, qy) = positions.get(nb);
+            // overlap rectangle in plate coordinates
+            let x0 = px.max(qx);
+            let y0 = py.max(qy);
+            let x1 = (px + tw as i64).min(qx + tw as i64);
+            let y1 = (py + th as i64).min(qy + th as i64);
+            if x0 >= x1 || y0 >= y1 {
+                continue;
+            }
+            let mut sum_sq = 0.0f64;
+            let mut n = 0usize;
+            for gy in y0..y1 {
+                for gx in x0..x1 {
+                    let a = img.get((gx - px) as usize, (gy - py) as usize) as f64;
+                    let b = nb_img.get((gx - qx) as usize, (gy - qy) as usize) as f64;
+                    sum_sq += (a - b) * (a - b);
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                rms_values.push((sum_sq / n as f64).sqrt());
+            }
+        }
+    }
+    if rms_values.is_empty() {
+        return SeamError::default();
+    }
+    SeamError {
+        seams: rms_values.len(),
+        mean_rms: rms_values.iter().sum::<f64>() / rms_values.len() as f64,
+        max_rms: rms_values.iter().fold(0.0, |a, &b| a.max(b)),
+    }
+}
+
+/// Fraction of the mosaic bounding box covered by at least one tile.
+pub fn coverage(source: &dyn TileSource, positions: &AbsolutePositions) -> f64 {
+    let (tw, th) = source.tile_dims();
+    let (mw, mh) = positions.mosaic_dims(tw, th);
+    if mw == 0 || mh == 0 {
+        return 0.0;
+    }
+    // coarse grid-of-flags coverage at 1/4 resolution (exact enough for a
+    // gap detector, cheap at any mosaic size)
+    let step = 4usize;
+    let gw = mw.div_ceil(step);
+    let gh = mh.div_ceil(step);
+    let mut covered = vec![false; gw * gh];
+    for id in positions.shape.ids() {
+        let (px, py) = positions.get(id);
+        let gx0 = px as usize / step;
+        let gy0 = py as usize / step;
+        let gx1 = ((px as usize + tw).div_ceil(step)).min(gw);
+        let gy1 = ((py as usize + th).div_ceil(step)).min(gh);
+        for gy in gy0..gy1 {
+            for gx in gx0..gx1 {
+                covered[gy * gw + gx] = true;
+            }
+        }
+    }
+    covered.iter().filter(|&&c| c).count() as f64 / (gw * gh) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_opt::GlobalOptimizer;
+    use crate::prelude::*;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+
+    fn setup() -> (SyntheticSource, StitchResult, AbsolutePositions) {
+        let plate = SyntheticPlate::generate(ScanConfig {
+            grid_rows: 3,
+            grid_cols: 3,
+            tile_width: 64,
+            tile_height: 48,
+            overlap: 0.25,
+            stage_jitter: 2.0,
+            backlash_x: 1.0,
+            noise_sigma: 30.0,
+            vignette: 0.0,
+            seed: 99,
+        });
+        let src = SyntheticSource::new(plate);
+        let result = SimpleCpuStitcher::default().compute_displacements(&src);
+        let positions = GlobalOptimizer::default().solve(&result);
+        (src, result, positions)
+    }
+
+    #[test]
+    fn correlations_high_on_good_stitch() {
+        let (_, result, _) = setup();
+        let stats = correlation_stats(&result);
+        assert_eq!(stats.pairs, 12);
+        assert!(stats.median > 0.8, "median {}", stats.median);
+        assert!(stats.min > 0.5, "min {}", stats.min);
+        assert_eq!(stats.weak_pairs, 0);
+        assert!(stats.mean <= stats.max && stats.mean >= stats.min);
+    }
+
+    #[test]
+    fn seam_error_small_when_placed_correctly() {
+        let (src, _, positions) = setup();
+        let seams = seam_error(&src, &positions);
+        assert_eq!(seams.seams, 12);
+        // overlap disagreement ≈ independent sensor noise: √2·30 ≈ 42
+        assert!(seams.mean_rms < 80.0, "mean rms {}", seams.mean_rms);
+        assert!(seams.max_rms < 120.0, "max rms {}", seams.max_rms);
+    }
+
+    #[test]
+    fn misplacement_inflates_seam_error() {
+        let (src, _, mut positions) = setup();
+        let good = seam_error(&src, &positions).mean_rms;
+        // shove one tile 10 px off
+        let idx = positions.shape.index(TileId::new(1, 1));
+        positions.positions[idx].0 += 10;
+        let bad = seam_error(&src, &positions).mean_rms;
+        assert!(bad > good * 2.0, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn coverage_near_one_for_valid_grid() {
+        let (src, _, positions) = setup();
+        let c = coverage(&src, &positions);
+        assert!(c > 0.97, "coverage {c}");
+    }
+
+    #[test]
+    fn coverage_detects_runaway_tile() {
+        let (src, _, mut positions) = setup();
+        // a tile flung far away stretches the bounding box → coverage dives
+        let idx = positions.shape.index(TileId::new(2, 2));
+        positions.positions[idx] = (1000, 1000);
+        let c = coverage(&src, &positions);
+        assert!(c < 0.5, "coverage {c}");
+    }
+
+    #[test]
+    fn empty_result_stats() {
+        let stats = correlation_stats(&StitchResult::empty(GridShape::new(1, 1)));
+        assert_eq!(stats.pairs, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Simple-CPU: the sequential reference implementation (paper §IV-A).
+//!
+//! One thread walks the grid in a configurable traversal order, computes
+//! each tile's forward transform once, and frees it "as soon as the
+//! relative displacements of its eastern, southern, western, and northern
+//! neighbors were computed" — the early-release strategy whose
+//! effectiveness depends on the traversal order (chained-diagonal wins,
+//! and became the default).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use stitch_fft::{PlanMode, Planner, C64};
+use stitch_image::Image;
+
+use crate::grid::Traversal;
+use crate::opcount::OpCounters;
+use crate::pciam_real::{Correlator, TransformKind};
+use crate::source::TileSource;
+use crate::stitcher::{StitchResult, Stitcher};
+use crate::types::TileId;
+
+/// Sequential single-threaded stitcher.
+pub struct SimpleCpuStitcher {
+    traversal: Traversal,
+    plan_mode: PlanMode,
+    transform: TransformKind,
+}
+
+impl Default for SimpleCpuStitcher {
+    fn default() -> Self {
+        SimpleCpuStitcher::new(Traversal::ChainedDiagonal, PlanMode::Estimate)
+    }
+}
+
+/// A tile resident in memory: its pixels (needed by the CCF stage) and
+/// its forward transform, plus the outstanding-pair reference count.
+struct LiveTile {
+    img: Arc<Image<u16>>,
+    fft: Arc<Vec<C64>>,
+    remaining: usize,
+}
+
+impl SimpleCpuStitcher {
+    /// Creates a sequential stitcher with the given traversal order and
+    /// FFT planning effort.
+    pub fn new(traversal: Traversal, plan_mode: PlanMode) -> SimpleCpuStitcher {
+        SimpleCpuStitcher {
+            traversal,
+            plan_mode,
+            transform: TransformKind::Complex,
+        }
+    }
+
+    /// Switches phase 1 to the requested transform path (the §VI-A
+    /// real-to-complex optimization when [`TransformKind::Real`]).
+    pub fn with_transform(mut self, transform: TransformKind) -> SimpleCpuStitcher {
+        self.transform = transform;
+        self
+    }
+
+    /// The traversal order in use.
+    pub fn traversal(&self) -> Traversal {
+        self.traversal
+    }
+}
+
+impl Stitcher for SimpleCpuStitcher {
+    fn name(&self) -> String {
+        "Simple-CPU".to_string()
+    }
+
+    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+        let t0 = Instant::now();
+        let shape = source.shape();
+        let (w, h) = source.tile_dims();
+        let counters = OpCounters::new_shared();
+        let planner = Planner::new(self.plan_mode);
+        let mut ctx = Correlator::new(self.transform, &planner, w, h, Arc::clone(&counters));
+        let mut result = StitchResult::empty(shape);
+        let mut live: HashMap<TileId, LiveTile> = HashMap::new();
+        let mut peak_live = 0usize;
+
+        for id in self.traversal.order(shape) {
+            let img = Arc::new(source.load(id));
+            counters.count_read();
+            let fft = Arc::new(ctx.forward_fft(&img));
+            live.insert(
+                id,
+                LiveTile {
+                    img,
+                    fft,
+                    remaining: shape.degree(id),
+                },
+            );
+            peak_live = peak_live.max(live.len());
+
+            // complete every pair whose other endpoint is already resident
+            let mut done_pairs: Vec<(TileId, TileId, bool)> = Vec::with_capacity(4);
+            if let Some(west) = shape.west(id) {
+                if live.contains_key(&west) {
+                    done_pairs.push((west, id, true));
+                }
+            }
+            if let Some(north) = shape.north(id) {
+                if live.contains_key(&north) {
+                    done_pairs.push((north, id, false));
+                }
+            }
+            if let Some(east) = shape.east(id) {
+                if live.contains_key(&east) {
+                    done_pairs.push((id, east, true));
+                }
+            }
+            if let Some(south) = shape.south(id) {
+                if live.contains_key(&south) {
+                    done_pairs.push((id, south, false));
+                }
+            }
+            for (a, b, is_west_pair) in done_pairs {
+                let (fa, fb, ia, ib) = {
+                    let ta = &live[&a];
+                    let tb = &live[&b];
+                    (
+                        Arc::clone(&ta.fft),
+                        Arc::clone(&tb.fft),
+                        Arc::clone(&ta.img),
+                        Arc::clone(&tb.img),
+                    )
+                };
+                let kind = if is_west_pair { crate::types::PairKind::West } else { crate::types::PairKind::North };
+                let d = ctx.displacement_oriented(&fa, &fb, &ia, &ib, Some(kind));
+                let slot = shape.index(b);
+                if is_west_pair {
+                    result.west[slot] = Some(d);
+                } else {
+                    result.north[slot] = Some(d);
+                }
+                // decrement both endpoints; free at zero (the paper's
+                // early-release policy)
+                for t in [a, b] {
+                    let entry = live.get_mut(&t).expect("endpoint resident");
+                    entry.remaining -= 1;
+                    if entry.remaining == 0 {
+                        live.remove(&t);
+                    }
+                }
+            }
+        }
+        debug_assert!(live.is_empty(), "all transforms must be released");
+        result.elapsed = t0.elapsed();
+        result.ops = counters.snapshot();
+        result.peak_live_tiles = peak_live;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SyntheticSource;
+    use crate::stitcher::truth_vectors;
+    use stitch_image::{ScanConfig, SyntheticPlate};
+
+    pub(crate) fn test_plate(rows: usize, cols: usize) -> SyntheticPlate {
+        SyntheticPlate::generate(ScanConfig {
+            grid_rows: rows,
+            grid_cols: cols,
+            tile_width: 64,
+            tile_height: 48,
+            overlap: 0.25,
+            stage_jitter: 2.0,
+            backlash_x: 1.0,
+            noise_sigma: 40.0,
+            vignette: 0.03,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn recovers_ground_truth_exactly() {
+        let plate = test_plate(3, 4);
+        let src = SyntheticSource::new(plate);
+        let result = SimpleCpuStitcher::default().compute_displacements(&src);
+        assert!(result.is_complete());
+        let (tw, tn) = truth_vectors(src.plate());
+        assert_eq!(result.count_errors(&tw, &tn, 0), 0, "west={:?}", result.west);
+    }
+
+    #[test]
+    fn op_counts_match_table1() {
+        let plate = test_plate(3, 3);
+        let src = SyntheticSource::new(plate);
+        let result = SimpleCpuStitcher::default().compute_displacements(&src);
+        let predicted = crate::opcount::OpCounts::predicted(3, 3);
+        assert_eq!(result.ops, predicted);
+    }
+
+    #[test]
+    fn all_traversals_agree() {
+        let plate = test_plate(3, 3);
+        let src = SyntheticSource::new(plate);
+        let reference =
+            SimpleCpuStitcher::new(Traversal::Row, PlanMode::Estimate).compute_displacements(&src);
+        for t in Traversal::ALL {
+            let r = SimpleCpuStitcher::new(t, PlanMode::Estimate).compute_displacements(&src);
+            assert_eq!(r.west, reference.west, "{t:?}");
+            assert_eq!(r.north, reference.north, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn chained_diagonal_bounds_memory() {
+        let plate = test_plate(4, 6);
+        let src = SyntheticSource::new(plate);
+        let r = SimpleCpuStitcher::new(Traversal::ChainedDiagonal, PlanMode::Estimate)
+            .compute_displacements(&src);
+        // peak live tiles should stay near the smaller grid dimension
+        assert!(r.peak_live_tiles <= 2 * 4 + 2, "peak {}", r.peak_live_tiles);
+        let row = SimpleCpuStitcher::new(Traversal::Row, PlanMode::Estimate)
+            .compute_displacements(&src);
+        assert!(r.peak_live_tiles <= row.peak_live_tiles);
+    }
+
+    #[test]
+    fn real_transform_path_matches_complex() {
+        use crate::pciam_real::TransformKind;
+        let plate = test_plate(3, 4);
+        let src = SyntheticSource::new(plate);
+        let complex = SimpleCpuStitcher::default().compute_displacements(&src);
+        let real = SimpleCpuStitcher::default()
+            .with_transform(TransformKind::Real)
+            .compute_displacements(&src);
+        assert_eq!(real.west, complex.west);
+        assert_eq!(real.north, complex.north);
+        assert_eq!(real.ops, complex.ops, "same op counts, half the memory");
+    }
+
+    #[test]
+    fn padded_transform_path_matches_complex() {
+        use crate::pciam_real::TransformKind;
+        let plate = test_plate(3, 3);
+        let src = SyntheticSource::new(plate);
+        let complex = SimpleCpuStitcher::default().compute_displacements(&src);
+        let padded = SimpleCpuStitcher::default()
+            .with_transform(TransformKind::PaddedComplex)
+            .compute_displacements(&src);
+        assert_eq!(padded.west, complex.west);
+        assert_eq!(padded.north, complex.north);
+    }
+
+    #[test]
+    fn single_row_grid() {
+        let plate = test_plate(1, 5);
+        let src = SyntheticSource::new(plate);
+        let r = SimpleCpuStitcher::default().compute_displacements(&src);
+        assert!(r.is_complete());
+        assert!(r.north.iter().all(|d| d.is_none()));
+        assert_eq!(r.west.iter().filter(|d| d.is_some()).count(), 4);
+    }
+}

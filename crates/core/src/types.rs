@@ -1,0 +1,76 @@
+//! Shared value types of the stitching computation.
+
+use std::fmt;
+
+/// Identifies one tile by its grid coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TileId {
+    /// Grid row (0 at the top).
+    pub row: usize,
+    /// Grid column (0 at the left).
+    pub col: usize,
+}
+
+impl TileId {
+    /// Constructs a tile id.
+    pub fn new(row: usize, col: usize) -> TileId {
+        TileId { row, col }
+    }
+
+    /// Row-major flat index within an `rows × cols` grid.
+    pub fn index(&self, cols: usize) -> usize {
+        self.row * cols + self.col
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// Which neighbor a pairwise displacement relates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PairKind {
+    /// Tile vs its western neighbor (same row, col−1).
+    West,
+    /// Tile vs its northern neighbor (row−1, same col).
+    North,
+}
+
+/// A relative displacement between two adjacent tiles, with the
+/// cross-correlation quality that selected it (paper Fig 2 output tuple:
+/// max correlation, x-disp, y-disp).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Displacement {
+    /// Signed x displacement in pixels.
+    pub x: i64,
+    /// Signed y displacement in pixels.
+    pub y: i64,
+    /// Normalized cross-correlation factor of the winning interpretation,
+    /// in `[-1, 1]`.
+    pub correlation: f64,
+}
+
+impl Displacement {
+    /// Constructs a displacement.
+    pub fn new(x: i64, y: i64, correlation: f64) -> Displacement {
+        Displacement { x, y, correlation }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_id_index() {
+        assert_eq!(TileId::new(0, 0).index(10), 0);
+        assert_eq!(TileId::new(2, 3).index(10), 23);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TileId::new(4, 7).to_string(), "(4,7)");
+    }
+}

@@ -1,0 +1,185 @@
+//! Bluestein (chirp-z) transform for lengths with large prime factors.
+//!
+//! Rewrites an arbitrary-length DFT as a linear convolution, which is then
+//! evaluated with a power-of-two FFT of size ≥ 2n−1. This is what lets the
+//! library accept *any* tile dimension, just as FFTW does — the paper's
+//! microscopy tiles (1392×1040) are not guaranteed to have friendly sizes
+//! (§III: "there is no guarantee that the partial images will have such
+//! nice dimensions").
+
+use crate::complex::C64;
+use crate::factor::next_pow2;
+use crate::radix::{Direction, MixedRadixPlan};
+
+/// A Bluestein FFT plan for one fixed length and direction.
+pub struct BluesteinPlan {
+    n: usize,
+    direction: Direction,
+    /// Convolution FFT size: power of two ≥ 2n−1.
+    m: usize,
+    /// Chirp `w[k] = e^{sign·πi·k²/n}` for k in 0..n.
+    chirp: Vec<C64>,
+    /// Pre-transformed convolution kernel: `FFT_m(b)` where
+    /// `b[k] = conj(chirp[k])` wrapped circularly.
+    kernel_freq: Vec<C64>,
+    fwd: MixedRadixPlan,
+    inv: MixedRadixPlan,
+}
+
+impl BluesteinPlan {
+    /// Plans a length-`n` transform. Works for every `n ≥ 1`.
+    pub fn new(n: usize, direction: Direction) -> BluesteinPlan {
+        assert!(n > 0, "transform length must be positive");
+        let m = next_pow2(2 * n - 1);
+        let sign = direction.sign();
+        // chirp[k] = e^{sign·πi·k²/n}; compute k² mod 2n to avoid precision
+        // loss from huge k² arguments.
+        let step = sign * std::f64::consts::PI / n as f64;
+        let chirp: Vec<C64> = (0..n)
+            .map(|k| {
+                let k2 = (k * k) % (2 * n);
+                C64::cis(step * k2 as f64)
+            })
+            .collect();
+        let fwd = MixedRadixPlan::new(m, Direction::Forward);
+        let inv = MixedRadixPlan::new(m, Direction::Inverse);
+        // b[k] = conj(chirp[|k|]) placed circularly at indices k and m−k.
+        let mut b = vec![C64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            let v = chirp[k].conj();
+            b[k] = v;
+            b[m - k] = v;
+        }
+        let mut kernel_freq = vec![C64::ZERO; m];
+        fwd.process(&b, &mut kernel_freq);
+        BluesteinPlan {
+            n,
+            direction,
+            m,
+            chirp,
+            kernel_freq,
+            fwd,
+            inv,
+        }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate length-0 case (never constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Plan direction.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Inner convolution length (power of two).
+    #[inline]
+    pub fn conv_len(&self) -> usize {
+        self.m
+    }
+
+    /// Executes the transform out-of-place; `input` is left untouched.
+    pub fn process(&self, input: &[C64], output: &mut [C64]) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(output.len(), self.n);
+        let m = self.m;
+        // a[k] = x[k]·chirp[k], zero-padded to m.
+        let mut a = vec![C64::ZERO; m];
+        for k in 0..self.n {
+            a[k] = input[k] * self.chirp[k];
+        }
+        let mut freq = vec![C64::ZERO; m];
+        self.fwd.process(&a, &mut freq);
+        for (f, k) in freq.iter_mut().zip(&self.kernel_freq) {
+            *f *= *k;
+        }
+        self.inv.process(&freq, &mut a);
+        let scale = 1.0 / m as f64;
+        for j in 0..self.n {
+            output[j] = a[j].scale(scale) * self.chirp[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::radix::dft_naive;
+
+    fn ramp(n: usize) -> Vec<C64> {
+        (0..n).map(|k| c64((k % 7) as f64 - 3.0, (k % 5) as f64 * 0.25)).collect()
+    }
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_for_primes() {
+        for n in [2usize, 3, 5, 37, 97, 101, 211] {
+            let x = ramp(n);
+            let mut fast = vec![C64::ZERO; n];
+            let mut slow = vec![C64::ZERO; n];
+            for dir in [Direction::Forward, Direction::Inverse] {
+                BluesteinPlan::new(n, dir).process(&x, &mut fast);
+                dft_naive(&x, &mut slow, dir);
+                assert!(max_err(&fast, &slow) < 1e-8 * n as f64, "n={n} dir={dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_composites() {
+        // Bluestein must be correct for smooth sizes too (planner may pick it).
+        for n in [1usize, 4, 12, 100, 360] {
+            let x = ramp(n);
+            let mut fast = vec![C64::ZERO; n];
+            let mut slow = vec![C64::ZERO; n];
+            BluesteinPlan::new(n, Direction::Forward).process(&x, &mut fast);
+            dft_naive(&x, &mut slow, Direction::Forward);
+            assert!(max_err(&fast, &slow) < 1e-8 * (n.max(2)) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_scales_by_n() {
+        for n in [53usize, 149] {
+            let x = ramp(n);
+            let mut freq = vec![C64::ZERO; n];
+            let mut back = vec![C64::ZERO; n];
+            BluesteinPlan::new(n, Direction::Forward).process(&x, &mut freq);
+            BluesteinPlan::new(n, Direction::Inverse).process(&freq, &mut back);
+            let scaled: Vec<C64> = x.iter().map(|z| z.scale(n as f64)).collect();
+            assert!(max_err(&back, &scaled) < 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn conv_len_is_pow2_and_big_enough() {
+        for n in [7usize, 31, 97, 1000] {
+            let p = BluesteinPlan::new(n, Direction::Forward);
+            assert!(p.conv_len().is_power_of_two());
+            assert!(p.conv_len() >= 2 * n - 1);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let p = BluesteinPlan::new(1, Direction::Forward);
+        let x = [c64(2.5, -1.5)];
+        let mut out = [C64::ZERO];
+        p.process(&x, &mut out);
+        assert!((out[0] - x[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Integer factorization helpers used by the planner.
+//!
+//! FFTW-style libraries are fast when the transform length factors into
+//! small primes (the paper notes tiles of 1392×1040 = 2⁴·3·29 × 2⁴·5·13 do
+//! "not play well" with divide-and-conquer FFTs, §IV-A). The planner uses
+//! these helpers to decide between the mixed-radix path and Bluestein.
+
+/// Largest prime handled by the generic small-prime codelet. Primes above
+/// this force a Bluestein plan. 31 comfortably covers microscopy camera
+/// dimensions such as 1392 = 2⁴·3·29.
+pub const MAX_NAIVE_PRIME: usize = 31;
+
+/// Returns the prime factorization of `n` in non-decreasing order.
+/// `factorize(1)` is empty; `factorize(0)` panics.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot factorize 0");
+    let mut out = Vec::new();
+    while n.is_multiple_of(2) {
+        out.push(2);
+        n /= 2;
+    }
+    let mut p = 3;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            out.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Builds the radix schedule for a mixed-radix plan: prime factors with
+/// pairs of 2s fused into radix-4 stages (radix-4 butterflies do the same
+/// work with fewer twiddle loads). Larger factors are placed first so the
+/// recursion's leaf transforms are the cheap power-of-two ones.
+pub fn radix_schedule(n: usize) -> Vec<usize> {
+    let primes = factorize(n);
+    let twos = primes.iter().filter(|&&p| p == 2).count();
+    let mut sched: Vec<usize> = primes.into_iter().filter(|&p| p != 2).collect();
+    // fuse 2·2 → 4
+    #[allow(clippy::same_item_push)] // one radix-4 stage per fused pair
+    for _ in 0..twos / 2 {
+        sched.push(4);
+    }
+    if twos % 2 == 1 {
+        sched.push(2);
+    }
+    sched.sort_unstable_by(|a, b| b.cmp(a));
+    sched
+}
+
+/// True if every prime factor of `n` is ≤ [`MAX_NAIVE_PRIME`], i.e. the
+/// mixed-radix path can handle it without Bluestein.
+pub fn is_smooth(n: usize) -> bool {
+    n > 0 && factorize(n).iter().all(|&p| p <= MAX_NAIVE_PRIME)
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Smallest integer ≥ `n` whose prime factors are all in {2, 3, 5, 7}
+/// (a "7-smooth" size). Used by the padding ablation (§VI-A: padding tiles
+/// to small-prime sizes speeds up FFTW/cuFFT).
+pub fn next_smooth(n: usize) -> usize {
+    let mut m = n;
+    loop {
+        let mut k = m;
+        for p in [2usize, 3, 5, 7] {
+            while k.is_multiple_of(p) {
+                k /= p;
+            }
+        }
+        if k == 1 {
+            return m;
+        }
+        m += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_basic() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(12), vec![2, 2, 3]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(1392), vec![2, 2, 2, 2, 3, 29]);
+        assert_eq!(factorize(1040), vec![2, 2, 2, 2, 5, 13]);
+    }
+
+    #[test]
+    fn factorize_product_reconstructs() {
+        for n in 1..2000 {
+            let p: usize = factorize(n).iter().product();
+            assert_eq!(p, n);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn factorize_zero_panics() {
+        factorize(0);
+    }
+
+    #[test]
+    fn schedule_fuses_radix4() {
+        // 16 = 4 * 4
+        assert_eq!(radix_schedule(16), vec![4, 4]);
+        // 8 = 4 * 2
+        assert_eq!(radix_schedule(8), vec![4, 2]);
+        // 1392 = 29 * 4 * 4 * 3
+        assert_eq!(radix_schedule(1392), vec![29, 4, 4, 3]);
+    }
+
+    #[test]
+    fn schedule_product_is_n() {
+        for n in 1..500 {
+            let p: usize = radix_schedule(n).iter().product();
+            assert_eq!(p, n, "schedule for {n}");
+        }
+    }
+
+    #[test]
+    fn smoothness() {
+        assert!(is_smooth(1392)); // 29 ≤ 31
+        assert!(is_smooth(1040));
+        assert!(!is_smooth(97)); // prime > 31
+        assert!(is_smooth(1));
+    }
+
+    #[test]
+    fn next_smooth_values() {
+        assert_eq!(next_smooth(1), 1);
+        assert_eq!(next_smooth(11), 12);
+        assert_eq!(next_smooth(1392), 1400); // 2^3 · 5^2 · 7
+        assert_eq!(next_smooth(1040), 1050); // 2 · 3 · 5^2 · 7
+        // result is always 7-smooth and >= input
+        for n in 1..3000 {
+            let m = next_smooth(n);
+            assert!(m >= n);
+            let mut k = m;
+            for p in [2usize, 3, 5, 7] {
+                while k.is_multiple_of(p) {
+                    k /= p;
+                }
+            }
+            assert_eq!(k, 1);
+        }
+    }
+
+    #[test]
+    fn pow2() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+}

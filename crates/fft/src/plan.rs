@@ -1,0 +1,319 @@
+//! FFTW-style planner with Estimate / Measure / Patient modes and a
+//! process-wide plan cache.
+//!
+//! The paper (§IV-A) reports that FFTW's *patient* planning mode yielded a
+//! 2x execution improvement over *estimate* mode for its 1392×1040 tiles,
+//! at a one-time planning cost that is amortized across thousands of
+//! transforms. This module reproduces that trade-off: Estimate picks the
+//! default radix schedule heuristically; Measure and Patient time candidate
+//! schedules on scratch data and keep the fastest, with Patient exploring a
+//! larger candidate set.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::bluestein::BluesteinPlan;
+use crate::complex::{c64, C64};
+use crate::factor::{is_smooth, radix_schedule};
+use crate::radix::{Direction, MixedRadixPlan};
+
+/// How much effort the planner spends searching for a fast plan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PlanMode {
+    /// Use the default schedule without measuring. Cheapest to plan,
+    /// potentially slower to execute.
+    #[default]
+    Estimate,
+    /// Time a small set of candidate schedules and keep the fastest.
+    Measure,
+    /// Time a wider set of candidate schedules (FFTW's `FFTW_PATIENT`).
+    Patient,
+}
+
+impl PlanMode {
+    /// Number of timing repetitions per candidate.
+    fn reps(self) -> usize {
+        match self {
+            PlanMode::Estimate => 0,
+            PlanMode::Measure => 2,
+            PlanMode::Patient => 4,
+        }
+    }
+}
+
+/// A ready-to-execute 1-D FFT plan: mixed-radix when the length is smooth,
+/// Bluestein otherwise. Immutable and shareable across threads.
+pub enum FftPlan {
+    /// Cooley-Tukey mixed-radix plan.
+    MixedRadix(MixedRadixPlan),
+    /// Chirp-z plan for lengths with large prime factors.
+    Bluestein(BluesteinPlan),
+}
+
+impl FftPlan {
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        match self {
+            FftPlan::MixedRadix(p) => p.len(),
+            FftPlan::Bluestein(p) => p.len(),
+        }
+    }
+
+    /// True only for the degenerate length-0 case (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plan direction.
+    pub fn direction(&self) -> Direction {
+        match self {
+            FftPlan::MixedRadix(p) => p.direction(),
+            FftPlan::Bluestein(p) => p.direction(),
+        }
+    }
+
+    /// Executes out-of-place; `input` is left untouched. Unscaled in both
+    /// directions (FFTW convention): `inverse(forward(x)) = n·x`.
+    pub fn process(&self, input: &[C64], output: &mut [C64]) {
+        match self {
+            FftPlan::MixedRadix(p) => p.process(input, output),
+            FftPlan::Bluestein(p) => p.process(input, output),
+        }
+    }
+}
+
+/// Plans 1-D FFTs and caches them by `(len, direction)`.
+///
+/// A `Planner` is cheap to clone conceptually — use one per process (or
+/// [`global_planner`]) so planning cost is paid once, as the pipeline
+/// implementations in `stitch-core` do.
+pub struct Planner {
+    mode: PlanMode,
+    cache: Mutex<HashMap<(usize, Direction), Arc<FftPlan>>>,
+    /// Cumulative wall time spent planning (the §IV-A "patient planning
+    /// took 4min20s" cost — observable so benches can report it).
+    planning_nanos: Mutex<u128>,
+}
+
+impl Planner {
+    /// Creates a planner with the given search effort.
+    pub fn new(mode: PlanMode) -> Planner {
+        Planner {
+            mode,
+            cache: Mutex::new(HashMap::new()),
+            planning_nanos: Mutex::new(0),
+        }
+    }
+
+    /// The planner's search mode.
+    pub fn mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// Total time spent planning so far, in nanoseconds.
+    pub fn planning_nanos(&self) -> u128 {
+        *self.planning_nanos.lock().unwrap()
+    }
+
+    /// Number of distinct plans in the cache.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Returns the plan for `(n, dir)`, planning and caching it on first use.
+    pub fn plan(&self, n: usize, dir: Direction) -> Arc<FftPlan> {
+        if let Some(p) = self.cache.lock().unwrap().get(&(n, dir)) {
+            return Arc::clone(p);
+        }
+        let t0 = Instant::now();
+        let plan = Arc::new(self.build(n, dir));
+        *self.planning_nanos.lock().unwrap() += t0.elapsed().as_nanos();
+        self.cache
+            .lock()
+            .unwrap()
+            .entry((n, dir))
+            .or_insert(plan)
+            .clone()
+    }
+
+    fn build(&self, n: usize, dir: Direction) -> FftPlan {
+        if !is_smooth(n) {
+            return FftPlan::Bluestein(BluesteinPlan::new(n, dir));
+        }
+        let default = radix_schedule(n);
+        let candidates = match self.mode {
+            PlanMode::Estimate => vec![default],
+            PlanMode::Measure | PlanMode::Patient => {
+                let mut c = schedule_candidates(&default);
+                if self.mode == PlanMode::Measure {
+                    c.truncate(3);
+                }
+                c
+            }
+        };
+        if candidates.len() == 1 {
+            return FftPlan::MixedRadix(MixedRadixPlan::with_schedule(
+                n,
+                dir,
+                candidates.into_iter().next().unwrap(),
+            ));
+        }
+        // Time each candidate on scratch data; keep the fastest.
+        let input: Vec<C64> = (0..n).map(|k| c64((k % 13) as f64, (k % 7) as f64)).collect();
+        let mut output = vec![C64::ZERO; n];
+        let reps = self.mode.reps();
+        let mut best: Option<(u128, MixedRadixPlan)> = None;
+        for sched in candidates {
+            let plan = MixedRadixPlan::with_schedule(n, dir, sched);
+            plan.process(&input, &mut output); // warm-up
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                plan.process(&input, &mut output);
+            }
+            let cost = t0.elapsed().as_nanos();
+            if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                best = Some((cost, plan));
+            }
+        }
+        FftPlan::MixedRadix(best.expect("at least one candidate").1)
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new(PlanMode::Estimate)
+    }
+}
+
+/// Candidate schedule orderings derived from the default: descending,
+/// ascending, and rotations placing each distinct radix first.
+fn schedule_candidates(default: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = vec![default.to_vec()];
+    let mut asc = default.to_vec();
+    asc.sort_unstable();
+    if asc != default {
+        out.push(asc);
+    }
+    let mut seen_first: Vec<usize> = out.iter().map(|s| s[0]).collect();
+    for (i, &r) in default.iter().enumerate() {
+        if !seen_first.contains(&r) {
+            let mut s = default.to_vec();
+            s.rotate_left(i);
+            seen_first.push(r);
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Process-wide planner in Estimate mode. The pipeline implementations use
+/// per-stitcher planners; the global one serves quick one-off transforms.
+pub fn global_planner() -> &'static Planner {
+    static PLANNER: OnceLock<Planner> = OnceLock::new();
+    PLANNER.get_or_init(Planner::default)
+}
+
+/// Convenience: forward FFT of `input` (allocating).
+pub fn fft_forward(input: &[C64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; input.len()];
+    if input.is_empty() {
+        return out;
+    }
+    global_planner()
+        .plan(input.len(), Direction::Forward)
+        .process(input, &mut out);
+    out
+}
+
+/// Convenience: *scaled* inverse FFT of `input` (allocating), so
+/// `fft_inverse(fft_forward(x)) ≈ x`.
+pub fn fft_inverse(input: &[C64]) -> Vec<C64> {
+    let n = input.len();
+    let mut out = vec![C64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    global_planner()
+        .plan(n, Direction::Inverse)
+        .process(input, &mut out);
+    let s = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix::dft_naive;
+
+    fn ramp(n: usize) -> Vec<C64> {
+        (0..n).map(|k| c64((k % 11) as f64 - 5.0, (k % 3) as f64)).collect()
+    }
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn planner_routes_smooth_to_mixed_radix() {
+        let p = Planner::default();
+        assert!(matches!(*p.plan(1392, Direction::Forward), FftPlan::MixedRadix(_)));
+        assert!(matches!(*p.plan(97, Direction::Forward), FftPlan::Bluestein(_)));
+    }
+
+    #[test]
+    fn cache_returns_same_plan() {
+        let p = Planner::default();
+        let a = p.plan(256, Direction::Forward);
+        let b = p.plan(256, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(p.cached_plans(), 1);
+        p.plan(256, Direction::Inverse);
+        assert_eq!(p.cached_plans(), 2);
+    }
+
+    #[test]
+    fn all_modes_agree_with_naive() {
+        let n = 120;
+        let x = ramp(n);
+        let mut slow = vec![C64::ZERO; n];
+        dft_naive(&x, &mut slow, Direction::Forward);
+        for mode in [PlanMode::Estimate, PlanMode::Measure, PlanMode::Patient] {
+            let p = Planner::new(mode);
+            let mut fast = vec![C64::ZERO; n];
+            p.plan(n, Direction::Forward).process(&x, &mut fast);
+            assert!(max_err(&fast, &slow) < 1e-9, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn measured_modes_record_planning_time() {
+        let p = Planner::new(PlanMode::Patient);
+        p.plan(360, Direction::Forward);
+        assert!(p.planning_nanos() > 0);
+    }
+
+    #[test]
+    fn convenience_round_trip() {
+        let x = ramp(90);
+        let back = fft_inverse(&fft_forward(&x));
+        assert!(max_err(&back, &x) < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(fft_forward(&[]).is_empty());
+        assert!(fft_inverse(&[]).is_empty());
+    }
+
+    #[test]
+    fn candidates_all_valid() {
+        let d = radix_schedule(720);
+        for c in schedule_candidates(&d) {
+            assert_eq!(c.iter().product::<usize>(), 720);
+        }
+    }
+}

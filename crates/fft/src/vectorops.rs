@@ -1,0 +1,252 @@
+//! Hand-vectorized element-wise kernels.
+//!
+//! The paper found GCC 4.6 would not auto-vectorize the stitching
+//! computation's two hot element-wise loops and coded them "with SSE
+//! intrinsics" (§IV-A): the normalized conjugate multiplication (the NCC,
+//! step 4 of Fig 2) and the max reduction (step 5). Rust/LLVM vectorizes
+//! far more readily, but the same loops still benefit from being written
+//! in an explicitly unrollable, dependency-free form: fixed-width chunks
+//! with independent accumulator lanes, exactly the shape the paper's
+//! intrinsics imposed. Scalar reference versions stay next to them and
+//! the tests pin them bit-for-bit (the reductions) or to 1 ulp (the
+//! normalized products).
+
+use crate::complex::C64;
+
+/// Accumulator lanes for the reductions. Four independent chains of
+/// `f64` max operations keep the loop free of a serial dependency, the
+/// same trick as the paper's SSE reduction (and Harris's CUDA one).
+const LANES: usize = 4;
+
+/// Scalar reference: `out[i] = a[i]·conj(b[i]) / |a[i]·conj(b[i])|`,
+/// zero where the product magnitude underflows.
+pub fn ncc_scalar(a: &[C64], b: &[C64], out: &mut [C64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        let fc = a[i] * b[i].conj();
+        let mag = fc.abs();
+        out[i] = if mag > 1e-300 { fc.scale(1.0 / mag) } else { C64::ZERO };
+    }
+}
+
+/// Vector-shaped NCC: the same computation in stride-[`LANES`] chunks
+/// with no cross-iteration dependencies, so LLVM emits packed SIMD for
+/// the multiply/normalize pipeline.
+pub fn ncc_vectorized(a: &[C64], b: &[C64], out: &mut [C64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    let chunks = a.len() / LANES;
+    let (a_main, a_rest) = a.split_at(chunks * LANES);
+    let (b_main, b_rest) = b.split_at(chunks * LANES);
+    let (o_main, o_rest) = out.split_at_mut(chunks * LANES);
+    for ((ac, bc), oc) in a_main
+        .chunks_exact(LANES)
+        .zip(b_main.chunks_exact(LANES))
+        .zip(o_main.chunks_exact_mut(LANES))
+    {
+        // one independent multiply+normalize per lane
+        for l in 0..LANES {
+            let re = ac[l].re * bc[l].re + ac[l].im * bc[l].im;
+            let im = ac[l].im * bc[l].re - ac[l].re * bc[l].im;
+            let mag = (re * re + im * im).sqrt();
+            oc[l] = if mag > 1e-300 {
+                C64 {
+                    re: re / mag,
+                    im: im / mag,
+                }
+            } else {
+                C64::ZERO
+            };
+        }
+    }
+    ncc_scalar(a_rest, b_rest, o_rest);
+}
+
+/// Scalar reference: index and squared magnitude of the largest |·|².
+pub fn max_norm_sqr_scalar(data: &[C64]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_m = f64::MIN;
+    for (i, v) in data.iter().enumerate() {
+        let m = v.norm_sqr();
+        if m > best_m {
+            best_m = m;
+            best = i;
+        }
+    }
+    (best, best_m)
+}
+
+/// Vector-shaped max reduction: four independent lanes, merged at the
+/// end. Ties resolve to the lowest index, matching the scalar reference
+/// exactly.
+pub fn max_norm_sqr_vectorized(data: &[C64]) -> (usize, f64) {
+    if data.is_empty() {
+        return (0, f64::MIN);
+    }
+    let chunks = data.len() / LANES;
+    let mut lane_best = [f64::MIN; LANES];
+    let mut lane_idx = [0usize; LANES];
+    for (c, chunk) in data[..chunks * LANES].chunks_exact(LANES).enumerate() {
+        for l in 0..LANES {
+            let m = chunk[l].norm_sqr();
+            // strict '>' keeps the earliest index on ties, per lane
+            if m > lane_best[l] {
+                lane_best[l] = m;
+                lane_idx[l] = c * LANES + l;
+            }
+        }
+    }
+    let mut best = 0usize;
+    let mut best_m = f64::MIN;
+    for l in 0..LANES {
+        if lane_best[l] > best_m || (lane_best[l] == best_m && lane_idx[l] < best) {
+            best_m = lane_best[l];
+            best = lane_idx[l];
+        }
+    }
+    for (i, v) in data.iter().enumerate().skip(chunks * LANES) {
+        let m = v.norm_sqr();
+        if m > best_m {
+            best_m = m;
+            best = i;
+        }
+    }
+    (best, best_m)
+}
+
+/// Scalar reference: centered dot-product accumulators for the CCF
+/// (Σa, Σb, Σab, Σa², Σb² over pre-centered values).
+pub fn comoment_scalar(a: &[f64], b: &[f64]) -> [f64; 5] {
+    assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 5];
+    for i in 0..a.len() {
+        acc[0] += a[i];
+        acc[1] += b[i];
+        acc[2] += a[i] * b[i];
+        acc[3] += a[i] * a[i];
+        acc[4] += b[i] * b[i];
+    }
+    acc
+}
+
+/// Vector-shaped co-moment accumulation with [`LANES`] independent
+/// accumulator sets. Summation order differs from the scalar version,
+/// so results agree to floating-point re-association (tests allow 1e-9
+/// relative).
+pub fn comoment_vectorized(a: &[f64], b: &[f64]) -> [f64; 5] {
+    assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let mut lanes = [[0.0f64; 5]; LANES];
+    for (ac, bc) in a[..chunks * LANES]
+        .chunks_exact(LANES)
+        .zip(b[..chunks * LANES].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            lanes[l][0] += ac[l];
+            lanes[l][1] += bc[l];
+            lanes[l][2] += ac[l] * bc[l];
+            lanes[l][3] += ac[l] * ac[l];
+            lanes[l][4] += bc[l] * bc[l];
+        }
+    }
+    let mut acc = [0.0f64; 5];
+    for lane in lanes {
+        for k in 0..5 {
+            acc[k] += lane[k];
+        }
+    }
+    let tail = comoment_scalar(&a[chunks * LANES..], &b[chunks * LANES..]);
+    for k in 0..5 {
+        acc[k] += tail[k];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn data(n: usize, seed: u64) -> Vec<C64> {
+        (0..n)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                c64(
+                    ((v >> 16) % 2000) as f64 / 10.0 - 100.0,
+                    ((v >> 40) % 2000) as f64 / 10.0 - 100.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ncc_matches_scalar() {
+        for n in [0usize, 1, 3, 4, 7, 64, 1001] {
+            let a = data(n, 1);
+            let b = data(n, 2);
+            let mut s = vec![C64::ZERO; n];
+            let mut v = vec![C64::ZERO; n];
+            ncc_scalar(&a, &b, &mut s);
+            ncc_vectorized(&a, &b, &mut v);
+            for i in 0..n {
+                assert!((s[i] - v[i]).abs() < 1e-12, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ncc_zero_product_stays_zero() {
+        let a = vec![C64::ZERO; 9];
+        let b = data(9, 3);
+        let mut out = vec![c64(9.0, 9.0); 9];
+        ncc_vectorized(&a, &b, &mut out);
+        assert!(out.iter().all(|&v| v == C64::ZERO));
+    }
+
+    #[test]
+    fn max_matches_scalar_exactly() {
+        for n in [1usize, 2, 4, 5, 63, 64, 65, 999] {
+            for seed in 0..8 {
+                let d = data(n, seed);
+                assert_eq!(
+                    max_norm_sqr_vectorized(&d),
+                    max_norm_sqr_scalar(&d),
+                    "n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_tie_takes_lowest_index() {
+        let mut d = vec![c64(1.0, 0.0); 11];
+        d[3] = c64(5.0, 0.0);
+        d[7] = c64(5.0, 0.0); // same magnitude, later index
+        assert_eq!(max_norm_sqr_vectorized(&d).0, 3);
+    }
+
+    #[test]
+    fn max_empty_input() {
+        assert_eq!(max_norm_sqr_vectorized(&[]), (0, f64::MIN));
+    }
+
+    #[test]
+    fn comoments_match_scalar_closely() {
+        for n in [0usize, 1, 5, 16, 100, 1003] {
+            let a: Vec<f64> = data(n, 4).iter().map(|z| z.re).collect();
+            let b: Vec<f64> = data(n, 5).iter().map(|z| z.im).collect();
+            let s = comoment_scalar(&a, &b);
+            let v = comoment_vectorized(&a, &b);
+            for k in 0..5 {
+                let denom = s[k].abs().max(1.0);
+                assert!(
+                    ((s[k] - v[k]) / denom).abs() < 1e-9,
+                    "n={n} k={k}: {} vs {}",
+                    s[k],
+                    v[k]
+                );
+            }
+        }
+    }
+}

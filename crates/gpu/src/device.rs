@@ -1,0 +1,219 @@
+//! The simulated accelerator device.
+//!
+//! Substitutes for the paper's NVIDIA Tesla C2070 cards. What matters to
+//! the stitching pipeline is not CUDA itself but the device's *contract*:
+//!
+//! * device-resident memory with a hard capacity (6 GB on the C2070) that
+//!   must be pooled and recycled;
+//! * in-order streams whose commands can overlap across streams;
+//! * a bounded number of concurrent kernels — and, on Fermi with cuFFT
+//!   v5.5, effectively *one* concurrent FFT kernel ("cuFFT allocates a
+//!   large number of registers ... prevents the GPU from executing cuFFT
+//!   kernels concurrently", §IV-B);
+//! * copy engines that run H2D/D2H transfers asynchronously with compute;
+//! * transfers that cost real time proportional to bytes moved.
+//!
+//! All five are modeled here; kernels really execute (on worker threads
+//! owned by the device's streams), so results are bit-identical to the CPU
+//! path while the scheduling behaves like hardware.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use stitch_fft::Planner;
+
+use crate::memory::{BufferPool, DeviceBuffer, MemoryLedger, OutOfDeviceMemory};
+use crate::profile::Profiler;
+use crate::semaphore::Semaphore;
+use crate::stream::Stream;
+
+/// Simulated device characteristics.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Device memory capacity in bytes (C2070: 6 GB GDDR5).
+    pub memory_bytes: usize,
+    /// Maximum concurrently executing kernels (Fermi: 16).
+    pub kernel_slots: usize,
+    /// Whether FFT kernels are serialized device-wide (true on Fermi +
+    /// cuFFT 5.5 due to register pressure — §IV-B).
+    pub serialize_fft: bool,
+    /// Simulated host→device bandwidth in bytes/s; `None` disables the
+    /// transfer-time model (copies still cost the memcpy itself).
+    pub h2d_bytes_per_sec: Option<f64>,
+    /// Simulated device→host bandwidth in bytes/s.
+    pub d2h_bytes_per_sec: Option<f64>,
+    /// Fixed kernel launch overhead (the per-launch gap visible in Fig 7).
+    pub launch_overhead: Duration,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            memory_bytes: 6 * 1024 * 1024 * 1024, // Tesla C2070
+            kernel_slots: 16,
+            serialize_fft: true,
+            h2d_bytes_per_sec: None,
+            d2h_bytes_per_sec: None,
+            launch_overhead: Duration::ZERO,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A configuration with PCIe-like transfer costs enabled
+    /// (~6 GB/s H2D, ~5 GB/s D2H — PCIe 2.0 x16 era) and a 10 µs launch
+    /// overhead, for benchmarks that study copy/compute overlap.
+    pub fn with_transfer_model() -> DeviceConfig {
+        DeviceConfig {
+            h2d_bytes_per_sec: Some(6.0e9),
+            d2h_bytes_per_sec: Some(5.0e9),
+            launch_overhead: Duration::from_micros(10),
+            ..DeviceConfig::default()
+        }
+    }
+
+    /// The paper's §VI-A projection: a Kepler GK110-class device whose
+    /// Hyper-Q hardware scheduler lifts the Fermi FFT serialization and
+    /// lets multiple host threads issue concurrent kernels.
+    pub fn kepler_gk110() -> DeviceConfig {
+        DeviceConfig {
+            serialize_fft: false,
+            kernel_slots: 32,
+            ..DeviceConfig::default()
+        }
+    }
+
+    /// A small-memory configuration for tests that exercise pool
+    /// exhaustion and recycling.
+    pub fn small(memory_bytes: usize) -> DeviceConfig {
+        DeviceConfig {
+            memory_bytes,
+            ..DeviceConfig::default()
+        }
+    }
+}
+
+pub(crate) struct DeviceInner {
+    pub(crate) id: usize,
+    pub(crate) config: DeviceConfig,
+    pub(crate) ledger: Arc<MemoryLedger>,
+    pub(crate) kernel_slots: Semaphore,
+    pub(crate) h2d_engine: Semaphore,
+    pub(crate) d2h_engine: Semaphore,
+    pub(crate) fft_lock: Mutex<()>,
+    pub(crate) profiler: Profiler,
+    pub(crate) planner: Planner,
+}
+
+/// Handle to one simulated accelerator. Cheap to clone; all clones refer
+/// to the same device.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Creates device `id` with the given configuration.
+    pub fn new(id: usize, config: DeviceConfig) -> Device {
+        Device {
+            inner: Arc::new(DeviceInner {
+                id,
+                ledger: Arc::new(MemoryLedger::new(config.memory_bytes)),
+                kernel_slots: Semaphore::new(config.kernel_slots.max(1)),
+                h2d_engine: Semaphore::new(1),
+                d2h_engine: Semaphore::new(1),
+                fft_lock: Mutex::new(()),
+                profiler: Profiler::new(),
+                planner: Planner::default(),
+                config,
+            }),
+        }
+    }
+
+    /// Device id.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    /// The device's timeline profiler (Fig 7/9 recorder).
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// The device-side FFT plan cache (the "cuFFT" of the simulation).
+    pub fn planner(&self) -> &Planner {
+        &self.inner.planner
+    }
+
+    /// Allocates a zeroed device buffer of `len` elements.
+    pub fn alloc<T: Default + Clone>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        DeviceBuffer::alloc(&self.inner.ledger, len)
+    }
+
+    /// Pre-allocates a pool of `count` buffers of `buf_len` elements each
+    /// (§IV-B memory pool; done once at pipeline start-up).
+    pub fn buffer_pool<T: Default + Clone>(
+        &self,
+        buf_len: usize,
+        count: usize,
+    ) -> Result<BufferPool<T>, OutOfDeviceMemory> {
+        BufferPool::create(&self.inner.ledger, buf_len, count)
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn memory_used(&self) -> usize {
+        self.inner.ledger.used.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn memory_capacity(&self) -> usize {
+        self.inner.ledger.capacity
+    }
+
+    /// Creates a named in-order command stream.
+    pub fn create_stream(&self, name: &str) -> Stream {
+        Stream::spawn(Arc::clone(&self.inner), name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_c2070() {
+        let d = Device::new(0, DeviceConfig::default());
+        assert_eq!(d.memory_capacity(), 6 * 1024 * 1024 * 1024);
+        assert!(d.config().serialize_fft);
+        assert_eq!(d.memory_used(), 0);
+    }
+
+    #[test]
+    fn alloc_accounts_and_frees() {
+        let d = Device::new(0, DeviceConfig::small(1024));
+        let buf = d.alloc::<u64>(64).unwrap();
+        assert_eq!(d.memory_used(), 512);
+        assert!(d.alloc::<u64>(128).is_err());
+        drop(buf);
+        assert_eq!(d.memory_used(), 0);
+    }
+
+    #[test]
+    fn pool_charges_device_memory() {
+        let d = Device::new(0, DeviceConfig::small(4096));
+        let pool = d.buffer_pool::<u8>(1024, 3).unwrap();
+        assert_eq!(d.memory_used(), 3072);
+        assert_eq!(pool.total(), 3);
+        drop(pool);
+        assert_eq!(d.memory_used(), 0);
+    }
+}

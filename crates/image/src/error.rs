@@ -1,0 +1,44 @@
+//! Error type for image I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the TIFF/PGM codecs and file helpers.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The byte stream is not a valid file of the expected format.
+    Format(String),
+    /// The file is valid but uses a feature outside the supported baseline
+    /// subset (e.g. compressed TIFF).
+    Unsupported(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+            ImageError::Format(m) => write!(f, "malformed image: {m}"),
+            ImageError::Unsupported(m) => write!(f, "unsupported image feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ImageError>;

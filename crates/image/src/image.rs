@@ -1,0 +1,269 @@
+//! Row-major 2-D image buffer.
+//!
+//! The microscopy tiles the paper processes are 16-bit grayscale
+//! (1392×1040, 2.76 MB each); [`Image<u16>`] is the working representation
+//! throughout the system, with `f64` views for the numeric kernels.
+
+/// A row-major 2-D raster. Pixel `(x, y)` lives at index `y * width + x`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Image<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Image<T> {
+    /// Creates a `width × height` image filled with `T::default()`.
+    pub fn new(width: usize, height: usize) -> Image<T> {
+        Image {
+            width,
+            height,
+            data: vec![T::default(); width * height],
+        }
+    }
+
+    /// Creates an image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: T) -> Image<T> {
+        Image {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Wraps an existing buffer. Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Image<T> {
+        assert_eq!(data.len(), width * height, "buffer size mismatch");
+        Image { width, height, data }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Image<T> {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the image has zero pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `(width, height)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Pixel at `(x, y)`. Panics out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`. Panics out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Row `y` as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Row `y` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        &mut self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// The full pixel buffer.
+    #[inline]
+    pub fn pixels(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The full pixel buffer, mutable.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Copies the rectangle `(x0, y0) .. (x0+w, y0+h)` into a new image.
+    /// Panics if the rectangle exceeds the bounds.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image<T> {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut out = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            out.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);
+        }
+        Image::from_vec(w, h, out)
+    }
+
+    /// Maps every pixel through `f` into a new image (possibly of another
+    /// pixel type).
+    pub fn map<U: Copy + Default>(&self, f: impl Fn(T) -> U) -> Image<U> {
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl Image<u16> {
+    /// Converts pixels to `f64`.
+    pub fn to_f64(&self) -> Image<f64> {
+        self.map(|v| v as f64)
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// `(min, max)` pixel values; `(0, 0)` for an empty image.
+    pub fn min_max(&self) -> (u16, u16) {
+        let mut lo = u16::MAX;
+        let mut hi = 0u16;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if self.data.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (the paper tracks this:
+    /// 1392×1040×2 B = 2.76 MB per tile).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * 2
+    }
+}
+
+impl Image<f64> {
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Clamps to `[0, 65535]` and rounds to `u16`.
+    pub fn to_u16_clamped(&self) -> Image<u16> {
+        self.map(|v| v.clamp(0.0, 65535.0).round() as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut img: Image<u16> = Image::new(4, 3);
+        assert_eq!(img.dims(), (4, 3));
+        assert_eq!(img.len(), 12);
+        img.set(2, 1, 77);
+        assert_eq!(img.get(2, 1), 77);
+        assert_eq!(img.pixels()[4 + 2], 77);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let img = Image::from_fn(3, 2, |x, y| (10 * y + x) as u16);
+        assert_eq!(img.pixels(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(img.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn crop_contents() {
+        let img = Image::from_fn(5, 4, |x, y| (y * 5 + x) as u16);
+        let c = img.crop(1, 1, 3, 2);
+        assert_eq!(c.dims(), (3, 2));
+        assert_eq!(c.pixels(), &[6, 7, 8, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_out_of_bounds_panics() {
+        let img: Image<u16> = Image::new(4, 4);
+        img.crop(2, 2, 3, 3);
+    }
+
+    #[test]
+    fn stats() {
+        let img = Image::from_vec(2, 2, vec![1u16, 3, 5, 7]);
+        assert_eq!(img.mean(), 4.0);
+        assert_eq!(img.min_max(), (1, 7));
+        assert_eq!(img.byte_size(), 8);
+    }
+
+    #[test]
+    fn map_and_round_trip_f64() {
+        let img = Image::from_vec(2, 2, vec![0u16, 100, 60000, 65535]);
+        let f = img.to_f64();
+        let back = f.to_u16_clamped();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn clamping() {
+        let f = Image::from_vec(2, 1, vec![-5.0, 70000.0]);
+        assert_eq!(f.to_u16_clamped().pixels(), &[0, 65535]);
+    }
+
+    #[test]
+    fn empty_image() {
+        let img: Image<u16> = Image::new(0, 0);
+        assert!(img.is_empty());
+        assert_eq!(img.mean(), 0.0);
+        assert_eq!(img.min_max(), (0, 0));
+    }
+
+    #[test]
+    fn paper_tile_byte_size() {
+        // §I: each 1392×1040 16-bit tile is 2.76 MB.
+        let img: Image<u16> = Image::new(1392, 1040);
+        assert_eq!(img.byte_size(), 2_895_360);
+    }
+}

@@ -1,0 +1,30 @@
+//! # stitch-image — image substrate for the stitching system
+//!
+//! Stands in for libTIFF and the microscope-acquired datasets in the
+//! ICPP 2014 stitching paper's stack:
+//!
+//! * [`Image`] — row-major 2-D raster, 16-bit grayscale working type;
+//! * [`tiff`] — minimal TIFF 6.0 baseline codec (uncompressed grayscale
+//!   strips, both byte orders on read);
+//! * [`pgm`] — binary PGM for quick visual output of composed plates;
+//! * [`synth`] — procedural cell-colony plate generator with ground-truth
+//!   stage positions, substituting for the paper's A10 dataset.
+//!
+//! ```
+//! use stitch_image::{Image, tiff};
+//! let img = Image::from_fn(32, 16, |x, y| (x * y) as u16);
+//! let bytes = tiff::encode_tiff(&img);
+//! assert_eq!(tiff::decode_tiff(&bytes).unwrap(), img);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod image;
+pub mod pgm;
+pub mod synth;
+pub mod tiff;
+
+pub use error::{ImageError, Result};
+pub use image::Image;
+pub use synth::{GridManifest, ScanConfig, Scene, SceneParams, SyntheticPlate};

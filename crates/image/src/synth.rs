@@ -1,0 +1,719 @@
+//! Synthetic microscopy plate generator.
+//!
+//! Substitutes for the paper's A10 cell-colony dataset (42×59 grid of
+//! 1392×1040 16-bit tiles, §I). A procedural *scene* — cell colonies laid
+//! out over a virtual plate — is rasterized on demand into overlapping
+//! tiles, exactly the way a motorized stage scans a physical plate:
+//!
+//! * nominal stage steps of `tile × (1 − overlap)` perturbed by per-tile
+//!   **jitter** and a serpentine **backlash** bias (the mechanical effects
+//!   the paper names as the reason displacements must be *computed*);
+//! * per-tile sensor noise (different noise in the two copies of an
+//!   overlap region, as with a real camera) and radial vignetting;
+//! * tunable feature density — sparse scenes model the early-experiment
+//!   low-density images that defeat feature-based stitchers (§I).
+//!
+//! Ground-truth tile positions are retained so tests can assert that the
+//! recovered displacements are exactly right, something the real dataset
+//! never allowed.
+
+use std::f64::consts::PI;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{ImageError, Result};
+use crate::image::Image;
+use crate::tiff;
+
+/// One fluorescent cell: an oriented anisotropic Gaussian blob.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Center x in plate coordinates.
+    pub x: f64,
+    /// Center y in plate coordinates.
+    pub y: f64,
+    /// Major-axis sigma.
+    pub sx: f64,
+    /// Minor-axis sigma.
+    pub sy: f64,
+    /// Orientation cosine.
+    pub cos_t: f64,
+    /// Orientation sine.
+    pub sin_t: f64,
+    /// Peak intensity above background.
+    pub amp: f64,
+}
+
+impl Cell {
+    /// Radius beyond which the blob's contribution is negligible.
+    fn support(&self) -> f64 {
+        3.5 * self.sx.max(self.sy)
+    }
+
+    /// Intensity contribution at plate point `(px, py)`.
+    fn eval(&self, px: f64, py: f64) -> f64 {
+        let dx = px - self.x;
+        let dy = py - self.y;
+        let u = dx * self.cos_t + dy * self.sin_t;
+        let v = -dx * self.sin_t + dy * self.cos_t;
+        let e = -(u * u / (2.0 * self.sx * self.sx) + v * v / (2.0 * self.sy * self.sy));
+        if e < -12.0 {
+            0.0
+        } else {
+            self.amp * e.exp()
+        }
+    }
+}
+
+/// Scene content parameters.
+#[derive(Clone, Debug)]
+pub struct SceneParams {
+    /// Number of colonies scattered over the plate.
+    pub colony_count: usize,
+    /// Cells per colony (inclusive range).
+    pub cells_per_colony: (usize, usize),
+    /// Colony radius: cells are Gaussian-scattered with this sigma.
+    pub colony_spread: f64,
+    /// Cell sigma range in pixels.
+    pub cell_sigma: (f64, f64),
+    /// Cell peak intensity range (16-bit counts above background).
+    pub cell_intensity: (f64, f64),
+    /// Background level (16-bit counts).
+    pub background: f64,
+    /// Amplitude of the slow illumination gradient across the plate.
+    pub illumination_amplitude: f64,
+    /// Amplitude of the plate-fixed fine texture (debris, media granularity,
+    /// fixed-pattern structure). This is *scene* content — overlapping
+    /// tiles see the same texture — and is what gives phase correlation
+    /// signal even where no cell lands in the overlap strip.
+    pub texture_amplitude: f64,
+    /// RNG seed for scene content.
+    pub seed: u64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        SceneParams {
+            colony_count: 60,
+            cells_per_colony: (8, 40),
+            colony_spread: 60.0,
+            cell_sigma: (2.0, 6.0),
+            cell_intensity: (3_000.0, 20_000.0),
+            background: 1_200.0,
+            illumination_amplitude: 150.0,
+            texture_amplitude: 220.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A procedural plate: cell list plus a uniform spatial hash for fast
+/// region queries, so arbitrarily large plates never get materialized
+/// (the paper's full plates reach 200k pixels per side).
+pub struct Scene {
+    width: f64,
+    height: f64,
+    params: SceneParams,
+    cells: Vec<Cell>,
+    bucket: f64,
+    buckets_x: usize,
+    buckets_y: usize,
+    /// bucket index → indices into `cells`
+    index: Vec<Vec<u32>>,
+}
+
+impl Scene {
+    /// Generates a scene covering `width × height` plate pixels.
+    pub fn generate(width: f64, height: f64, params: SceneParams) -> Scene {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut cells = Vec::new();
+        for _ in 0..params.colony_count {
+            let cx = rng.gen_range(0.0..width);
+            let cy = rng.gen_range(0.0..height);
+            let n = rng.gen_range(params.cells_per_colony.0..=params.cells_per_colony.1);
+            for _ in 0..n {
+                let (gx, gy) = gaussian_pair(&mut rng);
+                let theta = rng.gen_range(0.0..PI);
+                let sx = rng.gen_range(params.cell_sigma.0..=params.cell_sigma.1);
+                cells.push(Cell {
+                    x: cx + gx * params.colony_spread,
+                    y: cy + gy * params.colony_spread,
+                    sx,
+                    sy: sx * rng.gen_range(0.5..1.0),
+                    cos_t: theta.cos(),
+                    sin_t: theta.sin(),
+                    amp: rng.gen_range(params.cell_intensity.0..=params.cell_intensity.1),
+                });
+            }
+        }
+        let max_support = cells.iter().map(|c| c.support()).fold(8.0, f64::max);
+        let bucket = (max_support * 2.0).max(64.0);
+        let buckets_x = (width / bucket).ceil().max(1.0) as usize;
+        let buckets_y = (height / bucket).ceil().max(1.0) as usize;
+        let mut index = vec![Vec::new(); buckets_x * buckets_y];
+        for (i, c) in cells.iter().enumerate() {
+            let r = c.support();
+            let bx0 = (((c.x - r) / bucket).floor().max(0.0) as usize).min(buckets_x - 1);
+            let bx1 = (((c.x + r) / bucket).floor().max(0.0) as usize).min(buckets_x - 1);
+            let by0 = (((c.y - r) / bucket).floor().max(0.0) as usize).min(buckets_y - 1);
+            let by1 = (((c.y + r) / bucket).floor().max(0.0) as usize).min(buckets_y - 1);
+            for by in by0..=by1 {
+                for bx in bx0..=bx1 {
+                    index[by * buckets_x + bx].push(i as u32);
+                }
+            }
+        }
+        Scene {
+            width,
+            height,
+            params,
+            cells,
+            bucket,
+            buckets_x,
+            buckets_y,
+            index,
+        }
+    }
+
+    /// Plate dimensions in pixels.
+    pub fn dims(&self) -> (f64, f64) {
+        (self.width, self.height)
+    }
+
+    /// Total cell count.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Noise-free scene intensity at a plate point.
+    pub fn intensity(&self, px: f64, py: f64) -> f64 {
+        let mut v = self.params.background
+            + self.params.illumination_amplitude
+                * ((2.0 * PI * px / self.width).sin() * (2.0 * PI * py / self.height).cos());
+        if self.params.texture_amplitude > 0.0 {
+            v += self.params.texture_amplitude
+                * plate_texture(px.floor() as i64, py.floor() as i64, self.params.seed);
+        }
+        let bx = ((px / self.bucket).floor().max(0.0) as usize).min(self.buckets_x - 1);
+        let by = ((py / self.bucket).floor().max(0.0) as usize).min(self.buckets_y - 1);
+        for &ci in &self.index[by * self.buckets_x + bx] {
+            v += self.cells[ci as usize].eval(px, py);
+        }
+        v
+    }
+
+    /// Rasterizes the `w × h` region whose top-left plate coordinate is
+    /// `(x0, y0)`, applying radial vignetting (`vignette` in `[0,1]`) and
+    /// additive Gaussian sensor noise with sigma `noise_sigma`. The noise
+    /// stream comes from `noise_seed` so a tile is reproducible, yet two
+    /// tiles covering the same plate area get *different* noise.
+    #[allow(clippy::too_many_arguments)] // mirrors the microscope's knobs
+    pub fn render_region(
+        &self,
+        x0: f64,
+        y0: f64,
+        w: usize,
+        h: usize,
+        vignette: f64,
+        noise_sigma: f64,
+        noise_seed: u64,
+    ) -> Image<u16> {
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        let cx = w as f64 / 2.0;
+        let cy = h as f64 / 2.0;
+        let r_max2 = cx * cx + cy * cy;
+        Image::from_fn(w, h, |x, y| {
+            let px = x0 + x as f64;
+            let py = y0 + y as f64;
+            let mut v = self.intensity(px, py);
+            if vignette > 0.0 {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                v *= 1.0 - vignette * (dx * dx + dy * dy) / r_max2;
+            }
+            if noise_sigma > 0.0 {
+                let (g, _) = gaussian_pair(&mut rng);
+                v += g * noise_sigma;
+            }
+            v.clamp(0.0, 65535.0).round() as u16
+        })
+    }
+}
+
+/// Deterministic plate-fixed texture in [-1, 1]: an integer hash of the
+/// plate pixel, so two tiles covering the same plate area sample identical
+/// texture (unlike sensor noise, which differs per exposure).
+fn plate_texture(x: i64, y: i64, seed: u64) -> f64 {
+    let mut h = (x as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_add(seed);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Box-Muller standard normal pair.
+fn gaussian_pair(rng: &mut impl Rng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * PI * u2;
+    (r * t.cos(), r * t.sin())
+}
+
+/// Microscope scan configuration: grid shape, tile geometry, and the
+/// mechanical imperfections that make stitching necessary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScanConfig {
+    /// Grid rows (the paper's headline grid is 42 rows…).
+    pub grid_rows: usize,
+    /// …by 59 columns.
+    pub grid_cols: usize,
+    /// Tile width in pixels (paper: 1392).
+    pub tile_width: usize,
+    /// Tile height in pixels (paper: 1040).
+    pub tile_height: usize,
+    /// Nominal overlap fraction between adjacent tiles (paper setups use
+    /// ~10 %).
+    pub overlap: f64,
+    /// Uniform stage jitter bound in pixels: actual positions deviate from
+    /// nominal by up to ± this much on each axis.
+    pub stage_jitter: f64,
+    /// Horizontal backlash bias applied on alternating (serpentine) rows.
+    pub backlash_x: f64,
+    /// Sensor read-noise sigma (16-bit counts).
+    pub noise_sigma: f64,
+    /// Radial vignetting strength in `[0, 1]`.
+    pub vignette: f64,
+    /// Seed for stage jitter and per-tile noise streams.
+    pub seed: u64,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            grid_rows: 4,
+            grid_cols: 5,
+            tile_width: 128,
+            tile_height: 96,
+            overlap: 0.10,
+            stage_jitter: 3.0,
+            backlash_x: 1.5,
+            noise_sigma: 60.0,
+            vignette: 0.04,
+            seed: 7,
+        }
+    }
+}
+
+impl ScanConfig {
+    /// Nominal stage step along x.
+    pub fn step_x(&self) -> f64 {
+        self.tile_width as f64 * (1.0 - self.overlap)
+    }
+
+    /// Nominal stage step along y.
+    pub fn step_y(&self) -> f64 {
+        self.tile_height as f64 * (1.0 - self.overlap)
+    }
+
+    /// Plate size needed to cover the whole scan with a safety margin.
+    pub fn plate_dims(&self) -> (f64, f64) {
+        (
+            self.step_x() * (self.grid_cols.max(1) - 1) as f64
+                + self.tile_width as f64
+                + 2.0 * self.stage_jitter
+                + 16.0,
+            self.step_y() * (self.grid_rows.max(1) - 1) as f64
+                + self.tile_height as f64
+                + 2.0 * self.stage_jitter
+                + 16.0,
+        )
+    }
+
+    /// Total tile count.
+    pub fn tiles(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+}
+
+/// A synthesized plate: scene + ground-truth stage positions. Tiles are
+/// rendered lazily so plates of any size fit in memory.
+pub struct SyntheticPlate {
+    /// The scan that produced this plate.
+    pub config: ScanConfig,
+    scene: Scene,
+    /// Actual (jittered) top-left plate coordinates of each tile,
+    /// row-major. This is the ground truth stitching must recover.
+    positions: Vec<(i64, i64)>,
+}
+
+impl SyntheticPlate {
+    /// Synthesizes a plate with default scene density scaled to the plate
+    /// area.
+    pub fn generate(config: ScanConfig) -> SyntheticPlate {
+        let (pw, ph) = config.plate_dims();
+        // Keep feature density roughly constant: one colony per ~160×160 px
+        // patch, regardless of plate size.
+        let colonies = ((pw * ph) / (160.0 * 160.0)).ceil() as usize;
+        let params = SceneParams {
+            colony_count: colonies.max(4),
+            seed: config.seed ^ 0x5ce11e,
+            ..SceneParams::default()
+        };
+        Self::generate_with_scene(config, params)
+    }
+
+    /// Synthesizes a plate with explicit scene parameters (e.g. sparse
+    /// scenes for the low-feature-density robustness tests).
+    pub fn generate_with_scene(config: ScanConfig, params: SceneParams) -> SyntheticPlate {
+        let (pw, ph) = config.plate_dims();
+        let scene = Scene::generate(pw, ph, params);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let margin = config.stage_jitter + 8.0;
+        let mut positions = Vec::with_capacity(config.tiles());
+        for r in 0..config.grid_rows {
+            for c in 0..config.grid_cols {
+                let nominal_x = margin + config.step_x() * c as f64;
+                let nominal_y = margin + config.step_y() * r as f64;
+                let jx = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
+                let jy = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
+                // serpentine backlash: odd rows scan right-to-left, shifting
+                // every tile by a consistent bias
+                let bx = if r % 2 == 1 { config.backlash_x } else { 0.0 };
+                positions.push(((nominal_x + jx + bx).round() as i64, (nominal_y + jy).round() as i64));
+            }
+        }
+        SyntheticPlate {
+            config,
+            scene,
+            positions,
+        }
+    }
+
+    /// Ground-truth top-left position of tile `(row, col)`.
+    pub fn true_position(&self, row: usize, col: usize) -> (i64, i64) {
+        self.positions[row * self.config.grid_cols + col]
+    }
+
+    /// All ground-truth positions, row-major.
+    pub fn positions(&self) -> &[(i64, i64)] {
+        &self.positions
+    }
+
+    /// Ground-truth relative displacement of tile `(row, col)` with respect
+    /// to its **western** neighbor: `pos(r,c) − pos(r,c−1)`.
+    pub fn true_west_displacement(&self, row: usize, col: usize) -> (i64, i64) {
+        assert!(col > 0);
+        let (x1, y1) = self.true_position(row, col);
+        let (x0, y0) = self.true_position(row, col - 1);
+        (x1 - x0, y1 - y0)
+    }
+
+    /// Ground-truth relative displacement with respect to the **northern**
+    /// neighbor: `pos(r,c) − pos(r−1,c)`.
+    pub fn true_north_displacement(&self, row: usize, col: usize) -> (i64, i64) {
+        assert!(row > 0);
+        let (x1, y1) = self.true_position(row, col);
+        let (x0, y0) = self.true_position(row - 1, col);
+        (x1 - x0, y1 - y0)
+    }
+
+    /// Renders tile `(row, col)` — deterministic, with a per-tile noise
+    /// stream.
+    pub fn render_tile(&self, row: usize, col: usize) -> Image<u16> {
+        let (x, y) = self.true_position(row, col);
+        let noise_seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((row * self.config.grid_cols + col) as u64);
+        self.scene.render_region(
+            x as f64,
+            y as f64,
+            self.config.tile_width,
+            self.config.tile_height,
+            self.config.vignette,
+            self.config.noise_sigma,
+            noise_seed,
+        )
+    }
+
+    /// The underlying scene (for rendering reference plate images).
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Standard tile file name, mirroring microscope acquisition software
+    /// conventions.
+    pub fn tile_file_name(row: usize, col: usize) -> String {
+        format!("img_r{row:03}_c{col:03}.tif")
+    }
+
+    /// Writes every tile as TIFF plus a `manifest.tsv` with the ground
+    /// truth into `dir` (created if needed). Returns the number of tiles
+    /// written. This produces the on-disk dataset the end-to-end pipelines
+    /// read, so disk I/O is really exercised.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> Result<usize> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let mut manifest = fs::File::create(dir.join("manifest.tsv"))?;
+        writeln!(
+            manifest,
+            "# rows={} cols={} tile_w={} tile_h={} overlap={}",
+            self.config.grid_rows,
+            self.config.grid_cols,
+            self.config.tile_width,
+            self.config.tile_height,
+            self.config.overlap
+        )?;
+        for r in 0..self.config.grid_rows {
+            for c in 0..self.config.grid_cols {
+                let name = Self::tile_file_name(r, c);
+                let tile = self.render_tile(r, c);
+                tiff::write_tiff(dir.join(&name), &tile)?;
+                let (x, y) = self.true_position(r, c);
+                writeln!(manifest, "{r}\t{c}\t{x}\t{y}\t{name}")?;
+            }
+        }
+        Ok(self.config.tiles())
+    }
+}
+
+/// A tile-grid dataset on disk (as produced by
+/// [`SyntheticPlate::write_to_dir`]): geometry plus per-tile file paths and,
+/// when available, ground-truth positions.
+#[derive(Clone, Debug)]
+pub struct GridManifest {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Tile width.
+    pub tile_width: usize,
+    /// Tile height.
+    pub tile_height: usize,
+    /// Nominal overlap fraction.
+    pub overlap: f64,
+    /// Tile file paths, row-major.
+    pub files: Vec<std::path::PathBuf>,
+    /// Ground-truth positions, row-major (empty when unknown).
+    pub truth: Vec<(i64, i64)>,
+}
+
+impl GridManifest {
+    /// Loads `manifest.tsv` from a dataset directory.
+    pub fn load(dir: impl AsRef<Path>) -> Result<GridManifest> {
+        let dir = dir.as_ref();
+        let file = fs::File::open(dir.join("manifest.tsv"))?;
+        let mut lines = BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ImageError::Format("empty manifest".into()))??;
+        let mut rows = 0usize;
+        let mut cols = 0usize;
+        let mut tile_width = 0usize;
+        let mut tile_height = 0usize;
+        let mut overlap = 0.0f64;
+        for part in header.trim_start_matches('#').split_whitespace() {
+            let mut kv = part.splitn(2, '=');
+            let (k, v) = (kv.next().unwrap_or(""), kv.next().unwrap_or(""));
+            let bad = || ImageError::Format(format!("bad manifest header field {part}"));
+            match k {
+                "rows" => rows = v.parse().map_err(|_| bad())?,
+                "cols" => cols = v.parse().map_err(|_| bad())?,
+                "tile_w" => tile_width = v.parse().map_err(|_| bad())?,
+                "tile_h" => tile_height = v.parse().map_err(|_| bad())?,
+                "overlap" => overlap = v.parse().map_err(|_| bad())?,
+                _ => {}
+            }
+        }
+        if rows == 0 || cols == 0 {
+            return Err(ImageError::Format("manifest missing grid dims".into()));
+        }
+        let mut files = vec![std::path::PathBuf::new(); rows * cols];
+        let mut truth = vec![(0i64, 0i64); rows * cols];
+        let mut seen = 0usize;
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() != 5 {
+                return Err(ImageError::Format(format!("bad manifest line: {line}")));
+            }
+            let bad = |what: &str| ImageError::Format(format!("bad {what} in line: {line}"));
+            let r: usize = f[0].parse().map_err(|_| bad("row"))?;
+            let c: usize = f[1].parse().map_err(|_| bad("col"))?;
+            let x: i64 = f[2].parse().map_err(|_| bad("x"))?;
+            let y: i64 = f[3].parse().map_err(|_| bad("y"))?;
+            if r >= rows || c >= cols {
+                return Err(ImageError::Format(format!("tile ({r},{c}) outside grid")));
+            }
+            files[r * cols + c] = dir.join(f[4]);
+            truth[r * cols + c] = (x, y);
+            seen += 1;
+        }
+        if seen != rows * cols {
+            return Err(ImageError::Format(format!(
+                "manifest lists {seen} tiles, expected {}",
+                rows * cols
+            )));
+        }
+        Ok(GridManifest {
+            rows,
+            cols,
+            tile_width,
+            tile_height,
+            overlap,
+            files,
+            truth,
+        })
+    }
+
+    /// Tile file path at `(row, col)`.
+    pub fn file(&self, row: usize, col: usize) -> &Path {
+        &self.files[row * self.cols + col]
+    }
+
+    /// Total tile count.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ScanConfig {
+        ScanConfig {
+            grid_rows: 3,
+            grid_cols: 4,
+            tile_width: 64,
+            tile_height: 48,
+            ..ScanConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let plate = SyntheticPlate::generate(small_config());
+        let a = plate.render_tile(1, 2);
+        let b = plate.render_tile(1, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_tiles_differ() {
+        let plate = SyntheticPlate::generate(small_config());
+        assert_ne!(plate.render_tile(0, 0), plate.render_tile(2, 3));
+    }
+
+    #[test]
+    fn positions_respect_overlap_geometry() {
+        let cfg = small_config();
+        let plate = SyntheticPlate::generate(cfg.clone());
+        for r in 0..cfg.grid_rows {
+            for c in 1..cfg.grid_cols {
+                let (dx, _dy) = plate.true_west_displacement(r, c);
+                // west displacement ≈ step_x within jitter + backlash + rounding
+                let bound = cfg.stage_jitter * 2.0 + cfg.backlash_x + 2.0;
+                assert!(
+                    (dx as f64 - cfg.step_x()).abs() <= bound,
+                    "dx={dx} nominal={}",
+                    cfg.step_x()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_tiles_share_content() {
+        // The overlap strip of (0,0) and (0,1) covers the same plate area,
+        // so despite independent noise the pixel correlation must be high.
+        let mut cfg = small_config();
+        cfg.noise_sigma = 20.0;
+        let plate = SyntheticPlate::generate(cfg.clone());
+        let a = plate.render_tile(0, 0);
+        let b = plate.render_tile(0, 1);
+        let (dx, dy) = plate.true_west_displacement(0, 1);
+        let dx = dx as usize;
+        assert_eq!(dy.unsigned_abs() as usize, dy.unsigned_abs() as usize);
+        let ow = cfg.tile_width - dx; // overlap width
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        let ma = a.mean();
+        let mb = b.mean();
+        for y in 4..cfg.tile_height.saturating_sub(4) {
+            let yb = (y as i64 - dy) as usize;
+            if yb >= cfg.tile_height {
+                continue;
+            }
+            for x in 0..ow {
+                let va = a.get(dx + x, y) as f64 - ma;
+                let vb = b.get(x, yb) as f64 - mb;
+                num += va * vb;
+                da += va * va;
+                db += vb * vb;
+            }
+        }
+        let corr = num / (da.sqrt() * db.sqrt());
+        assert!(corr > 0.5, "overlap correlation too low: {corr}");
+    }
+
+    #[test]
+    fn write_and_reload_manifest() {
+        let dir = std::env::temp_dir().join("stitch_synth_test");
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = small_config();
+        let plate = SyntheticPlate::generate(cfg.clone());
+        let n = plate.write_to_dir(&dir).unwrap();
+        assert_eq!(n, 12);
+        let m = GridManifest::load(&dir).unwrap();
+        assert_eq!((m.rows, m.cols), (3, 4));
+        assert_eq!(m.tile_width, 64);
+        assert_eq!(m.truth[5], plate.true_position(1, 1));
+        // files decode back to the rendered tiles
+        let img = tiff::read_tiff(m.file(1, 1)).unwrap();
+        assert_eq!(img, plate.render_tile(1, 1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backlash_biases_odd_rows() {
+        let mut cfg = small_config();
+        cfg.stage_jitter = 0.0;
+        cfg.backlash_x = 4.0;
+        let plate = SyntheticPlate::generate(cfg.clone());
+        let (x_even, _) = plate.true_position(0, 1);
+        let (x_odd, _) = plate.true_position(1, 1);
+        assert_eq!(x_odd - x_even, 4);
+    }
+
+    #[test]
+    fn sparse_scene_has_few_cells() {
+        let params = SceneParams {
+            colony_count: 2,
+            cells_per_colony: (1, 3),
+            ..SceneParams::default()
+        };
+        let scene = Scene::generate(500.0, 500.0, params);
+        assert!(scene.cell_count() <= 6);
+    }
+
+    #[test]
+    fn intensity_includes_background() {
+        let scene = Scene::generate(300.0, 300.0, SceneParams::default());
+        let v = scene.intensity(150.0, 150.0);
+        assert!(v > 0.0 && v < 65535.0);
+    }
+}

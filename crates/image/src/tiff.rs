@@ -1,0 +1,347 @@
+//! Minimal TIFF 6.0 baseline codec for grayscale microscopy tiles.
+//!
+//! Stands in for libTIFF in the paper's stack (§IV-A: "reads images using
+//! libTIFF4"). Supported subset — exactly what microscope cameras emit:
+//! single-image files, uncompressed, 8- or 16-bit grayscale, strip layout,
+//! either byte order on read (always little-endian on write).
+
+use std::fs;
+use std::path::Path;
+
+use crate::error::{ImageError, Result};
+use crate::image::Image;
+
+// TIFF tag ids used by the baseline grayscale subset.
+const TAG_IMAGE_WIDTH: u16 = 256;
+const TAG_IMAGE_LENGTH: u16 = 257;
+const TAG_BITS_PER_SAMPLE: u16 = 258;
+const TAG_COMPRESSION: u16 = 259;
+const TAG_PHOTOMETRIC: u16 = 262;
+const TAG_STRIP_OFFSETS: u16 = 273;
+const TAG_SAMPLES_PER_PIXEL: u16 = 277;
+const TAG_ROWS_PER_STRIP: u16 = 278;
+const TAG_STRIP_BYTE_COUNTS: u16 = 279;
+
+const TYPE_SHORT: u16 = 3;
+const TYPE_LONG: u16 = 4;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ByteOrder {
+    Little,
+    Big,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    order: ByteOrder,
+}
+
+impl<'a> Cursor<'a> {
+    fn u16_at(&self, off: usize) -> Result<u16> {
+        let b = self
+            .bytes
+            .get(off..off + 2)
+            .ok_or_else(|| ImageError::Format("truncated file".into()))?;
+        Ok(match self.order {
+            ByteOrder::Little => u16::from_le_bytes([b[0], b[1]]),
+            ByteOrder::Big => u16::from_be_bytes([b[0], b[1]]),
+        })
+    }
+
+    fn u32_at(&self, off: usize) -> Result<u32> {
+        let b = self
+            .bytes
+            .get(off..off + 4)
+            .ok_or_else(|| ImageError::Format("truncated file".into()))?;
+        Ok(match self.order {
+            ByteOrder::Little => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            ByteOrder::Big => u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+        })
+    }
+}
+
+/// One parsed IFD entry's values (SHORT and LONG widened to u32).
+struct Entry {
+    tag: u16,
+    values: Vec<u32>,
+}
+
+/// Decodes a TIFF byte stream into a 16-bit grayscale image (8-bit files
+/// are widened with their values preserved, not rescaled).
+pub fn decode_tiff(bytes: &[u8]) -> Result<Image<u16>> {
+    if bytes.len() < 8 {
+        return Err(ImageError::Format("shorter than TIFF header".into()));
+    }
+    let order = match &bytes[0..2] {
+        b"II" => ByteOrder::Little,
+        b"MM" => ByteOrder::Big,
+        _ => return Err(ImageError::Format("bad byte-order mark".into())),
+    };
+    let cur = Cursor { bytes, order };
+    if cur.u16_at(2)? != 42 {
+        return Err(ImageError::Format("bad magic (expected 42)".into()));
+    }
+    let ifd_off = cur.u32_at(4)? as usize;
+    let n_entries = cur.u16_at(ifd_off)? as usize;
+    let mut entries = Vec::with_capacity(n_entries);
+    for i in 0..n_entries {
+        let e = ifd_off + 2 + i * 12;
+        let tag = cur.u16_at(e)?;
+        let typ = cur.u16_at(e + 2)?;
+        let count = cur.u32_at(e + 4)? as usize;
+        let (elem_size, is_short) = match typ {
+            TYPE_SHORT => (2usize, true),
+            TYPE_LONG => (4usize, false),
+            // other types (rationals etc.) are skipped — not needed for pixels
+            _ => continue,
+        };
+        let total = elem_size * count;
+        let val_off = if total <= 4 { e + 8 } else { cur.u32_at(e + 8)? as usize };
+        let mut values = Vec::with_capacity(count);
+        for k in 0..count {
+            values.push(if is_short {
+                cur.u16_at(val_off + 2 * k)? as u32
+            } else {
+                cur.u32_at(val_off + 4 * k)?
+            });
+        }
+        entries.push(Entry { tag, values });
+    }
+    let find = |tag: u16| entries.iter().find(|e| e.tag == tag).map(|e| e.values.as_slice());
+    let one = |tag: u16, default: Option<u32>| -> Result<u32> {
+        match find(tag).and_then(|v| v.first().copied()) {
+            Some(v) => Ok(v),
+            None => default.ok_or_else(|| ImageError::Format(format!("missing tag {tag}"))),
+        }
+    };
+
+    let width = one(TAG_IMAGE_WIDTH, None)? as usize;
+    let height = one(TAG_IMAGE_LENGTH, None)? as usize;
+    let bits = one(TAG_BITS_PER_SAMPLE, Some(1))?;
+    let compression = one(TAG_COMPRESSION, Some(1))?;
+    let spp = one(TAG_SAMPLES_PER_PIXEL, Some(1))?;
+    let photometric = one(TAG_PHOTOMETRIC, Some(1))?;
+    if compression != 1 {
+        return Err(ImageError::Unsupported(format!("compression {compression}")));
+    }
+    if spp != 1 {
+        return Err(ImageError::Unsupported(format!("{spp} samples per pixel")));
+    }
+    if bits != 8 && bits != 16 {
+        return Err(ImageError::Unsupported(format!("{bits} bits per sample")));
+    }
+    if photometric > 1 {
+        return Err(ImageError::Unsupported(format!("photometric {photometric}")));
+    }
+    let offsets = find(TAG_STRIP_OFFSETS).ok_or_else(|| ImageError::Format("no strip offsets".into()))?;
+    let counts = find(TAG_STRIP_BYTE_COUNTS)
+        .ok_or_else(|| ImageError::Format("no strip byte counts".into()))?;
+    if offsets.len() != counts.len() {
+        return Err(ImageError::Format("strip offset/count length mismatch".into()));
+    }
+
+    let bytes_per_px = (bits / 8) as usize;
+    let expected = width * height * bytes_per_px;
+    let mut raw = Vec::with_capacity(expected);
+    for (&off, &cnt) in offsets.iter().zip(counts) {
+        let (off, cnt) = (off as usize, cnt as usize);
+        let strip = bytes
+            .get(off..off + cnt)
+            .ok_or_else(|| ImageError::Format("strip beyond end of file".into()))?;
+        raw.extend_from_slice(strip);
+    }
+    if raw.len() < expected {
+        return Err(ImageError::Format(format!(
+            "pixel data truncated: {} < {expected}",
+            raw.len()
+        )));
+    }
+    let mut data = Vec::with_capacity(width * height);
+    if bits == 8 {
+        data.extend(raw[..expected].iter().map(|&b| b as u16));
+    } else {
+        for px in raw[..expected].chunks_exact(2) {
+            data.push(match order {
+                ByteOrder::Little => u16::from_le_bytes([px[0], px[1]]),
+                ByteOrder::Big => u16::from_be_bytes([px[0], px[1]]),
+            });
+        }
+    }
+    Ok(Image::from_vec(width, height, data))
+}
+
+/// Encodes a 16-bit grayscale image as an uncompressed little-endian
+/// single-strip TIFF.
+pub fn encode_tiff(img: &Image<u16>) -> Vec<u8> {
+    let (w, h) = img.dims();
+    let pixel_bytes = w * h * 2;
+    let data_off = 8usize;
+    let ifd_off = data_off + pixel_bytes;
+    let n_tags = 9u16;
+    let mut out = Vec::with_capacity(ifd_off + 2 + n_tags as usize * 12 + 4);
+    // header
+    out.extend_from_slice(b"II");
+    out.extend_from_slice(&42u16.to_le_bytes());
+    out.extend_from_slice(&(ifd_off as u32).to_le_bytes());
+    // pixel data (one strip)
+    for &px in img.pixels() {
+        out.extend_from_slice(&px.to_le_bytes());
+    }
+    // IFD
+    out.extend_from_slice(&n_tags.to_le_bytes());
+    let mut tag = |id: u16, typ: u16, count: u32, value: u32| {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&typ.to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        if typ == TYPE_SHORT && count == 1 {
+            out.extend_from_slice(&(value as u16).to_le_bytes());
+            out.extend_from_slice(&0u16.to_le_bytes());
+        } else {
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+    };
+    tag(TAG_IMAGE_WIDTH, TYPE_LONG, 1, w as u32);
+    tag(TAG_IMAGE_LENGTH, TYPE_LONG, 1, h as u32);
+    tag(TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, 16);
+    tag(TAG_COMPRESSION, TYPE_SHORT, 1, 1);
+    tag(TAG_PHOTOMETRIC, TYPE_SHORT, 1, 1); // BlackIsZero
+    tag(TAG_STRIP_OFFSETS, TYPE_LONG, 1, data_off as u32);
+    tag(TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, 1);
+    tag(TAG_ROWS_PER_STRIP, TYPE_LONG, 1, h as u32);
+    tag(TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1, pixel_bytes as u32);
+    out.extend_from_slice(&0u32.to_le_bytes()); // no next IFD
+    out
+}
+
+/// Reads a TIFF file from disk.
+pub fn read_tiff(path: impl AsRef<Path>) -> Result<Image<u16>> {
+    decode_tiff(&fs::read(path)?)
+}
+
+/// Writes an image to disk as TIFF.
+pub fn write_tiff(path: impl AsRef<Path>, img: &Image<u16>) -> Result<()> {
+    fs::write(path, encode_tiff(img))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(w: usize, h: usize) -> Image<u16> {
+        Image::from_fn(w, h, |x, y| ((x * 257 + y * 7919) % 65536) as u16)
+    }
+
+    #[test]
+    fn round_trip() {
+        for (w, h) in [(1usize, 1usize), (7, 3), (64, 48), (100, 1)] {
+            let img = sample(w, h);
+            let decoded = decode_tiff(&encode_tiff(&img)).unwrap();
+            assert_eq!(img, decoded, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("stitch_tiff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tif");
+        let img = sample(33, 21);
+        write_tiff(&path, &img).unwrap();
+        assert_eq!(read_tiff(&path).unwrap(), img);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_tiff(b"not a tiff").is_err());
+        assert!(decode_tiff(b"").is_err());
+        assert!(decode_tiff(b"II\x2b\x00\x08\x00\x00\x00").is_err()); // magic 43 (BigTIFF)
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        let img = sample(16, 16);
+        let mut enc = encode_tiff(&img);
+        // chop out some pixel bytes but keep the IFD intact by rebuilding:
+        enc.truncate(8 + 16 * 16); // way less than needed, IFD gone
+        assert!(decode_tiff(&enc).is_err());
+    }
+
+    #[test]
+    fn big_endian_read() {
+        // hand-built MM file: 2x1, 16-bit, pixels [0x1234, 0xABCD]
+        let mut b = Vec::new();
+        b.extend_from_slice(b"MM");
+        b.extend_from_slice(&42u16.to_be_bytes());
+        b.extend_from_slice(&12u32.to_be_bytes()); // IFD at 12
+        b.extend_from_slice(&0x1234u16.to_be_bytes());
+        b.extend_from_slice(&0xABCDu16.to_be_bytes());
+        let tags: [(u16, u16, u32, u32); 7] = [
+            (TAG_IMAGE_WIDTH, TYPE_LONG, 1, 2),
+            (TAG_IMAGE_LENGTH, TYPE_LONG, 1, 1),
+            (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, 16u32 << 16), // short packed in high half
+            (TAG_COMPRESSION, TYPE_SHORT, 1, 1u32 << 16),
+            (TAG_PHOTOMETRIC, TYPE_SHORT, 1, 1u32 << 16),
+            (TAG_STRIP_OFFSETS, TYPE_LONG, 1, 8),
+            (TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1, 4),
+        ];
+        b.extend_from_slice(&(tags.len() as u16).to_be_bytes());
+        for (id, typ, count, value) in tags {
+            b.extend_from_slice(&id.to_be_bytes());
+            b.extend_from_slice(&typ.to_be_bytes());
+            b.extend_from_slice(&count.to_be_bytes());
+            b.extend_from_slice(&value.to_be_bytes());
+        }
+        b.extend_from_slice(&0u32.to_be_bytes());
+        let img = decode_tiff(&b).unwrap();
+        assert_eq!(img.dims(), (2, 1));
+        assert_eq!(img.pixels(), &[0x1234, 0xABCD]);
+    }
+
+    #[test]
+    fn eight_bit_widens() {
+        // 2x1 8-bit LE file
+        let mut b = Vec::new();
+        b.extend_from_slice(b"II");
+        b.extend_from_slice(&42u16.to_le_bytes());
+        b.extend_from_slice(&10u32.to_le_bytes());
+        b.extend_from_slice(&[200u8, 55u8]);
+        let tags: [(u16, u16, u32, u32); 7] = [
+            (TAG_IMAGE_WIDTH, TYPE_LONG, 1, 2),
+            (TAG_IMAGE_LENGTH, TYPE_LONG, 1, 1),
+            (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, 8),
+            (TAG_COMPRESSION, TYPE_SHORT, 1, 1),
+            (TAG_PHOTOMETRIC, TYPE_SHORT, 1, 1),
+            (TAG_STRIP_OFFSETS, TYPE_LONG, 1, 8),
+            (TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1, 2),
+        ];
+        b.extend_from_slice(&(tags.len() as u16).to_le_bytes());
+        for (id, typ, count, value) in tags {
+            b.extend_from_slice(&id.to_le_bytes());
+            b.extend_from_slice(&typ.to_le_bytes());
+            b.extend_from_slice(&count.to_le_bytes());
+            if typ == TYPE_SHORT {
+                b.extend_from_slice(&(value as u16).to_le_bytes());
+                b.extend_from_slice(&0u16.to_le_bytes());
+            } else {
+                b.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        b.extend_from_slice(&0u32.to_le_bytes());
+        let img = decode_tiff(&b).unwrap();
+        assert_eq!(img.pixels(), &[200, 55]);
+    }
+
+    #[test]
+    fn rejects_compressed() {
+        let img = sample(4, 4);
+        let mut enc = encode_tiff(&img);
+        // flip the compression tag value (tag table starts after pixels)
+        let ifd = 8 + 4 * 4 * 2;
+        // entry 3 (0-based) is compression; value field at ifd+2+3*12+8
+        let voff = ifd + 2 + 3 * 12 + 8;
+        enc[voff] = 5; // LZW
+        assert!(matches!(decode_tiff(&enc), Err(ImageError::Unsupported(_))));
+    }
+}

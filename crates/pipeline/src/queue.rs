@@ -1,0 +1,397 @@
+//! Bounded blocking MPMC queue with monitor semantics.
+//!
+//! The paper's pipeline (§IV-B) connects its stages with queues that "have
+//! monitor implementations to prevent race conditions". This is that
+//! structure: a mutex-protected ring with two condition variables, a
+//! capacity bound (back-pressure keeps the working set inside memory
+//! limits), and writer-counted auto-close so a stage's consumers finish
+//! cleanly when every producer is done.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    writers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    // metrics
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    high_water: AtomicU64,
+    producer_block_nanos: AtomicU64,
+    consumer_block_nanos: AtomicU64,
+}
+
+/// A bounded blocking queue shared between pipeline stages. Cloning is
+/// cheap (it is an `Arc` handle); all clones see the same queue.
+pub struct Queue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Queue<T> {
+    fn clone(&self) -> Self {
+        Queue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` items (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Queue<T> {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Queue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::with_capacity(capacity),
+                    closed: false,
+                    writers: 0,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity,
+                pushed: AtomicU64::new(0),
+                popped: AtomicU64::new(0),
+                high_water: AtomicU64::new(0),
+                producer_block_nanos: AtomicU64::new(0),
+                consumer_block_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a producer. The queue closes automatically once every
+    /// writer has been dropped (and stays closed).
+    pub fn writer(&self) -> QueueWriter<T> {
+        self.inner.state.lock().writers += 1;
+        QueueWriter { queue: self.clone() }
+    }
+
+    /// Blocking push. Returns `false` (dropping `item`) if the queue was
+    /// closed before space became available.
+    pub fn push(&self, item: T) -> bool {
+        let t0 = Instant::now();
+        let mut st = self.inner.state.lock();
+        while st.items.len() >= self.inner.capacity && !st.closed {
+            self.inner.not_full.wait(&mut st);
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        let len = st.items.len() as u64;
+        drop(st);
+        self.inner.pushed.fetch_add(1, Ordering::Relaxed);
+        self.inner.high_water.fetch_max(len, Ordering::Relaxed);
+        self.inner
+            .producer_block_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        true
+    }
+
+    /// Blocking pop. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let t0 = Instant::now();
+        let mut st = self.inner.state.lock();
+        while st.items.is_empty() && !st.closed {
+            self.inner.not_empty.wait(&mut st);
+        }
+        let item = st.items.pop_front();
+        drop(st);
+        if item.is_some() {
+            self.inner.popped.fetch_add(1, Ordering::Relaxed);
+            self.inner.not_full.notify_one();
+        }
+        self.inner
+            .consumer_block_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        item
+    }
+
+    /// Non-blocking push; `Err(item)` when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.inner.state.lock();
+        if st.closed || st.items.len() >= self.inner.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        let len = st.items.len() as u64;
+        drop(st);
+        self.inner.pushed.fetch_add(1, Ordering::Relaxed);
+        self.inner.high_water.fetch_max(len, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.inner.state.lock();
+        let item = st.items.pop_front();
+        drop(st);
+        if item.is_some() {
+            self.inner.popped.fetch_add(1, Ordering::Relaxed);
+            self.inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what's left.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+
+    /// Current item count.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().items.len()
+    }
+
+    /// True when no items are queued (the queue may still be open).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// True once closed (explicitly or by the last writer dropping).
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Lifetime counters for observability.
+    pub fn metrics(&self) -> QueueMetrics {
+        QueueMetrics {
+            pushed: self.inner.pushed.load(Ordering::Relaxed),
+            popped: self.inner.popped.load(Ordering::Relaxed),
+            high_water: self.inner.high_water.load(Ordering::Relaxed) as usize,
+            producer_block_nanos: self.inner.producer_block_nanos.load(Ordering::Relaxed),
+            consumer_block_nanos: self.inner.consumer_block_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn drop_writer(&self) {
+        let mut st = self.inner.state.lock();
+        st.writers -= 1;
+        if st.writers == 0 {
+            st.closed = true;
+            drop(st);
+            self.inner.not_empty.notify_all();
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+/// RAII producer handle; see [`Queue::writer`].
+pub struct QueueWriter<T> {
+    queue: Queue<T>,
+}
+
+impl<T> QueueWriter<T> {
+    /// Blocking push through this writer. See [`Queue::push`].
+    pub fn push(&self, item: T) -> bool {
+        self.queue.push(item)
+    }
+
+    /// The queue this writer feeds.
+    pub fn queue(&self) -> &Queue<T> {
+        &self.queue
+    }
+}
+
+impl<T> Clone for QueueWriter<T> {
+    fn clone(&self) -> Self {
+        self.queue.writer()
+    }
+}
+
+impl<T> Drop for QueueWriter<T> {
+    fn drop(&mut self) {
+        self.queue.drop_writer();
+    }
+}
+
+/// Snapshot of a queue's lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueMetrics {
+    /// Items successfully pushed.
+    pub pushed: u64,
+    /// Items successfully popped.
+    pub popped: u64,
+    /// Maximum queue depth observed.
+    pub high_water: usize,
+    /// Total time producers spent blocked on a full queue.
+    pub producer_block_nanos: u64,
+    /// Total time consumers spent blocked on an empty queue.
+    pub consumer_block_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Queue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = Queue::new(4);
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert!(!q.push(3), "push after close must fail");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn writer_drop_closes() {
+        let q: Queue<u32> = Queue::new(4);
+        let w1 = q.writer();
+        let w2 = w1.clone();
+        assert!(!q.is_closed());
+        drop(w1);
+        assert!(!q.is_closed());
+        w2.push(9);
+        drop(w2);
+        assert!(q.is_closed());
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_blocks_producer() {
+        let q = Queue::new(2);
+        q.push(0);
+        q.push(1);
+        assert!(q.try_push(2).is_err());
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push(2)); // blocks until a pop
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(0));
+        assert!(h.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_dupes() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        const PER: usize = 500;
+        let q: Queue<usize> = Queue::new(16);
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let w = q.writer();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    assert!(w.push(p * PER + i));
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let q = q.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        // the consumer must run concurrently: 600 items never fit in a
+        // capacity-4 queue, so producers rely on it draining
+        let q: Queue<(usize, usize)> = Queue::new(4);
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut last = [0usize; 3];
+                let mut counts = [0usize; 3];
+                while let Some((p, i)) = q.pop() {
+                    if counts[p] > 0 {
+                        assert!(i > last[p], "producer {p} order violated");
+                    }
+                    last[p] = i;
+                    counts[p] += 1;
+                }
+                counts
+            })
+        };
+        let mut handles = Vec::new();
+        for p in 0..3 {
+            let w = q.writer();
+            handles.push(thread::spawn(move || {
+                for i in 0..200 {
+                    assert!(w.push((p, i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // all writers dropped → queue auto-closes → consumer drains out
+        assert_eq!(consumer.join().unwrap(), [200, 200, 200]);
+    }
+
+    #[test]
+    fn metrics_track_traffic() {
+        let q = Queue::new(4);
+        q.push(1);
+        q.push(2);
+        q.pop();
+        let m = q.metrics();
+        assert_eq!(m.pushed, 2);
+        assert_eq!(m.popped, 1);
+        assert_eq!(m.high_water, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _q: Queue<u8> = Queue::new(0);
+    }
+}

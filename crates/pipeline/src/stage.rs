@@ -1,0 +1,276 @@
+//! Pipeline stages: named groups of worker threads draining a queue.
+//!
+//! The paper's §VI-A closes by promising "a general purpose API for the
+//! pipeline ... so it can be applied to other problems". This module is
+//! that API: a [`Pipeline`] owns stages; each stage runs one or more
+//! worker threads (Fig 8 annotates the thread count of every stage) that
+//! pop from an input [`Queue`] and push wherever their closure decides.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::queue::Queue;
+
+/// Lifetime counters for one stage (aggregated over its threads).
+#[derive(Default)]
+pub struct StageMetrics {
+    items: AtomicU64,
+    busy_nanos: AtomicU64,
+    wait_nanos: AtomicU64,
+}
+
+impl StageMetrics {
+    /// Items processed.
+    pub fn items(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// Time spent inside the stage body, summed across threads.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Time spent blocked waiting for input, summed across threads.
+    pub fn wait_nanos(&self) -> u64 {
+        self.wait_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of wall time the stage's threads were doing work.
+    pub fn utilization(&self) -> f64 {
+        let busy = self.busy_nanos() as f64;
+        let total = busy + self.wait_nanos() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            busy / total
+        }
+    }
+}
+
+/// Snapshot of one stage's metrics with its name and thread count.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Items processed.
+    pub items: u64,
+    /// Busy nanoseconds (sum over threads).
+    pub busy_nanos: u64,
+    /// Input-wait nanoseconds (sum over threads).
+    pub wait_nanos: u64,
+}
+
+impl StageReport {
+    /// busy / (busy + wait).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_nanos + self.wait_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / total as f64
+        }
+    }
+}
+
+struct StageHandle {
+    name: String,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<StageMetrics>,
+}
+
+/// A set of stages forming one execution pipeline (the paper instantiates
+/// one of these per GPU). Stages are wired together by the caller through
+/// shared [`Queue`]s; the pipeline only owns threads and metrics.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<StageHandle>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Adds a stage of `threads` workers consuming `input`. Each worker
+    /// runs `work(item)` until the queue closes and drains; `work` is
+    /// cloned per thread so it may carry per-thread state (scratch
+    /// buffers, planners, device streams…).
+    pub fn add_stage<I, F>(&mut self, name: &str, threads: usize, input: Queue<I>, work: F)
+    where
+        I: Send + 'static,
+        F: FnMut(I) + Clone + Send + 'static,
+    {
+        assert!(threads >= 1, "a stage needs at least one thread");
+        let metrics = Arc::new(StageMetrics::default());
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let input = input.clone();
+            let mut work = work.clone();
+            let metrics = Arc::clone(&metrics);
+            let thread_name = format!("{name}-{t}");
+            handles.push(
+                std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || loop {
+                        let w0 = Instant::now();
+                        let Some(item) = input.pop() else { break };
+                        metrics
+                            .wait_nanos
+                            .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let b0 = Instant::now();
+                        work(item);
+                        metrics
+                            .busy_nanos
+                            .fetch_add(b0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        metrics.items.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn stage thread"),
+            );
+        }
+        self.stages.push(StageHandle {
+            name: name.to_string(),
+            threads: handles,
+            metrics,
+        });
+    }
+
+    /// Adds a source: a single thread that runs `produce()` once (pushing
+    /// into downstream queues through writers it captured) and exits.
+    pub fn add_source<F>(&mut self, name: &str, produce: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let metrics = Arc::new(StageMetrics::default());
+        let m2 = Arc::clone(&metrics);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let t0 = Instant::now();
+                produce();
+                m2.busy_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                m2.items.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("spawn source thread");
+        self.stages.push(StageHandle {
+            name: name.to_string(),
+            threads: vec![handle],
+            metrics,
+        });
+    }
+
+    /// Waits for every stage thread to finish and returns per-stage
+    /// reports in registration order.
+    pub fn join(self) -> Vec<StageReport> {
+        let mut reports = Vec::with_capacity(self.stages.len());
+        for stage in self.stages {
+            let threads = stage.threads.len();
+            for h in stage.threads {
+                h.join().expect("stage thread panicked");
+            }
+            reports.push(StageReport {
+                name: stage.name,
+                threads,
+                items: stage.metrics.items(),
+                busy_nanos: stage.metrics.busy_nanos(),
+                wait_nanos: stage.metrics.wait_nanos(),
+            });
+        }
+        reports
+    }
+
+    /// Number of registered stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn two_stage_pipeline_processes_everything() {
+        let q1: Queue<u64> = Queue::new(8);
+        let q2: Queue<u64> = Queue::new(8);
+        let sum = Arc::new(AtomicU64::new(0));
+
+        let mut pl = Pipeline::new();
+        let w1 = q1.writer();
+        pl.add_source("source", move || {
+            for i in 1..=100 {
+                w1.push(i);
+            }
+        });
+        let w2 = q2.writer();
+        pl.add_stage("double", 3, q1.clone(), move |v: u64| {
+            w2.push(v * 2);
+        });
+        let sum2 = Arc::clone(&sum);
+        pl.add_stage("sum", 2, q2.clone(), move |v: u64| {
+            sum2.fetch_add(v, Ordering::Relaxed);
+        });
+        let reports = pl.join();
+        assert_eq!(sum.load(Ordering::Relaxed), 2 * (100 * 101) / 2);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[1].items, 100);
+        assert_eq!(reports[2].items, 100);
+    }
+
+    #[test]
+    fn per_thread_state_via_clone() {
+        // Each worker clone keeps its own counter; totals must add up.
+        let q: Queue<()> = Queue::new(4);
+        let total = Arc::new(AtomicUsize::new(0));
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            for _ in 0..50 {
+                w.push(());
+            }
+        });
+        // each of the 4 workers gets its own clone of (counter, shared total)
+        let shared = Arc::clone(&total);
+        let mut local = 0usize;
+        pl.add_stage("count", 4, q.clone(), move |_item: ()| {
+            local += 1;
+            shared.fetch_add(1, Ordering::Relaxed);
+            let _ = local;
+        });
+        pl.join();
+        assert_eq!(total.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn reports_have_utilization() {
+        let q: Queue<u32> = Queue::new(2);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            for i in 0..10 {
+                w.push(i);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        pl.add_stage("slow", 1, q.clone(), |_v| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        let reports = pl.join();
+        let slow = &reports[1];
+        assert!(slow.utilization() > 0.0 && slow.utilization() <= 1.0);
+        assert!(slow.busy_nanos > 0);
+    }
+
+    #[test]
+    fn empty_pipeline_joins() {
+        let pl = Pipeline::new();
+        assert_eq!(pl.stage_count(), 0);
+        assert!(pl.join().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the pipeline framework: queue semantics under
+//! arbitrary interleavings and capacities.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use stitch_pipeline::{Pipeline, Queue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No loss, no duplication: any producer/consumer/capacity mix
+    /// delivers exactly the pushed multiset.
+    #[test]
+    fn queue_conserves_items(
+        producers in 1usize..5,
+        consumers in 1usize..5,
+        capacity in 1usize..32,
+        per_producer in 1usize..200,
+    ) {
+        let q: Queue<u64> = Queue::new(capacity);
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let w = q.writer();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    assert!(w.push((p * per_producer + i) as u64));
+                }
+            }));
+        }
+        let mut sinks = Vec::new();
+        for _ in 0..consumers {
+            let q = q.clone();
+            sinks.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u64> = sinks.into_iter().flat_map(|s| s.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(producers * per_producer) as u64).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// The queue's high-water mark never exceeds its capacity.
+    #[test]
+    fn queue_respects_capacity(capacity in 1usize..16, items in 1usize..300) {
+        let q: Queue<usize> = Queue::new(capacity);
+        let w = q.writer();
+        let producer = std::thread::spawn(move || {
+            for i in 0..items {
+                w.push(i);
+            }
+        });
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || while q2.pop().is_some() {});
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        prop_assert!(q.metrics().high_water <= capacity);
+        prop_assert_eq!(q.metrics().pushed, items as u64);
+        prop_assert_eq!(q.metrics().popped, items as u64);
+    }
+
+    /// A multi-stage pipeline of arbitrary widths processes every item
+    /// exactly once per stage.
+    #[test]
+    fn pipeline_counts_are_exact(
+        width1 in 1usize..4,
+        width2 in 1usize..4,
+        items in 1usize..300,
+    ) {
+        let q1: Queue<u64> = Queue::new(8);
+        let q2: Queue<u64> = Queue::new(8);
+        let mut pl = Pipeline::new();
+        let w1 = q1.writer();
+        pl.add_source("src", move || {
+            for i in 0..items as u64 {
+                w1.push(i);
+            }
+        });
+        let w2 = q2.writer();
+        pl.add_stage("mid", width1, q1.clone(), move |v: u64| {
+            w2.push(v + 1);
+        });
+        let sum = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&sum);
+        pl.add_stage("sink", width2, q2.clone(), move |v: u64| {
+            s2.fetch_add(v, Ordering::Relaxed);
+        });
+        let reports = pl.join();
+        prop_assert_eq!(reports[1].items, items as u64);
+        prop_assert_eq!(reports[2].items, items as u64);
+        let n = items as u64;
+        prop_assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+}

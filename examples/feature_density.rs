@@ -1,0 +1,68 @@
+//! The paper's second challenge (§I): feature-sparse images.
+//!
+//! "Optical microscopy can generate images with few distinguishable
+//! features in the overlap region ... This occurs often in the early
+//! phases of live cell experiments when cell colonies are seeded at low
+//! densities." Feature-based stitchers fail outright there; the paper's
+//! Fourier method degrades gracefully and its phase 2 referees whatever
+//! phase 1 gets wrong.
+//!
+//! This example sweeps colony density from dense to nearly empty and
+//! reports, at each density: phase-1 pair errors, the correlation
+//! distribution, and the final absolute-position error after phase 2.
+//!
+//! ```text
+//! cargo run --release --example feature_density
+//! ```
+
+use stitching::core::quality::correlation_stats;
+use stitching::image::{ScanConfig, SceneParams, SyntheticPlate};
+use stitching::prelude::*;
+
+fn main() {
+    let config = ScanConfig {
+        grid_rows: 3,
+        grid_cols: 4,
+        tile_width: 96,
+        tile_height: 72,
+        overlap: 0.25,
+        stage_jitter: 3.0,
+        backlash_x: 1.0,
+        noise_sigma: 40.0,
+        vignette: 0.03,
+        seed: 1010,
+    };
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>14}",
+        "colonies", "cells", "pair errors", "median corr", "pos error (px)"
+    );
+    for colonies in [40usize, 20, 10, 4, 2, 0] {
+        let scene = SceneParams {
+            colony_count: colonies,
+            cells_per_colony: (6, 20),
+            ..SceneParams::default()
+        };
+        let plate = SyntheticPlate::generate_with_scene(config.clone(), scene);
+        let source = SyntheticSource::new(plate);
+        let (tw, tn) = truth_vectors(source.plate());
+
+        let result = SimpleCpuStitcher::default().compute_displacements(&source);
+        let errors = result.count_errors(&tw, &tn, 0);
+        let stats = correlation_stats(&result);
+        let positions = GlobalOptimizer::default().solve(&result);
+        let dev = positions.max_deviation(source.plate().positions());
+        println!(
+            "{:>10} {:>8} {:>12} {:>12.3} {:>14}",
+            colonies,
+            source.plate().scene().cell_count(),
+            errors,
+            stats.median,
+            format!("({},{})", dev.0, dev.1),
+        );
+    }
+    println!(
+        "\neven at zero colonies the plate-fixed texture (debris, media\n\
+         granularity) carries the alignment — the regime where the paper\n\
+         notes feature-detection methods are ruled out entirely"
+    );
+}

@@ -1,0 +1,109 @@
+//! Full-plate run: writes a 42×59-shaped dataset to disk (scaled-down
+//! tiles by default), then runs every implementation end-to-end from the
+//! files — the paper's Table II workload in miniature — and prints the
+//! comparison table.
+//!
+//! ```text
+//! cargo run --release --example full_plate              # scaled (24x16 grid)
+//! cargo run --release --example full_plate -- --paper-grid   # full 42x59 grid
+//! ```
+
+use std::time::Instant;
+
+use stitching::gpu::{Device, DeviceConfig};
+use stitching::image::{ScanConfig, SyntheticPlate};
+use stitching::prelude::*;
+
+fn main() {
+    let paper_grid = std::env::args().any(|a| a == "--paper-grid");
+    let (rows, cols) = if paper_grid { (42, 59) } else { (24, 16) };
+    let config = ScanConfig {
+        grid_rows: rows,
+        grid_cols: cols,
+        tile_width: 96,
+        tile_height: 72,
+        overlap: 0.25,
+        stage_jitter: 3.0,
+        backlash_x: 1.5,
+        noise_sigma: 50.0,
+        vignette: 0.03,
+        seed: 59,
+    };
+
+    // write the dataset to disk so reads are real file I/O
+    let dir = std::env::temp_dir().join("stitch_full_plate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let t0 = Instant::now();
+    let plate = SyntheticPlate::generate(config.clone());
+    let n = plate.write_to_dir(&dir).expect("write dataset");
+    println!(
+        "dataset: {n} tiles ({rows}x{cols} grid, {}x{} px) written to {} in {:.2?}",
+        config.tile_width,
+        config.tile_height,
+        dir.display(),
+        t0.elapsed()
+    );
+    let source = DirSource::open(&dir).expect("open dataset");
+    let (tw, tn) = truth_vectors(&plate);
+
+    let gpu = || Device::new(0, DeviceConfig::default());
+    let gpu2 = || {
+        vec![
+            Device::new(0, DeviceConfig::default()),
+            Device::new(1, DeviceConfig::default()),
+        ]
+    };
+    let stitchers: Vec<Box<dyn Stitcher>> = vec![
+        Box::new(FijiStyleStitcher::new(2)),
+        Box::new(SimpleCpuStitcher::default()),
+        Box::new(MtCpuStitcher::new(4)),
+        Box::new(PipelinedCpuStitcher::new(4)),
+        Box::new(SimpleGpuStitcher::new(gpu())),
+        Box::new(PipelinedGpuStitcher::single(gpu())),
+        Box::new(PipelinedGpuStitcher::new(gpu2(), Default::default())),
+    ];
+
+    println!(
+        "\n{:<22} {:>10} {:>8} {:>9} {:>10}",
+        "implementation", "time", "errors", "peak-live", "fwd-FFTs"
+    );
+    let mut positions = None;
+    for s in stitchers {
+        let r = s.compute_displacements(&source);
+        let errors = r.count_errors(&tw, &tn, 0);
+        println!(
+            "{:<22} {:>10.2?} {:>8} {:>9} {:>10}",
+            s.name(),
+            r.elapsed,
+            errors,
+            r.peak_live_tiles,
+            r.ops.forward_ffts
+        );
+        positions = Some(GlobalOptimizer::default().solve(&r));
+    }
+
+    // phase 2 repairs any phase-1 outliers: report the recovered
+    // absolute-position accuracy
+    if let Some(positions) = &positions {
+        let truth: Vec<(i64, i64)> = plate.positions().to_vec();
+        println!(
+            "\nphase-2 absolute positions: max deviation vs truth {:?} px",
+            positions.max_deviation(&truth)
+        );
+    }
+
+    // compose the final mosaic from the last result
+    if let Some(positions) = positions {
+        let t = Instant::now();
+        let mosaic = Composer::new(positions, Blend::Linear).compose(&source);
+        let out = dir.join("mosaic.pgm");
+        stitching::image::pgm::write_pgm(&out, &mosaic).expect("write mosaic");
+        println!(
+            "\ncomposed {}x{} mosaic in {:.2?} -> {}",
+            mosaic.width(),
+            mosaic.height(),
+            t.elapsed(),
+            out.display()
+        );
+    }
+}

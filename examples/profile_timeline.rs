@@ -1,0 +1,56 @@
+//! Device-profile contrast (the paper's Figs 7 and 9).
+//!
+//! Runs Simple-GPU and Pipelined-GPU over the same 8×8 grid (the grid the
+//! paper profiled) on devices with the PCIe transfer model enabled, then
+//! renders each device's timeline and prints the kernel-density metric —
+//! the textual version of the NVIDIA visual profiler screenshots.
+//!
+//! ```text
+//! cargo run --release --example profile_timeline
+//! ```
+
+use stitching::gpu::{Device, DeviceConfig, SpanKind};
+use stitching::image::{ScanConfig, SyntheticPlate};
+use stitching::prelude::*;
+
+fn main() {
+    let src = SyntheticSource::new(SyntheticPlate::generate(ScanConfig {
+        grid_rows: 8,
+        grid_cols: 8,
+        tile_width: 128,
+        tile_height: 96,
+        overlap: 0.25,
+        stage_jitter: 3.0,
+        backlash_x: 1.0,
+        noise_sigma: 40.0,
+        vignette: 0.03,
+        seed: 79,
+    }));
+    let cfg = DeviceConfig {
+        memory_bytes: 512 << 20,
+        ..DeviceConfig::with_transfer_model()
+    };
+
+    println!("== Simple-GPU (Fig 7): synchronous copies, default stream ==");
+    let dev = Device::new(0, cfg.clone());
+    let r = SimpleGpuStitcher::new(dev.clone()).compute_displacements(&src);
+    println!("elapsed {:.2?}", r.elapsed);
+    print!("{}", dev.profiler().render_timeline(100));
+    println!(
+        "kernel density {:.3}, peak kernel concurrency {}\n",
+        dev.profiler().kernel_density(),
+        dev.profiler().peak_concurrency(SpanKind::Kernel)
+    );
+
+    println!("== Pipelined-GPU (Fig 9): six stages, one stream per stage ==");
+    let dev = Device::new(1, cfg);
+    let r = PipelinedGpuStitcher::single(dev.clone()).compute_displacements(&src);
+    println!("elapsed {:.2?}", r.elapsed);
+    print!("{}", dev.profiler().render_timeline(100));
+    println!(
+        "kernel density {:.3}, peak kernel concurrency {}",
+        dev.profiler().kernel_density(),
+        dev.profiler().peak_concurrency(SpanKind::Kernel)
+    );
+    println!("\nlegend: '>' H2D copy, '<' D2H copy, '#' kernel, '.' sync, ' ' idle");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: synthesize a small plate, stitch it, verify against the
+//! ground truth, compose the mosaic, and save it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stitching::image::pgm;
+use stitching::image::{ScanConfig, SyntheticPlate};
+use stitching::prelude::*;
+
+fn main() {
+    // 1. A synthetic microscope scan: 4×6 grid of 96×72 tiles with 25 %
+    //    nominal overlap, stage jitter, backlash, vignetting and noise.
+    let config = ScanConfig {
+        grid_rows: 4,
+        grid_cols: 6,
+        tile_width: 96,
+        tile_height: 72,
+        overlap: 0.25,
+        stage_jitter: 3.0,
+        backlash_x: 1.5,
+        noise_sigma: 50.0,
+        vignette: 0.03,
+        seed: 2014,
+    };
+    let plate = SyntheticPlate::generate(config);
+    let source = SyntheticSource::new(plate);
+    println!(
+        "scanned a {}x{} grid of {}x{} px tiles",
+        source.shape().rows,
+        source.shape().cols,
+        source.tile_dims().0,
+        source.tile_dims().1
+    );
+
+    // 2. Phase 1 — relative displacements (sequential reference).
+    let stitcher = SimpleCpuStitcher::default();
+    let result = stitcher.compute_displacements(&source);
+    println!(
+        "{}: {} pairs in {:.2?} ({} FFTs, peak {} live tiles)",
+        stitcher.name(),
+        source.shape().pairs(),
+        result.elapsed,
+        result.ops.forward_ffts + result.ops.inverse_ffts,
+        result.peak_live_tiles
+    );
+
+    // check against the scan's ground truth
+    let (tw, tn) = truth_vectors(source.plate());
+    let errors = result.count_errors(&tw, &tn, 0);
+    println!("displacement errors vs ground truth: {errors}");
+
+    // 3. Phase 2 — resolve to absolute positions.
+    let positions = GlobalOptimizer::default().solve(&result);
+    let truth: Vec<(i64, i64)> = source.plate().positions().to_vec();
+    let dev = positions.max_deviation(&truth);
+    println!("absolute positions recovered; max deviation vs truth: {dev:?} px");
+
+    // 4. Phase 3 — compose and save.
+    let mosaic = Composer::new(positions, Blend::Overlay).compose(&source);
+    let out = std::env::temp_dir().join("stitch_quickstart.pgm");
+    pgm::write_pgm(&out, &mosaic).expect("write mosaic");
+    println!(
+        "composed {}x{} px mosaic -> {}",
+        mosaic.width(),
+        mosaic.height(),
+        out.display()
+    );
+}

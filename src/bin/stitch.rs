@@ -1,0 +1,21 @@
+//! `stitch` — command-line front end for the stitching workspace.
+//!
+//! ```text
+//! stitch generate --out dataset/ --rows 8 --cols 12
+//! stitch stitch --dataset dataset/ --impl pipelined-gpu --gpus 2 --out mosaic.tif
+//! stitch info --dataset dataset/
+//! stitch simulate --machine testbed
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match stitching::cli::parse(&args) {
+        Ok(cmd) => stitching::cli::run(cmd),
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", stitching::cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,480 @@
+//! Command-line interface plumbing for the `stitch` binary.
+//!
+//! A small hand-rolled parser (no external dependency) covering the four
+//! subcommands: `generate`, `stitch`, `info`, and `simulate`. Parsing is
+//! pure so it is unit-testable; execution lives in [`run`].
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use stitch_core::pciam_real::TransformKind;
+use stitch_core::prelude::*;
+use stitch_gpu::{Device, DeviceConfig};
+use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// Write a synthetic dataset to a directory.
+    Generate {
+        /// Output directory.
+        out: PathBuf,
+        /// Scan geometry.
+        config: ScanConfig,
+    },
+    /// Stitch a dataset directory end-to-end.
+    Stitch {
+        /// Dataset directory (with `manifest.tsv`).
+        dataset: PathBuf,
+        /// Implementation name.
+        implementation: Implementation,
+        /// Worker threads (CPU variants) or CCF threads (GPU variants).
+        threads: usize,
+        /// Simulated GPU count (GPU variants).
+        gpus: usize,
+        /// Transform path.
+        transform: TransformKind,
+        /// Blend mode for composition.
+        blend: Blend,
+        /// Mosaic output path (`.pgm` or `.tif`); `None` skips composing.
+        out: Option<PathBuf>,
+        /// Where to write absolute positions as TSV.
+        positions_out: Option<PathBuf>,
+        /// Draw tile borders (Fig 14 style).
+        highlight: bool,
+    },
+    /// Print dataset information.
+    Info {
+        /// Dataset directory.
+        dataset: PathBuf,
+    },
+    /// Print the virtual-time Table II for a machine spec.
+    Simulate {
+        /// `testbed` or `laptop`.
+        machine: String,
+        /// Grid rows.
+        rows: usize,
+        /// Grid cols.
+        cols: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Stitcher implementation selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Implementation {
+    /// Sequential reference.
+    SimpleCpu,
+    /// SPMD row bands.
+    MtCpu,
+    /// 3-stage CPU pipeline (default).
+    PipelinedCpu,
+    /// Synchronous single-stream GPU port.
+    SimpleGpu,
+    /// Six-stage multi-GPU pipeline.
+    PipelinedGpu,
+    /// Per-pair-recompute baseline.
+    Fiji,
+}
+
+impl Implementation {
+    fn parse(s: &str) -> Result<Implementation, String> {
+        match s {
+            "simple-cpu" => Ok(Implementation::SimpleCpu),
+            "mt-cpu" => Ok(Implementation::MtCpu),
+            "pipelined-cpu" => Ok(Implementation::PipelinedCpu),
+            "simple-gpu" => Ok(Implementation::SimpleGpu),
+            "pipelined-gpu" => Ok(Implementation::PipelinedGpu),
+            "fiji" => Ok(Implementation::Fiji),
+            other => Err(format!(
+                "unknown implementation {other:?} (expected simple-cpu, mt-cpu, \
+                 pipelined-cpu, simple-gpu, pipelined-gpu, or fiji)"
+            )),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+stitch — hybrid CPU-GPU microscopy image stitching (ICPP 2014 reproduction)
+
+USAGE:
+  stitch generate --out DIR [--rows N] [--cols N] [--tile-width N]
+                  [--tile-height N] [--overlap F] [--seed N]
+  stitch stitch --dataset DIR [--impl NAME] [--threads N] [--gpus N]
+                [--transform complex|real|padded] [--blend overlay|first|average|linear]
+                [--out mosaic.pgm|.tif] [--positions out.tsv] [--highlight]
+  stitch info --dataset DIR
+  stitch simulate [--machine testbed|laptop] [--rows N] [--cols N]
+  stitch help
+
+IMPLEMENTATIONS: simple-cpu, mt-cpu, pipelined-cpu (default), simple-gpu,
+                 pipelined-gpu, fiji
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // boolean flags take no value
+            if name == "highlight" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    Ok(flags)
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+    }
+}
+
+/// Parses the command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let out = flags
+                .get("out")
+                .ok_or("generate requires --out DIR")?
+                .into();
+            let config = ScanConfig {
+                grid_rows: get_num(&flags, "rows", 8)?,
+                grid_cols: get_num(&flags, "cols", 12)?,
+                tile_width: get_num(&flags, "tile-width", 128)?,
+                tile_height: get_num(&flags, "tile-height", 96)?,
+                overlap: get_num(&flags, "overlap", 0.25)?,
+                stage_jitter: get_num(&flags, "jitter", 3.0)?,
+                backlash_x: 1.5,
+                noise_sigma: get_num(&flags, "noise", 50.0)?,
+                vignette: 0.03,
+                seed: get_num(&flags, "seed", 2014)?,
+            };
+            Ok(Command::Generate { out, config })
+        }
+        "stitch" => Ok(Command::Stitch {
+            dataset: flags
+                .get("dataset")
+                .ok_or("stitch requires --dataset DIR")?
+                .into(),
+            implementation: Implementation::parse(
+                flags.get("impl").map(String::as_str).unwrap_or("pipelined-cpu"),
+            )?,
+            threads: get_num(&flags, "threads", 4)?,
+            gpus: get_num(&flags, "gpus", 1)?,
+            transform: match flags.get("transform").map(String::as_str) {
+                None | Some("complex") => TransformKind::Complex,
+                Some("real") => TransformKind::Real,
+                Some("padded") => TransformKind::PaddedComplex,
+                Some(other) => return Err(format!("bad --transform {other:?}")),
+            },
+            blend: match flags.get("blend").map(String::as_str) {
+                None | Some("overlay") => Blend::Overlay,
+                Some("first") => Blend::First,
+                Some("average") => Blend::Average,
+                Some("linear") => Blend::Linear,
+                Some(other) => return Err(format!("bad --blend {other:?}")),
+            },
+            out: flags.get("out").map(PathBuf::from),
+            positions_out: flags.get("positions").map(PathBuf::from),
+            highlight: flags.contains_key("highlight"),
+        }),
+        "info" => Ok(Command::Info {
+            dataset: flags
+                .get("dataset")
+                .ok_or("info requires --dataset DIR")?
+                .into(),
+        }),
+        "simulate" => Ok(Command::Simulate {
+            machine: flags
+                .get("machine")
+                .cloned()
+                .unwrap_or_else(|| "testbed".to_string()),
+            rows: get_num(&flags, "rows", 42)?,
+            cols: get_num(&flags, "cols", 59)?,
+        }),
+        other => Err(format!("unknown command {other:?}; try `stitch help`")),
+    }
+}
+
+/// Executes a parsed command. Returns a process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            0
+        }
+        Command::Generate { out, config } => {
+            let plate = SyntheticPlate::generate(config.clone());
+            match plate.write_to_dir(&out) {
+                Ok(n) => {
+                    println!(
+                        "wrote {n} tiles ({}x{} grid of {}x{}) to {}",
+                        config.grid_rows,
+                        config.grid_cols,
+                        config.tile_width,
+                        config.tile_height,
+                        out.display()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Info { dataset } => match stitch_image::GridManifest::load(&dataset) {
+            Ok(m) => {
+                println!(
+                    "dataset {}: {}x{} grid, {}x{} px tiles, {:.0}% nominal overlap, {} files",
+                    dataset.display(),
+                    m.rows,
+                    m.cols,
+                    m.tile_width,
+                    m.tile_height,
+                    m.overlap * 100.0,
+                    m.tiles()
+                );
+                println!(
+                    "tile bytes {} ({:.1} MB dataset)",
+                    m.tile_width * m.tile_height * 2,
+                    (m.tiles() * m.tile_width * m.tile_height * 2) as f64 / 1e6
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Command::Simulate { machine, rows, cols } => {
+            use stitch_sim::*;
+            let m = match machine.as_str() {
+                "laptop" => MachineSpec::paper_laptop(),
+                _ => MachineSpec::paper_testbed(),
+            };
+            let shape = GridShape::new(rows, cols);
+            let cost = CostModel::paper_c2070();
+            println!("virtual {machine} machine, {rows}x{cols} grid of 1392x1040 tiles:");
+            let simple = simple_cpu_ns(shape, &cost);
+            let rows_out = [
+                ("Simple-CPU", simple),
+                ("MT-CPU (16t)", mt_cpu_ns(shape, &cost, &m, 16)),
+                ("Pipelined-CPU (16t)", pipelined_cpu_ns(shape, &cost, &m, 16)),
+                ("Simple-GPU", simple_gpu_ns(shape, &cost)),
+                ("Pipelined-GPU x1", pipelined_gpu_ns(shape, &cost, &m, 1, 4)),
+                (
+                    "Pipelined-GPU x2",
+                    pipelined_gpu_ns(shape, &cost, &m, 2.min(m.gpus), 4),
+                ),
+            ];
+            for (name, ns) in rows_out {
+                println!(
+                    "  {name:<22} {:>10.1}s  ({:.1}x vs Simple-CPU)",
+                    secs(ns),
+                    simple as f64 / ns as f64
+                );
+            }
+            0
+        }
+        Command::Stitch {
+            dataset,
+            implementation,
+            threads,
+            gpus,
+            transform,
+            blend,
+            out,
+            positions_out,
+            highlight,
+        } => {
+            let source = match DirSource::open(&dataset) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open dataset: {e}");
+                    return 1;
+                }
+            };
+            let stitcher: Box<dyn Stitcher> = match implementation {
+                Implementation::SimpleCpu => {
+                    Box::new(SimpleCpuStitcher::default().with_transform(transform))
+                }
+                Implementation::MtCpu => Box::new(MtCpuStitcher::new(threads)),
+                Implementation::PipelinedCpu => Box::new(PipelinedCpuStitcher::with_config(
+                    stitch_core::PipelinedCpuConfig {
+                        transform,
+                        ..stitch_core::PipelinedCpuConfig::with_threads(threads)
+                    },
+                )),
+                Implementation::SimpleGpu => Box::new(SimpleGpuStitcher::new(Device::new(
+                    0,
+                    DeviceConfig::default(),
+                ))),
+                Implementation::PipelinedGpu => {
+                    let devices: Vec<Device> = (0..gpus.max(1))
+                        .map(|i| Device::new(i, DeviceConfig::default()))
+                        .collect();
+                    Box::new(PipelinedGpuStitcher::new(
+                        devices,
+                        stitch_core::PipelinedGpuConfig {
+                            ccf_threads: threads.max(1),
+                            ..Default::default()
+                        },
+                    ))
+                }
+                Implementation::Fiji => Box::new(FijiStyleStitcher::new(threads)),
+            };
+            println!(
+                "stitching {} ({}x{} grid) with {}",
+                dataset.display(),
+                source.shape().rows,
+                source.shape().cols,
+                stitcher.name()
+            );
+            let result = stitcher.compute_displacements(&source);
+            println!(
+                "phase 1: {} pairs in {:.2?} ({} forward FFTs, peak {} live tiles)",
+                source.shape().pairs(),
+                result.elapsed,
+                result.ops.forward_ffts,
+                result.peak_live_tiles
+            );
+            let positions = GlobalOptimizer::default().solve(&result);
+            if let Some(path) = positions_out {
+                let mut tsv = String::from("row\tcol\tx\ty\n");
+                for id in result.shape.ids() {
+                    let (x, y) = positions.get(id);
+                    tsv.push_str(&format!("{}\t{}\t{x}\t{y}\n", id.row, id.col));
+                }
+                if let Err(e) = std::fs::write(&path, tsv) {
+                    eprintln!("error writing positions: {e}");
+                    return 1;
+                }
+                println!("phase 2: positions -> {}", path.display());
+            }
+            if let Some(path) = out {
+                let mut composer = Composer::new(positions, blend);
+                composer.highlight_tiles = highlight;
+                let mosaic = composer.compose(&source);
+                let res = match path.extension().and_then(|e| e.to_str()) {
+                    Some("tif") | Some("tiff") => tiff::write_tiff(&path, &mosaic),
+                    _ => pgm::write_pgm(&path, &mosaic),
+                };
+                match res {
+                    Ok(()) => println!(
+                        "phase 3: {}x{} mosaic -> {}",
+                        mosaic.width(),
+                        mosaic.height(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("error writing mosaic: {e}");
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_help_and_empty() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_generate_defaults() {
+        let cmd = parse(&argv("generate --out /tmp/x")).unwrap();
+        match cmd {
+            Command::Generate { out, config } => {
+                assert_eq!(out, PathBuf::from("/tmp/x"));
+                assert_eq!(config.grid_rows, 8);
+                assert_eq!(config.tile_width, 128);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stitch_flags() {
+        let cmd = parse(&argv(
+            "stitch --dataset /d --impl pipelined-gpu --gpus 2 --threads 8 \
+             --transform real --blend linear --out m.tif --highlight",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stitch {
+                implementation,
+                gpus,
+                threads,
+                transform,
+                blend,
+                out,
+                highlight,
+                ..
+            } => {
+                assert_eq!(implementation, Implementation::PipelinedGpu);
+                assert_eq!(gpus, 2);
+                assert_eq!(threads, 8);
+                assert_eq!(transform, TransformKind::Real);
+                assert_eq!(blend, Blend::Linear);
+                assert_eq!(out, Some(PathBuf::from("m.tif")));
+                assert!(highlight);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("stitch")).is_err(), "missing --dataset");
+        assert!(parse(&argv("stitch --dataset /d --impl nope")).is_err());
+        assert!(parse(&argv("generate --out /tmp/x --rows abc")).is_err());
+        assert!(parse(&argv("generate --out")).is_err(), "flag without value");
+    }
+
+    #[test]
+    fn default_implementation_is_pipelined_cpu() {
+        match parse(&argv("stitch --dataset /d")).unwrap() {
+            Command::Stitch { implementation, .. } => {
+                assert_eq!(implementation, Implementation::PipelinedCpu)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

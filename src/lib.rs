@@ -1,0 +1,58 @@
+//! # stitching — hybrid CPU-GPU large-scale microscopy image stitching
+//!
+//! A from-scratch Rust reproduction of *Blattner et al., "A Hybrid
+//! CPU-GPU System for Stitching Large Scale Optical Microscopy Images"*
+//! (ICPP 2014) — the system that became NIST's MIST tool. This facade
+//! crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`fft`] | FFT substrate (FFTW/cuFFT stand-in): mixed-radix, Bluestein, 2-D, real-input, planner |
+//! | [`image`] | image substrate: buffers, TIFF/PGM codecs, synthetic plate generator |
+//! | [`pipeline`] | general-purpose bounded-queue pipeline framework (§VI-A's "general purpose API") |
+//! | [`gpu`] | simulated accelerator: device memory, streams, events, kernels, profiler |
+//! | [`core`] | the stitching system: PCIAM, six implementation variants, global optimization, composition |
+//! | [`sim`] | virtual-time discrete-event simulator for the paper's scaling experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stitching::prelude::*;
+//! use stitching::image::{ScanConfig, SyntheticPlate};
+//!
+//! // synthesize a small plate (stands in for the paper's A10 dataset)
+//! let plate = SyntheticPlate::generate(ScanConfig {
+//!     grid_rows: 2,
+//!     grid_cols: 3,
+//!     tile_width: 64,
+//!     tile_height: 48,
+//!     overlap: 0.25,
+//!     ..ScanConfig::default()
+//! });
+//! let source = SyntheticSource::new(plate);
+//!
+//! // phase 1: relative displacements
+//! let result = SimpleCpuStitcher::default().compute_displacements(&source);
+//! assert!(result.is_complete());
+//!
+//! // phase 2: absolute positions; phase 3: compose
+//! let positions = GlobalOptimizer::default().solve(&result);
+//! let mosaic = Composer::new(positions, Blend::Overlay).compose(&source);
+//! assert!(mosaic.width() > 64);
+//! ```
+
+pub mod cli;
+
+pub use stitch_core as core;
+pub use stitch_fft as fft;
+pub use stitch_gpu as gpu;
+pub use stitch_image as image;
+pub use stitch_pipeline as pipeline;
+pub use stitch_sim as sim;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use stitch_core::prelude::*;
+    pub use stitch_gpu::{Device, DeviceConfig};
+    pub use stitch_image::{GridManifest, Image, ScanConfig, SyntheticPlate};
+}

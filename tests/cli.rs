@@ -1,0 +1,80 @@
+//! In-process integration tests for the `stitch` CLI: parse + run over a
+//! real temporary dataset.
+
+use stitching::cli::{parse, run, Command};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+#[test]
+fn generate_then_info_then_stitch() {
+    let dir = std::env::temp_dir().join("stitch_cli_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    // generate
+    let cmd = parse(&argv(&format!(
+        "generate --out {dir_s} --rows 2 --cols 3 --tile-width 64 --tile-height 48"
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+    assert!(dir.join("manifest.tsv").exists());
+    assert!(dir.join("img_r000_c000.tif").exists());
+
+    // info
+    let cmd = parse(&argv(&format!("info --dataset {dir_s}"))).unwrap();
+    assert_eq!(run(cmd), 0);
+
+    // stitch with outputs
+    let mosaic = dir.join("mosaic.pgm");
+    let pos = dir.join("pos.tsv");
+    let cmd = parse(&argv(&format!(
+        "stitch --dataset {dir_s} --impl simple-cpu --out {} --positions {}",
+        mosaic.display(),
+        pos.display()
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+    assert!(mosaic.exists());
+    let tsv = std::fs::read_to_string(&pos).unwrap();
+    assert!(tsv.starts_with("row\tcol\tx\ty\n"));
+    assert_eq!(tsv.lines().count(), 1 + 6, "header + one line per tile");
+
+    // the mosaic decodes and is larger than a single tile
+    let img = stitching::image::pgm::read_pgm(&mosaic).unwrap();
+    assert!(img.width() > 64 && img.height() > 48);
+
+    // real-transform path also works end to end
+    let cmd = parse(&argv(&format!(
+        "stitch --dataset {dir_s} --impl pipelined-cpu --transform real"
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stitch_missing_dataset_fails_cleanly() {
+    let cmd = parse(&argv("stitch --dataset /nonexistent/place")).unwrap();
+    assert_eq!(run(cmd), 1);
+}
+
+#[test]
+fn info_missing_dataset_fails_cleanly() {
+    let cmd = parse(&argv("info --dataset /nonexistent/place")).unwrap();
+    assert_eq!(run(cmd), 1);
+}
+
+#[test]
+fn simulate_runs() {
+    let cmd = parse(&argv("simulate --machine laptop --rows 8 --cols 8")).unwrap();
+    assert!(matches!(cmd, Command::Simulate { .. }));
+    assert_eq!(run(cmd), 0);
+}
+
+#[test]
+fn help_runs() {
+    assert_eq!(run(Command::Help), 0);
+}

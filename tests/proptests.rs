@@ -1,0 +1,150 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use proptest::prelude::*;
+use stitching::core::grid::{GridShape, Traversal};
+use stitching::core::pciam::{ccf_at, overlap_pixels, peak_candidates};
+use stitching::core::prelude::*;
+use stitching::core::stitcher::StitchResult;
+use stitching::image::{Image, Scene, SceneParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every traversal visits every tile of any grid exactly once.
+    #[test]
+    fn traversals_are_permutations(rows in 1usize..12, cols in 1usize..12) {
+        let shape = GridShape::new(rows, cols);
+        for t in Traversal::ALL {
+            let order = t.order(shape);
+            prop_assert_eq!(order.len(), shape.tiles());
+            let mut seen = vec![false; shape.tiles()];
+            for id in order {
+                let i = shape.index(id);
+                prop_assert!(!seen[i], "{:?} revisits {:?}", t, id);
+                seen[i] = true;
+            }
+        }
+    }
+
+    /// Chained-diagonal's live window never exceeds 2·min_dim + 2.
+    #[test]
+    fn chained_diagonal_window_bound(rows in 1usize..14, cols in 1usize..14) {
+        let shape = GridShape::new(rows, cols);
+        let peak = Traversal::ChainedDiagonal.peak_live(shape);
+        prop_assert!(peak <= 2 * rows.min(cols) + 2, "peak {} for {}x{}", peak, rows, cols);
+    }
+
+    /// The four peak candidates are exactly the signed residues of the
+    /// peak modulo the tile size.
+    #[test]
+    fn peak_candidates_are_residues(w in 2usize..64, h in 2usize..64, idx_seed in 0usize..10_000) {
+        let idx = idx_seed % (w * h);
+        for (dx, dy) in peak_candidates(idx, w, h) {
+            prop_assert_eq!(dx.rem_euclid(w as i64), (idx % w) as i64);
+            prop_assert_eq!(dy.rem_euclid(h as i64), (idx / w) as i64);
+            // |x − w| == w exactly when the residue is zero
+            prop_assert!(dx.abs() <= w as i64 && dy.abs() <= h as i64);
+        }
+    }
+
+    /// CCF is symmetric: ccf(a, b, d) == ccf(b, a, −d).
+    #[test]
+    fn ccf_symmetry(dx in -20i64..20, dy in -14i64..14, seed in 0u64..500) {
+        let scene = Scene::generate(96.0, 96.0, SceneParams { seed, ..SceneParams::default() });
+        let a = scene.render_region(8.0, 8.0, 24, 16, 0.0, 0.0, 1);
+        let b = scene.render_region(20.0, 12.0, 24, 16, 0.0, 0.0, 2);
+        let fwd = ccf_at(&a, &b, dx, dy);
+        let rev = ccf_at(&b, &a, -dx, -dy);
+        match (fwd, rev) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "asymmetric availability {:?}", other),
+        }
+    }
+
+    /// CCF is invariant under affine intensity changes of either tile.
+    #[test]
+    fn ccf_affine_invariance(gain_num in 2u32..6, offset in 0u16..500) {
+        let a = Image::from_fn(16, 12, |x, y| ((x * 31 + y * 17) % 199) as u16 + 100);
+        let b = Image::from_fn(16, 12, |x, y| ((x * 13 + y * 41) % 173) as u16 + 80);
+        let scaled = b.map(|v| v * gain_num as u16 + offset);
+        let c1 = ccf_at(&a, &b, 3, 2).unwrap();
+        let c2 = ccf_at(&a, &scaled, 3, 2).unwrap();
+        prop_assert!((c1 - c2).abs() < 1e-9, "{} vs {}", c1, c2);
+    }
+
+    /// overlap_pixels is symmetric in sign and bounded by the tile area.
+    #[test]
+    fn overlap_pixels_properties(w in 1usize..64, h in 1usize..64, dx in -70i64..70, dy in -70i64..70) {
+        let n = overlap_pixels(w, h, dx, dy);
+        prop_assert_eq!(n, overlap_pixels(w, h, -dx, -dy));
+        prop_assert!(n >= 0 && n <= (w * h) as i64);
+        if dx == 0 && dy == 0 {
+            prop_assert_eq!(n, (w * h) as i64);
+        }
+    }
+
+    /// Global optimization is exact on any consistent displacement system
+    /// (path invariance): positions derived from a random truth raster are
+    /// recovered up to the gauge.
+    #[test]
+    fn global_opt_path_invariance(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        step_x in 30i64..60,
+        step_y in 25i64..50,
+        seed in 0u64..1000,
+    ) {
+        let shape = GridShape::new(rows, cols);
+        let truth: Vec<(i64, i64)> = shape
+            .ids()
+            .map(|id| {
+                let r = (seed.wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((id.row * 31 + id.col * 7) as u64) >> 20) % 7;
+                (id.col as i64 * step_x + r as i64 - 3, id.row as i64 * step_y + (r as i64 % 3))
+            })
+            .collect();
+        let mut result = StitchResult::empty(shape);
+        for id in shape.ids() {
+            let i = shape.index(id);
+            if let Some(west) = shape.west(id) {
+                let (x0, y0) = truth[shape.index(west)];
+                let (x1, y1) = truth[i];
+                result.west[i] = Some(Displacement::new(x1 - x0, y1 - y0, 0.9));
+            }
+            if let Some(north) = shape.north(id) {
+                let (x0, y0) = truth[shape.index(north)];
+                let (x1, y1) = truth[i];
+                result.north[i] = Some(Displacement::new(x1 - x0, y1 - y0, 0.9));
+            }
+        }
+        for method in [Method::SpanningTree, Method::LeastSquares] {
+            let opt = GlobalOptimizer { method, ..GlobalOptimizer::default() };
+            let sol = opt.solve(&result);
+            prop_assert_eq!(sol.max_deviation(&truth), (0, 0), "{:?}", method);
+        }
+    }
+
+    /// Composition with Overlay blend never invents pixel values: every
+    /// mosaic pixel is either 0 (uncovered) or present in some tile.
+    #[test]
+    fn overlay_pixels_come_from_tiles(seed in 0u64..200) {
+        let shape = GridShape::new(1, 2);
+        let a = Image::from_fn(8, 6, |x, y| ((x + y) as u64 * 37 % 997) as u16 + 1);
+        let b = Image::from_fn(8, 6, |x, y| ((x * y) as u64 * 53 % 991) as u16 + 1);
+        let src = MemorySource::new(shape, vec![a.clone(), b.clone()]);
+        let dx = 3 + (seed % 5) as i64;
+        let positions = AbsolutePositions { shape, positions: vec![(0, 0), (dx, 1)] };
+        let mosaic = Composer::new(positions, Blend::Overlay).compose(&src);
+        for y in 0..mosaic.height() {
+            for x in 0..mosaic.width() {
+                let v = mosaic.get(x, y);
+                if v != 0 {
+                    let in_a = a.pixels().contains(&v);
+                    let in_b = b.pixels().contains(&v);
+                    prop_assert!(in_a || in_b, "pixel {} at ({},{})", v, x, y);
+                }
+            }
+        }
+    }
+}
