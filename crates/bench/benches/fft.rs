@@ -75,7 +75,9 @@ fn bench_real_vs_complex(c: &mut Criterion) {
         let real = RealFft2d::new(&planner, w, h);
         let input: Vec<f64> = (0..w * h).map(|k| (k % 211) as f64).collect();
         let mut spec = vec![C64::ZERO; real.spectrum_len()];
-        group.bench_function("r2c_348x260", |b| b.iter(|| real.forward(&input, &mut spec)));
+        group.bench_function("r2c_348x260", |b| {
+            b.iter(|| real.forward(&input, &mut spec))
+        });
     }
     group.finish();
 }

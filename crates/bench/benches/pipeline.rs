@@ -32,7 +32,7 @@ fn bench_queue(c: &mut Criterion) {
             pl.add_stage("sink", 1, q.clone(), move |v| {
                 s2.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
             });
-            pl.join();
+            pl.join().unwrap();
             sum.load(std::sync::atomic::Ordering::Relaxed)
         });
     });

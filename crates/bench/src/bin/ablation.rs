@@ -37,7 +37,11 @@ fn time_fft2d(planner: &Planner, w: usize, h: usize, reps: usize) -> (f64, u128)
 }
 
 fn main() {
-    let (w, h, reps) = if full_scale() { (1392, 1040, 3) } else { (348, 260, 10) };
+    let (w, h, reps) = if full_scale() {
+        (1392, 1040, 3)
+    } else {
+        (348, 260, 10)
+    };
 
     // 1. planning modes
     let mut t = ResultTable::new(
@@ -131,18 +135,23 @@ fn main() {
         let (tw2, th2) = (96usize, 72usize);
         for (label, kind, bytes) in [
             ("complex", TransformKind::Complex, tw2 * th2 * 16),
-            ("real-to-complex", TransformKind::Real, (tw2 / 2 + 1) * th2 * 16),
-            ("padded complex", TransformKind::PaddedComplex, tw2 * th2 * 16),
+            (
+                "real-to-complex",
+                TransformKind::Real,
+                (tw2 / 2 + 1) * th2 * 16,
+            ),
+            (
+                "padded complex",
+                TransformKind::PaddedComplex,
+                tw2 * th2 * 16,
+            ),
         ] {
             let t0 = Instant::now();
             let r = SimpleCpuStitcher::default()
                 .with_transform(kind)
                 .compute_displacements(&src);
             assert!(r.is_complete());
-            e.row(
-                label,
-                &[format!("{:.2?}", t0.elapsed()), bytes.to_string()],
-            );
+            e.row(label, &[format!("{:.2?}", t0.elapsed()), bytes.to_string()]);
         }
         e.note("identical displacements, less transform work and memory on the real path");
         e.emit();

@@ -40,7 +40,12 @@ fn main() {
         let t1 = pipelined_cpu_ns(shape, &cost, &machine, 1);
         let vals: Vec<String> = threads
             .iter()
-            .map(|&th| format!("{:.2}", t1 as f64 / pipelined_cpu_ns(shape, &cost, &machine, th) as f64))
+            .map(|&th| {
+                format!(
+                    "{:.2}",
+                    t1 as f64 / pipelined_cpu_ns(shape, &cost, &machine, th) as f64
+                )
+            })
             .collect();
         t.row(rows * cols, &vals);
     }

@@ -34,11 +34,17 @@ fn main() {
 
     let t0 = Instant::now();
     let result = PipelinedCpuStitcher::new(2).compute_displacements(&src);
-    t.row("phase 1 (displacements)", &[format!("{:.2?}", t0.elapsed())]);
+    t.row(
+        "phase 1 (displacements)",
+        &[format!("{:.2?}", t0.elapsed())],
+    );
 
     let t1 = Instant::now();
     let positions = GlobalOptimizer::default().solve(&result);
-    t.row("phase 2 (global optimization)", &[format!("{:.2?}", t1.elapsed())]);
+    t.row(
+        "phase 2 (global optimization)",
+        &[format!("{:.2?}", t1.elapsed())],
+    );
 
     let t2 = Instant::now();
     let composer = Composer::new(positions.clone(), Blend::Overlay);

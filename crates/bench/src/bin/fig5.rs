@@ -31,7 +31,14 @@ fn main() {
         "fig5",
         "compute-FFT speedup vs tiles (virtual 24 GB machine) — the VM cliff",
         &[
-            "tiles", "t=1", "t=2", "t=4", "t=8", "t=12", "t=16", "working set",
+            "tiles",
+            "t=1",
+            "t=2",
+            "t=4",
+            "t=8",
+            "t=12",
+            "t=16",
+            "working set",
         ],
     );
     for &tiles in &tile_counts {
@@ -70,7 +77,8 @@ fn main() {
         let t0 = Instant::now();
         let mut handles = Vec::new();
         for i in 0..tiles {
-            let img = scene.render_region((i * 40) as f64, (i * 24) as f64, w, h, 0.0, 30.0, i as u64);
+            let img =
+                scene.render_region((i * 40) as f64, (i * 24) as f64, w, h, 0.0, 30.0, i as u64);
             let fft = ctx.forward_fft(&img);
             handles.push(store2.insert(fft));
         }

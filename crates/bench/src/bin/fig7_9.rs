@@ -90,10 +90,16 @@ fn main() {
     // with --json DIR, also dump raw span CSVs for external plotting
     if let Some(dir) = stitch_bench::json_dir() {
         std::fs::create_dir_all(&dir).expect("create json dir");
-        std::fs::write(dir.join("fig7_simple_gpu_spans.csv"), dev_simple.profiler().to_csv())
-            .expect("write fig7 csv");
-        std::fs::write(dir.join("fig9_pipelined_gpu_spans.csv"), dev_pipe.profiler().to_csv())
-            .expect("write fig9 csv");
+        std::fs::write(
+            dir.join("fig7_simple_gpu_spans.csv"),
+            dev_simple.profiler().to_csv(),
+        )
+        .expect("write fig7 csv");
+        std::fs::write(
+            dir.join("fig9_pipelined_gpu_spans.csv"),
+            dev_pipe.profiler().to_csv(),
+        )
+        .expect("write fig9 csv");
         eprintln!("(wrote span CSVs to {})", dir.display());
     }
 }

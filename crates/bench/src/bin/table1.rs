@@ -82,7 +82,13 @@ fn main() {
     let mut v = ResultTable::new(
         "table1_validation",
         &format!("instrumented counts of a real run ({rows}x{cols} grid)"),
-        &["operation", "predicted", "Simple-CPU", "Pipelined-CPU", "Fiji-style"],
+        &[
+            "operation",
+            "predicted",
+            "Simple-CPU",
+            "Pipelined-CPU",
+            "Fiji-style",
+        ],
     );
     let predicted = OpCounts::predicted(rows, cols);
     let simple = SimpleCpuStitcher::default().compute_displacements(&src).ops;

@@ -27,7 +27,8 @@ use stitch_sim::{
 };
 
 fn main() {
-    let laptop = std::env::args().any(|a| a == "--preset") && std::env::args().any(|a| a == "laptop");
+    let laptop =
+        std::env::args().any(|a| a == "--preset") && std::env::args().any(|a| a == "laptop");
     let machine = if laptop {
         MachineSpec::paper_laptop()
     } else {
@@ -54,7 +55,11 @@ fn main() {
             "3.6h",
         ),
         ("Simple-CPU", simple, "10.6min"),
-        ("MT-CPU (16t)", mt_cpu_ns(shape, &cost, &machine, 16), "1.6min"),
+        (
+            "MT-CPU (16t)",
+            mt_cpu_ns(shape, &cost, &machine, 16),
+            "1.6min",
+        ),
         (
             "Pipelined-CPU (16t)",
             pipelined_cpu_ns(shape, &cost, &machine, 16),
@@ -72,15 +77,16 @@ fn main() {
             "26.6s",
         ),
     ];
-    let mut t = ResultTable::new(
-        "table2_virtual",
-        &format!(
+    let mut t =
+        ResultTable::new(
+            "table2_virtual",
+            &format!(
             "run times & speedups, 42x59 grid of 1392x1040 tiles (virtual {} machine, {} costs)",
             if laptop { "laptop" } else { "testbed" },
             if calibrated { "host-calibrated" } else { "paper-derived" }
         ),
-        &["implementation", "virtual time", "S/CPU", "paper time"],
-    );
+            &["implementation", "virtual time", "S/CPU", "paper time"],
+        );
     for (name, ns, paper) in &rows {
         t.row(
             name,
@@ -153,7 +159,9 @@ fn main() {
     r.note(format!(
         "this host has {} CPU core(s) — real speedups are bounded by that; \
          the virtual table above carries the scaling result",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     ));
     r.emit();
     let _ = std::fs::remove_dir_all(&dir);

@@ -8,7 +8,6 @@
 use std::fmt::Display;
 use std::path::PathBuf;
 
-use serde::Serialize;
 use stitch_core::prelude::*;
 use stitch_image::{ScanConfig, SyntheticPlate};
 
@@ -36,7 +35,7 @@ pub fn synthetic_source(config: ScanConfig) -> SyntheticSource {
 }
 
 /// One row of an experiment result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (implementation, parameter value, …).
     pub label: String,
@@ -45,7 +44,7 @@ pub struct Row {
 }
 
 /// A printable, JSON-dumpable experiment result table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ResultTable {
     /// Experiment id ("table2", "fig11", …).
     pub experiment: String,
@@ -109,7 +108,10 @@ impl ResultTable {
         for r in &self.rows {
             let mut cells = vec![format!("{:>w$}", r.label, w = widths[0])];
             for (i, v) in r.values.iter().enumerate() {
-                cells.push(format!("{v:>w$}", w = widths.get(i + 1).copied().unwrap_or(0)));
+                cells.push(format!(
+                    "{v:>w$}",
+                    w = widths.get(i + 1).copied().unwrap_or(0)
+                ));
             }
             out.push_str(&cells.join("  "));
             out.push('\n');
@@ -120,6 +122,45 @@ impl ResultTable {
         out
     }
 
+    /// Renders the table as JSON (hand-rolled: the offline build has no
+    /// serde, and the schema is four string fields deep).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String], indent: &str) -> String {
+            let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("[{}]", quoted.join(&format!(",\n{indent} ")))
+        }
+        let mut rows = Vec::new();
+        for r in &self.rows {
+            rows.push(format!(
+                "    {{\"label\": \"{}\", \"values\": {}}}",
+                esc(&r.label),
+                str_array(&r.values, "      ")
+            ));
+        }
+        format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": [\n{}\n  ],\n  \"notes\": {}\n}}\n",
+            esc(&self.experiment),
+            esc(&self.title),
+            str_array(&self.columns, "   "),
+            rows.join(",\n"),
+            str_array(&self.notes, "  ")
+        )
+    }
+
     /// Prints the table and, when `--json <dir>` was passed on the command
     /// line, also writes `<dir>/<experiment>.json`.
     pub fn emit(&self) {
@@ -127,8 +168,7 @@ impl ResultTable {
         if let Some(dir) = json_dir() {
             std::fs::create_dir_all(&dir).expect("create json dir");
             let path = dir.join(format!("{}.json", self.experiment));
-            std::fs::write(&path, serde_json::to_string_pretty(self).unwrap())
-                .expect("write json results");
+            std::fs::write(&path, self.to_json()).expect("write json results");
             eprintln!("(wrote {})", path.display());
         }
     }

@@ -17,6 +17,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use stitch_fft::{PlanMode, Planner};
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::opcount::OpCounters;
 use crate::pciam::PciamContext;
 use crate::source::TileSource;
@@ -42,11 +43,16 @@ impl Stitcher for FijiStyleStitcher {
         format!("Fiji-style({})", self.threads)
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         let (w, h) = source.tile_dims();
         let counters = OpCounters::new_shared();
+        let tracker = FaultTracker::new(shape);
         // enumerate all pairs: (a, b, kind) with a west/north of b
         let mut pairs: Vec<(TileId, TileId, PairKind)> = Vec::with_capacity(shape.pairs());
         for id in shape.ids() {
@@ -70,6 +76,7 @@ impl Stitcher for FijiStyleStitcher {
                 let planner = &planner;
                 let west = &west;
                 let north = &north;
+                let tracker = &tracker;
                 scope.spawn(move || {
                     // a fresh context per worker, but — deliberately — no
                     // caching of anything across pairs
@@ -81,10 +88,15 @@ impl Stitcher for FijiStyleStitcher {
                         }
                         let (a, b, kind) = pairs[i];
                         // per-pair re-read and re-transform: the plugin's
-                        // redundancy, on purpose
-                        let img_a = source.load(a);
+                        // redundancy, on purpose. Either read failing
+                        // voids just this pair.
+                        let Some(img_a) = tracker.load(source, a, &policy.retry) else {
+                            continue;
+                        };
                         counters.count_read();
-                        let img_b = source.load(b);
+                        let Some(img_b) = tracker.load(source, b, &policy.retry) else {
+                            continue;
+                        };
                         counters.count_read();
                         let fa = ctx.forward_fft(&img_a);
                         let fb = ctx.forward_fft(&img_b);
@@ -105,7 +117,8 @@ impl Stitcher for FijiStyleStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = 2 * self.threads;
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 

@@ -95,7 +95,11 @@ impl Composer {
             if ix0 >= ix1 || iy0 >= iy1 {
                 continue;
             }
-            let tile = source.load(id);
+            // a tile that can't be read leaves a hole in the mosaic
+            // rather than aborting the whole composition
+            let Ok(tile) = source.load(id) else {
+                continue;
+            };
             for gy in iy0..iy1 {
                 let ty = (gy - py) as usize;
                 for gx in ix0..ix1 {

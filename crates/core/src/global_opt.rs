@@ -462,8 +462,8 @@ mod tests {
         shape
             .ids()
             .map(|id| {
-                let j = ((id.row * 7 + id.col * 13) % (2 * jitter.max(1) as usize + 1)) as i64
-                    - jitter;
+                let j =
+                    ((id.row * 7 + id.col * 13) % (2 * jitter.max(1) as usize + 1)) as i64 - jitter;
                 (id.col as i64 * step_x + j, id.row as i64 * step_y - j)
             })
             .collect()

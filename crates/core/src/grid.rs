@@ -236,7 +236,11 @@ mod tests {
 
     #[test]
     fn every_traversal_is_a_permutation() {
-        for shape in [GridShape::new(1, 1), GridShape::new(4, 7), GridShape::new(6, 3)] {
+        for shape in [
+            GridShape::new(1, 1),
+            GridShape::new(4, 7),
+            GridShape::new(6, 3),
+        ] {
             for t in Traversal::ALL {
                 let order = t.order(shape);
                 assert_eq!(order.len(), shape.tiles(), "{t:?}");
@@ -270,7 +274,10 @@ mod tests {
         );
         // pool-size rule of thumb: peak live stays near the smaller grid
         // dimension for chained-diagonal
-        assert!(chained <= 2 * shape.rows.min(shape.cols) + 2, "peak {chained}");
+        assert!(
+            chained <= 2 * shape.rows.min(shape.cols) + 2,
+            "peak {chained}"
+        );
     }
 
     #[test]

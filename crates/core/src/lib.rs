@@ -39,6 +39,7 @@
 
 pub mod baseline;
 pub mod compose;
+pub mod fault;
 pub mod global_opt;
 pub mod grid;
 pub mod memlimit;
@@ -53,12 +54,16 @@ pub mod quality;
 pub mod simple_cpu;
 pub mod simple_gpu;
 pub mod source;
-pub mod subpixel;
 pub mod stitcher;
+pub mod subpixel;
 pub mod types;
 
 pub use baseline::FijiStyleStitcher;
 pub use compose::{pyramid, Blend, Composer};
+pub use fault::{
+    load_with_retry, FailurePolicy, FaultSpec, FaultTracker, FaultySource, HealthReport,
+    RetryPolicy, SourceError, StitchError, TileStatus,
+};
 pub use global_opt::{AbsolutePositions, GlobalOptimizer, Method};
 pub use grid::{GridShape, Traversal};
 pub use mt_cpu::MtCpuStitcher;
@@ -79,6 +84,10 @@ pub use types::{Displacement, PairKind, TileId};
 /// Convenience re-exports for application code.
 pub mod prelude {
     pub use crate::compose::{Blend, Composer};
+    pub use crate::fault::{
+        FailurePolicy, FaultSpec, FaultySource, HealthReport, RetryPolicy, SourceError,
+        StitchError, TileStatus,
+    };
     pub use crate::global_opt::{AbsolutePositions, GlobalOptimizer, Method};
     pub use crate::grid::{GridShape, Traversal};
     pub use crate::source::{DirSource, MemorySource, SyntheticSource, TileSource};

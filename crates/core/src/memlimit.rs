@@ -115,7 +115,9 @@ impl SpillStore {
                 unreachable!()
             };
             let mut raw = vec![0u8; buf_bytes(len)];
-            st.file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+            st.file
+                .seek(SeekFrom::Start(offset))
+                .expect("seek spill file");
             st.file.read_exact(&mut raw).expect("read spill file");
             st.free_list.push((offset, buf_bytes(len)));
             let mut data = vec![C64::ZERO; len];
@@ -207,7 +209,9 @@ impl SpillStore {
                 raw.extend_from_slice(&v.re.to_le_bytes());
                 raw.extend_from_slice(&v.im.to_le_bytes());
             }
-            st.file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+            st.file
+                .seek(SeekFrom::Start(offset))
+                .expect("seek spill file");
             st.file.write_all(&raw).expect("write spill file");
             st.slots.insert(
                 victim,
@@ -234,7 +238,9 @@ mod tests {
     use stitch_fft::c64;
 
     fn buf(seed: usize, len: usize) -> Vec<C64> {
-        (0..len).map(|i| c64((seed * 1000 + i) as f64, -(i as f64))).collect()
+        (0..len)
+            .map(|i| c64((seed * 1000 + i) as f64, -(i as f64)))
+            .collect()
     }
 
     #[test]

@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use stitch_fft::{PlanMode, Planner};
 use stitch_image::Image;
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::opcount::OpCounters;
 use crate::pciam::PciamContext;
 use crate::source::TileSource;
@@ -68,15 +69,20 @@ impl Stitcher for MtCpuStitcher {
         format!("MT-CPU({})", self.threads)
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         let (w, h) = source.tile_dims();
         if shape.tiles() == 0 {
-            return StitchResult::empty(shape);
+            return Ok(StitchResult::empty(shape));
         }
         let counters = OpCounters::new_shared();
         let planner = Planner::new(self.plan_mode);
+        let tracker = FaultTracker::new(shape);
         let west: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
         let north: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
         let bands = row_bands(shape.rows, self.threads);
@@ -87,6 +93,7 @@ impl Stitcher for MtCpuStitcher {
                 let planner = &planner;
                 let west = &west;
                 let north = &north;
+                let tracker = &tracker;
                 scope.spawn(move || {
                     let mut ctx = PciamContext::new(planner, w, h, counters.clone());
                     // rolling cache: the row above the current one
@@ -100,21 +107,42 @@ impl Stitcher for MtCpuStitcher {
                         #[allow(clippy::needless_range_loop)] // c builds TileIds too
                         for c in 0..shape.cols {
                             let id = TileId::new(r, c);
-                            let img = Arc::new(source.load(id));
-                            counters.count_read();
-                            let fft = Arc::new(ctx.forward_fft(&img));
+                            // a failed tile leaves an empty cache slot: the
+                            // pairs that needed it are skipped, the rest of
+                            // the band streams on
+                            let cached: Option<CachedTile> =
+                                tracker.load(source, id, &policy.retry).map(|img| {
+                                    counters.count_read();
+                                    let img = Arc::new(img);
+                                    let fft = Arc::new(ctx.forward_fft(&img));
+                                    (img, fft)
+                                });
                             if !ghost {
-                                if let Some((pimg, pfft)) = &prev_in_row {
-                                    let d = ctx.displacement_oriented(pfft, &fft, pimg, &img, Some(crate::types::PairKind::West));
-                                    west.lock()[shape.index(id)] = Some(d);
-                                }
-                                if let Some((nimg, nfft)) = &prev_row[c] {
-                                    let d = ctx.displacement_oriented(nfft, &fft, nimg, &img, Some(crate::types::PairKind::North));
-                                    north.lock()[shape.index(id)] = Some(d);
+                                if let Some((img, fft)) = &cached {
+                                    if let Some((pimg, pfft)) = &prev_in_row {
+                                        let d = ctx.displacement_oriented(
+                                            pfft,
+                                            fft,
+                                            pimg,
+                                            img,
+                                            Some(crate::types::PairKind::West),
+                                        );
+                                        west.lock()[shape.index(id)] = Some(d);
+                                    }
+                                    if let Some((nimg, nfft)) = &prev_row[c] {
+                                        let d = ctx.displacement_oriented(
+                                            nfft,
+                                            fft,
+                                            nimg,
+                                            img,
+                                            Some(crate::types::PairKind::North),
+                                        );
+                                        north.lock()[shape.index(id)] = Some(d);
+                                    }
                                 }
                             }
-                            prev_in_row = Some((Arc::clone(&img), Arc::clone(&fft)));
-                            prev_row[c] = Some((img, fft));
+                            prev_in_row = cached.clone();
+                            prev_row[c] = cached;
                         }
                     }
                 });
@@ -128,7 +156,8 @@ impl Stitcher for MtCpuStitcher {
         result.ops = counters.snapshot();
         // each worker keeps ≤ 2 rows (+1 in-flight tile) live
         result.peak_live_tiles = bands.len() * (2 * shape.cols + 1).min(shape.tiles());
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 

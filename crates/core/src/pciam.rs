@@ -252,8 +252,7 @@ pub fn resolve_peaks_oriented(
     let mut best = Displacement::new(0, 0, f64::NEG_INFINITY);
     let mut best_score = f64::NEG_INFINITY;
     for &(_, cand) in scored.iter().take(REFINE_CANDIDATES) {
-        let refined =
-            refine_ccf_centered(img_a, img_b, center_a, center_b, cand, kind);
+        let refined = refine_ccf_centered(img_a, img_b, center_a, center_b, cand, kind);
         let score = candidate_score(width, height, refined.x, refined.y, refined.correlation);
         if score > best_score {
             best_score = score;
@@ -306,8 +305,7 @@ fn refine_ccf_centered(
     /// saddles that trap a radius-1 climb on smooth content.
     const RADIUS: i64 = 2;
     let (w, h) = img_a.dims();
-    let score =
-        |disp: &Displacement| candidate_score(w, h, disp.x, disp.y, disp.correlation);
+    let score = |disp: &Displacement| candidate_score(w, h, disp.x, disp.y, disp.correlation);
     let mut best_score = score(&d);
     for _ in 0..MAX_STEPS {
         // steepest ascent: score the whole window around the *fixed*
@@ -573,7 +571,10 @@ mod tests {
         let img = Image::from_fn(8, 8, |x, _| x as u16);
         assert!(ccf_at(&img, &img, 8, 0).is_none());
         assert!(ccf_at(&img, &img, 0, -8).is_none());
-        assert!(ccf_at(&img, &img, 7, 7).is_none(), "1px overlap below minimum");
+        assert!(
+            ccf_at(&img, &img, 7, 7).is_none(),
+            "1px overlap below minimum"
+        );
     }
 
     #[test]

@@ -145,7 +145,15 @@ mod tests {
             },
         );
         let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
-        let b = scene.render_region(w as f64 + dx as f64, h as f64 + dy as f64, w, h, 0.02, 30.0, 2);
+        let b = scene.render_region(
+            w as f64 + dx as f64,
+            h as f64 + dy as f64,
+            w,
+            h,
+            0.02,
+            30.0,
+            2,
+        );
         (a, b)
     }
 
@@ -179,8 +187,7 @@ mod tests {
             let ea = exact.forward_fft(&a);
             let eb = exact.forward_fft(&b);
             let de = exact.displacement_oriented(&ea, &eb, &a, &b, Some(PairKind::West));
-            let mut padded =
-                PaddedPciamContext::new(&planner, w, h, OpCounters::new_shared());
+            let mut padded = PaddedPciamContext::new(&planner, w, h, OpCounters::new_shared());
             let pa = padded.forward_fft(&a);
             let pb = padded.forward_fft(&b);
             let dp = padded.displacement_oriented(&pa, &pb, &a, &b, Some(PairKind::West));

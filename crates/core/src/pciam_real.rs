@@ -142,7 +142,8 @@ fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
         let (x, y) = ((i % width) as i64, (i / width) as i64);
         for &(j, _) in &out {
             let (px, py) = ((j % width) as i64, (j / width) as i64);
-            if (x - px).abs() <= PEAK_SUPPRESSION_RADIUS && (y - py).abs() <= PEAK_SUPPRESSION_RADIUS
+            if (x - px).abs() <= PEAK_SUPPRESSION_RADIUS
+                && (y - py).abs() <= PEAK_SUPPRESSION_RADIUS
             {
                 continue 'cands;
             }
@@ -243,7 +244,15 @@ mod tests {
             },
         );
         let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
-        let b = scene.render_region(w as f64 + dx as f64, h as f64 + dy as f64, w, h, 0.02, 30.0, 2);
+        let b = scene.render_region(
+            w as f64 + dx as f64,
+            h as f64 + dy as f64,
+            w,
+            h,
+            0.02,
+            30.0,
+            2,
+        );
         (a, b)
     }
 
@@ -272,7 +281,11 @@ mod tests {
             let ra = rc.forward_fft(&a);
             let rb = rc.forward_fft(&b);
             let d_real = rc.displacement_oriented(&ra, &rb, &a, &b, Some(PairKind::West));
-            assert_eq!((d_real.x, d_real.y), (d_complex.x, d_complex.y), "({dx},{dy})");
+            assert_eq!(
+                (d_real.x, d_real.y),
+                (d_complex.x, d_complex.y),
+                "({dx},{dy})"
+            );
             assert!((d_real.correlation - d_complex.correlation).abs() < 1e-9);
         }
     }

@@ -22,7 +22,7 @@
 //!   tile's resources when its reference count reaches zero — releasing a
 //!   pool permit back to the reader.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,6 +32,7 @@ use stitch_fft::{PlanMode, Planner, C64};
 use stitch_gpu::semaphore::{OwnedPermit, Semaphore};
 use stitch_image::Image;
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
 use crate::opcount::OpCounters;
 use crate::pciam_real::{Correlator, TransformKind};
@@ -97,7 +98,14 @@ enum Work {
     },
 }
 
-/// Bookkeeping input: a completed transform.
+/// Bookkeeping input: a completed transform, or notice that a tile is
+/// permanently unavailable (so its pairs must be written off).
+enum BkMsg {
+    Done(FftDone),
+    Failed(TileId),
+}
+
+/// A completed transform.
 struct FftDone {
     id: TileId,
     data: TileData,
@@ -133,14 +141,19 @@ impl Stitcher for PipelinedCpuStitcher {
         format!("Pipelined-CPU({})", self.config.threads)
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         let (w, h) = source.tile_dims();
         if shape.tiles() == 0 {
-            return StitchResult::empty(shape);
+            return Ok(StitchResult::empty(shape));
         }
         let counters = OpCounters::new_shared();
+        let tracker = FaultTracker::new(shape);
         let planner = Arc::new(Planner::new(self.config.plan_mode));
         let pool_size = self
             .config
@@ -153,7 +166,14 @@ impl Stitcher for PipelinedCpuStitcher {
 
         let q_ids: Queue<TileId> = Queue::new(64);
         let q_work: Queue<Work> = Queue::new((2 * pool_size).max(8));
-        let q_bk: Queue<FftDone> = Queue::new(pool_size.max(8));
+        let q_bk: Queue<BkMsg> = Queue::new(pool_size.max(8));
+        // q_work and q_bk each have producers in two different stages.
+        // Writer-counted queues close for good when the count hits zero,
+        // so hold guard writers until every stage has registered its own —
+        // otherwise a fast early stage can finish, drop the last writer,
+        // and close the queue before a later stage's writer exists.
+        let w_work_guard = q_work.writer();
+        let w_bk_guard = q_bk.writer();
 
         let west: Arc<Mutex<Vec<Option<Displacement>>>> =
             Arc::new(Mutex::new(vec![None; shape.tiles()]));
@@ -163,7 +183,7 @@ impl Stitcher for PipelinedCpuStitcher {
 
         // The scoped-thread trick is unnecessary: the source reference only
         // needs to outlive the pipeline, which `join` below guarantees.
-        std::thread::scope(|scope| {
+        let joined = std::thread::scope(|scope| {
             let mut pipeline = Pipeline::new();
 
             // Stage 0 — feed tile ids in traversal order.
@@ -185,16 +205,30 @@ impl Stitcher for PipelinedCpuStitcher {
             // threads of our own mirroring a pipeline stage.
             for _ in 0..self.config.read_threads {
                 let w_work = q_work.writer();
+                let w_bk = q_bk.writer();
                 let pool = Arc::clone(&pool);
                 let counters = Arc::clone(&counters);
                 let q_ids = q_ids.clone();
+                let tracker = &tracker;
                 scope.spawn(move || {
                     while let Some(id) = q_ids.pop() {
                         let permit = pool.acquire_owned();
-                        let img = Arc::new(source.load(id));
-                        counters.count_read();
-                        if !w_work.push(Work::Fft(id, img, permit)) {
-                            break;
+                        match tracker.load(source, id, &policy.retry) {
+                            Some(img) => {
+                                counters.count_read();
+                                if !w_work.push(Work::Fft(id, Arc::new(img), permit)) {
+                                    break;
+                                }
+                            }
+                            None => {
+                                // tell bookkeeping directly so it can write
+                                // off this tile's pairs; the permit goes
+                                // straight back to the pool
+                                drop(permit);
+                                if !w_bk.push(BkMsg::Failed(id)) {
+                                    break;
+                                }
+                            }
                         }
                     }
                 });
@@ -211,8 +245,7 @@ impl Stitcher for PipelinedCpuStitcher {
                 let _ = t;
                 let transform = self.config.transform;
                 scope.spawn(move || {
-                    let mut ctx =
-                        Correlator::new(transform, &planner, w, h, Arc::clone(&counters));
+                    let mut ctx = Correlator::new(transform, &planner, w, h, Arc::clone(&counters));
                     while let Some(work) = q_work.pop() {
                         match work {
                             Work::Fft(id, img, permit) => {
@@ -222,7 +255,7 @@ impl Stitcher for PipelinedCpuStitcher {
                                     data: TileData { img, fft },
                                     permit,
                                 };
-                                if !w_bk.push(done) {
+                                if !w_bk.push(BkMsg::Done(done)) {
                                     break;
                                 }
                             }
@@ -251,70 +284,136 @@ impl Stitcher for PipelinedCpuStitcher {
                 let live_peak = Arc::clone(&live_peak);
                 scope.spawn(move || {
                     let mut book: HashMap<TileId, BookEntry> = HashMap::new();
+                    let mut failed: HashSet<TileId> = HashSet::new();
+                    // pairs written off because an endpoint never arrived,
+                    // keyed by (slot, kind) so a pair counts once even if
+                    // both of its endpoints fail
+                    let mut voided: HashSet<(usize, PairKind)> = HashSet::new();
                     let mut tiles_seen = 0usize;
                     let mut pairs_emitted = 0usize;
-                    while let Some(done) = q_bk2.pop() {
+                    while let Some(msg) = q_bk2.pop() {
                         tiles_seen += 1;
-                        book.insert(
-                            done.id,
-                            BookEntry {
-                                data: done.data,
-                                remaining: shape.degree(done.id),
-                                _permit: done.permit,
-                            },
-                        );
-                        let peak = book.len();
-                        live_peak.fetch_max(peak, Ordering::Relaxed);
-                        let id = done.id;
-                        // emit every pair that just became ready
-                        let mut ready: Vec<(TileId, TileId, PairKind)> = Vec::with_capacity(4);
-                        for (a, b, kind) in [
-                            (shape.west(id), Some(id), PairKind::West),
-                            (shape.north(id), Some(id), PairKind::North),
-                            (Some(id), shape.east(id), PairKind::West),
-                            (Some(id), shape.south(id), PairKind::North),
-                        ] {
-                            if let (Some(a), Some(b)) = (a, b) {
-                                if book.contains_key(&a) && book.contains_key(&b) {
-                                    ready.push((a, b, kind));
+                        match msg {
+                            BkMsg::Failed(id) => {
+                                failed.insert(id);
+                                for (a, b, kind) in [
+                                    (shape.west(id), Some(id), PairKind::West),
+                                    (shape.north(id), Some(id), PairKind::North),
+                                    (Some(id), shape.east(id), PairKind::West),
+                                    (Some(id), shape.south(id), PairKind::North),
+                                ] {
+                                    if let (Some(_a), Some(b)) = (a, b) {
+                                        voided.insert((shape.index(b), kind));
+                                    }
+                                }
+                                // resident neighbors will never pair with
+                                // this tile: drop their claim on it
+                                for nb in [
+                                    shape.west(id),
+                                    shape.north(id),
+                                    shape.east(id),
+                                    shape.south(id),
+                                ]
+                                .into_iter()
+                                .flatten()
+                                {
+                                    if let Some(e) = book.get_mut(&nb) {
+                                        e.remaining -= 1;
+                                        if e.remaining == 0 {
+                                            book.remove(&nb); // releases the pool permit
+                                        }
+                                    }
+                                }
+                            }
+                            BkMsg::Done(done) => {
+                                let id = done.id;
+                                // neighbors already written off reduce this
+                                // tile's reference count up front
+                                let already_voided = [
+                                    shape.west(id),
+                                    shape.north(id),
+                                    shape.east(id),
+                                    shape.south(id),
+                                ]
+                                .into_iter()
+                                .flatten()
+                                .filter(|nb| failed.contains(nb))
+                                .count();
+                                let remaining = shape.degree(id) - already_voided;
+                                if remaining > 0 {
+                                    book.insert(
+                                        id,
+                                        BookEntry {
+                                            data: done.data,
+                                            remaining,
+                                            _permit: done.permit,
+                                        },
+                                    );
+                                }
+                                let peak = book.len();
+                                live_peak.fetch_max(peak, Ordering::Relaxed);
+                                // emit every pair that just became ready
+                                let mut ready: Vec<(TileId, TileId, PairKind)> =
+                                    Vec::with_capacity(4);
+                                for (a, b, kind) in [
+                                    (shape.west(id), Some(id), PairKind::West),
+                                    (shape.north(id), Some(id), PairKind::North),
+                                    (Some(id), shape.east(id), PairKind::West),
+                                    (Some(id), shape.south(id), PairKind::North),
+                                ] {
+                                    if let (Some(a), Some(b)) = (a, b) {
+                                        if book.contains_key(&a) && book.contains_key(&b) {
+                                            ready.push((a, b, kind));
+                                        }
+                                    }
+                                }
+                                for (a, b, kind) in ready {
+                                    let work = Work::Pair {
+                                        a: TileData {
+                                            img: Arc::clone(&book[&a].data.img),
+                                            fft: Arc::clone(&book[&a].data.fft),
+                                        },
+                                        b: TileData {
+                                            img: Arc::clone(&book[&b].data.img),
+                                            fft: Arc::clone(&book[&b].data.fft),
+                                        },
+                                        kind,
+                                        slot: shape.index(b),
+                                    };
+                                    if !w_work.push(work) {
+                                        return;
+                                    }
+                                    pairs_emitted += 1;
+                                    for t in [a, b] {
+                                        let e = book.get_mut(&t).expect("endpoint resident");
+                                        e.remaining -= 1;
+                                        if e.remaining == 0 {
+                                            book.remove(&t); // releases the pool permit
+                                        }
+                                    }
                                 }
                             }
                         }
-                        for (a, b, kind) in ready {
-                            let work = Work::Pair {
-                                a: TileData {
-                                    img: Arc::clone(&book[&a].data.img),
-                                    fft: Arc::clone(&book[&a].data.fft),
-                                },
-                                b: TileData {
-                                    img: Arc::clone(&book[&b].data.img),
-                                    fft: Arc::clone(&book[&b].data.fft),
-                                },
-                                kind,
-                                slot: shape.index(b),
-                            };
-                            if !w_work.push(work) {
-                                return;
-                            }
-                            pairs_emitted += 1;
-                            for t in [a, b] {
-                                let e = book.get_mut(&t).expect("endpoint resident");
-                                e.remaining -= 1;
-                                if e.remaining == 0 {
-                                    book.remove(&t); // releases the pool permit
-                                }
-                            }
-                        }
-                        if tiles_seen == total_tiles && pairs_emitted == total_pairs {
+                        if tiles_seen == total_tiles && pairs_emitted + voided.len() == total_pairs
+                        {
                             break; // all work emitted; drop our work-queue writer
                         }
                     }
                 });
             }
 
-            pipeline.join();
+            // every stage's writers are registered; release the guards
+            drop(w_work_guard);
+            drop(w_bk_guard);
+
+            pipeline.join()
             // the scope now waits for reader/workers/bookkeeping threads
         });
+        if let Err(e) = joined {
+            return Err(StitchError::Pipeline {
+                detail: e.to_string(),
+            });
+        }
 
         let mut result = StitchResult::empty(shape);
         result.west = Arc::try_unwrap(west).expect("sole owner").into_inner();
@@ -322,7 +421,8 @@ impl Stitcher for PipelinedCpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = live_peak.load(Ordering::Relaxed);
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 
@@ -378,7 +478,11 @@ mod tests {
         };
         let r = PipelinedCpuStitcher::with_config(cfg).compute_displacements(&src);
         assert!(r.is_complete());
-        assert!(r.peak_live_tiles <= 6, "peak {} > pool 6", r.peak_live_tiles);
+        assert!(
+            r.peak_live_tiles <= 6,
+            "peak {} > pool 6",
+            r.peak_live_tiles
+        );
     }
 
     #[test]

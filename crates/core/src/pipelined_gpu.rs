@@ -32,7 +32,7 @@
 //! cross-device traffic (the paper defers peer-to-peer copies to future
 //! work).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +42,7 @@ use stitch_fft::{Direction, C64};
 use stitch_gpu::{Device, Event, PooledBuffer};
 use stitch_image::Image;
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::{GridShape, Traversal};
 use crate::opcount::OpCounters;
 use crate::pciam::{resolve_peaks_oriented, DEFAULT_PEAK_COUNT};
@@ -102,9 +103,18 @@ pub struct PipelinedGpuStitcher {
 /// Stage 1 → 2 payload.
 struct ReadTile {
     id: TileId,
-    /// `None` for a peer-to-peer ghost tile: the copier fetches the image
-    /// and the transform from the neighboring pipeline's export table.
-    img: Option<Arc<Image<u16>>>,
+    payload: ReadPayload,
+}
+
+enum ReadPayload {
+    /// Freshly read pixels.
+    Img(Arc<Image<u16>>),
+    /// Peer-to-peer ghost tile: the copier fetches the image and the
+    /// transform from the neighboring pipeline's export table.
+    Import,
+    /// The tile could not be read; downstream stages pass the notice on
+    /// so bookkeeping can write its pairs off.
+    Failed,
 }
 
 /// A boundary transform published for the eastern neighbor pipeline.
@@ -115,21 +125,25 @@ struct ExportedTile {
 }
 
 /// Cross-pipeline hand-off of boundary-column transforms (peer-to-peer
-/// ghost mode). Consumers block until the producer publishes.
+/// ghost mode). Consumers block until the producer publishes. A `None`
+/// slot means the owner failed to produce that tile — publishing the
+/// failure (instead of nothing) is what keeps the importer from blocking
+/// forever on a tile that will never exist.
 #[derive(Default)]
 struct ExportTable {
-    slots: Mutex<HashMap<TileId, ExportedTile>>,
+    slots: Mutex<HashMap<TileId, Option<ExportedTile>>>,
     cv: parking_lot::Condvar,
 }
 
 impl ExportTable {
-    fn publish(&self, id: TileId, tile: ExportedTile) {
+    fn publish(&self, id: TileId, tile: Option<ExportedTile>) {
         self.slots.lock().insert(id, tile);
         self.cv.notify_all();
     }
 
-    /// Blocking take: removes and returns the export for `id`.
-    fn take(&self, id: TileId) -> ExportedTile {
+    /// Blocking take: removes and returns the export for `id` (`None` if
+    /// the owning pipeline could not read the tile).
+    fn take(&self, id: TileId) -> Option<ExportedTile> {
         let mut slots = self.slots.lock();
         loop {
             if let Some(t) = slots.remove(&id) {
@@ -140,7 +154,19 @@ impl ExportTable {
     }
 }
 
-/// Stage 2 → 3 payload: tile resident on the device.
+/// Stage 2 → 3 payload.
+enum CopiedMsg {
+    Tile(CopiedTile),
+    Failed(TileId),
+}
+
+/// Stage 3 → 4 payload.
+enum TransformedMsg {
+    Tile(TransformedTile),
+    Failed(TileId),
+}
+
+/// Tile resident on the device.
 struct CopiedTile {
     id: TileId,
     img: Arc<Image<u16>>,
@@ -151,7 +177,7 @@ struct CopiedTile {
     already_transformed: bool,
 }
 
-/// Stage 3 → 4 payload.
+/// A tile whose forward transform is on the device.
 struct TransformedTile {
     id: TileId,
     img: Arc<Image<u16>>,
@@ -285,6 +311,8 @@ impl PipelinedGpuStitcher {
         shape: GridShape,
         counters: &'env Arc<OpCounters>,
         live_peak: &'env AtomicUsize,
+        tracker: &'env FaultTracker,
+        policy: &'env FailurePolicy,
         import_table: Option<Arc<ExportTable>>,
         export_table: Option<Arc<ExportTable>>,
         q56: &Queue<CcfTask>,
@@ -321,8 +349,8 @@ impl PipelinedGpuStitcher {
         }
 
         let q12: Queue<ReadTile> = Queue::new(4);
-        let q23: Queue<CopiedTile> = Queue::new(pool_size);
-        let q34: Queue<TransformedTile> = Queue::new(pool_size);
+        let q23: Queue<CopiedMsg> = Queue::new(pool_size);
+        let q34: Queue<TransformedMsg> = Queue::new(pool_size);
         let q45: Queue<PairTask> = Queue::new(8);
 
         // traversal over the partition's columns (ghost included)
@@ -343,13 +371,18 @@ impl PipelinedGpuStitcher {
             let p2p_ghosts = import_table.is_some();
             scope.spawn(move || {
                 for id in order {
-                    let img = if p2p_ghosts && id.col < partition.col_lo {
-                        None
+                    let payload = if p2p_ghosts && id.col < partition.col_lo {
+                        ReadPayload::Import
                     } else {
-                        counters.count_read();
-                        Some(Arc::new(source.load(id)))
+                        match tracker.load(source, id, &policy.retry) {
+                            Some(img) => {
+                                counters.count_read();
+                                ReadPayload::Img(Arc::new(img))
+                            }
+                            None => ReadPayload::Failed,
+                        }
                     };
-                    if !w12.push(ReadTile { id, img }) {
+                    if !w12.push(ReadTile { id, payload }) {
                         break;
                     }
                 }
@@ -365,24 +398,24 @@ impl PipelinedGpuStitcher {
             let import_table = import_table.clone();
             scope.spawn(move || {
                 while let Some(t) = q12.pop() {
-                    let item = match t.img {
-                        Some(img) => {
+                    let item = match t.payload {
+                        ReadPayload::Img(img) => {
                             let buf = Arc::new(pool.acquire()); // back-pressure
-                            // async upload + widen; the staging buffer is
-                            // reused, which is safe because commands on one
-                            // stream are ordered
+                                                                // async upload + widen; the staging buffer is
+                                                                // reused, which is safe because commands on one
+                                                                // stream are ordered
                             stream.h2d(Arc::new(img.pixels().to_vec()), &staging);
                             stream.convert_u16_to_complex(&staging, buf.buffer());
                             let copied = stream.record_event();
-                            CopiedTile {
+                            CopiedMsg::Tile(CopiedTile {
                                 id: t.id,
                                 img,
                                 buf,
                                 copied,
                                 already_transformed: false,
-                            }
+                            })
                         }
-                        None => {
+                        ReadPayload::Import => {
                             // peer-to-peer ghost import: block until the
                             // western pipeline publishes the transform,
                             // then copy device-to-device
@@ -390,26 +423,33 @@ impl PipelinedGpuStitcher {
                                 .as_ref()
                                 .expect("ghost request implies import table")
                                 .take(t.id);
-                            let buf = Arc::new(pool.acquire());
-                            stream.wait_event(&export.transformed);
-                            let src = Arc::clone(&export.buf);
-                            let dst = buf.buffer().clone();
-                            stream.launch("p2p_ghost_import", move |tok| {
-                                src.buffer().map(tok, |s| {
-                                    dst.map(tok, |d| d.copy_from_slice(s));
-                                });
-                                // `src` drops here: the producer's buffer
-                                // may recycle only after the copy executed
-                            });
-                            let copied = stream.record_event();
-                            CopiedTile {
-                                id: t.id,
-                                img: export.img,
-                                buf,
-                                copied,
-                                already_transformed: true,
+                            match export {
+                                Some(export) => {
+                                    let buf = Arc::new(pool.acquire());
+                                    stream.wait_event(&export.transformed);
+                                    let src = Arc::clone(&export.buf);
+                                    let dst = buf.buffer().clone();
+                                    stream.launch("p2p_ghost_import", move |tok| {
+                                        src.buffer().map(tok, |s| {
+                                            dst.map(tok, |d| d.copy_from_slice(s));
+                                        });
+                                        // `src` drops here: the producer's buffer
+                                        // may recycle only after the copy executed
+                                    });
+                                    let copied = stream.record_event();
+                                    CopiedMsg::Tile(CopiedTile {
+                                        id: t.id,
+                                        img: export.img,
+                                        buf,
+                                        copied,
+                                        already_transformed: true,
+                                    })
+                                }
+                                // the neighbor never produced this tile
+                                None => CopiedMsg::Failed(t.id),
                             }
                         }
+                        ReadPayload::Failed => CopiedMsg::Failed(t.id),
                     };
                     if !w23.push(item) {
                         break;
@@ -427,7 +467,24 @@ impl PipelinedGpuStitcher {
             let counters = Arc::clone(counters);
             let export_table = export_table.clone();
             scope.spawn(move || {
-                while let Some(t) = q23.pop() {
+                while let Some(msg) = q23.pop() {
+                    let t = match msg {
+                        CopiedMsg::Tile(t) => t,
+                        CopiedMsg::Failed(id) => {
+                            // the eastern neighbor may be waiting on this
+                            // tile as its ghost: publish the failure so
+                            // its copier doesn't block forever
+                            if let Some(exports) = &export_table {
+                                if id.col + 1 == partition.col_hi {
+                                    exports.publish(id, None);
+                                }
+                            }
+                            if !w34.push(TransformedMsg::Failed(id)) {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
                     let transformed = if t.already_transformed {
                         // ghost import: the buffer already holds a transform
                         t.copied
@@ -443,20 +500,20 @@ impl PipelinedGpuStitcher {
                         if t.id.col + 1 == partition.col_hi {
                             exports.publish(
                                 t.id,
-                                ExportedTile {
+                                Some(ExportedTile {
                                     img: Arc::clone(&t.img),
                                     buf: Arc::clone(&t.buf),
                                     transformed: transformed.clone(),
-                                },
+                                }),
                             );
                         }
                     }
-                    if !w34.push(TransformedTile {
+                    if !w34.push(TransformedMsg::Tile(TransformedTile {
                         id: t.id,
                         img: t.img,
                         buf: t.buf,
                         transformed,
-                    }) {
+                    })) {
                         break;
                     }
                 }
@@ -469,60 +526,110 @@ impl PipelinedGpuStitcher {
             let w45 = q45.writer();
             scope.spawn(move || {
                 let mut book: HashMap<TileId, BookEntry> = HashMap::new();
+                let mut failed: HashSet<TileId> = HashSet::new();
+                // pairs written off because an endpoint never arrived,
+                // keyed by (slot, kind) so a pair counts once even when
+                // both of its endpoints fail
+                let mut voided: HashSet<(usize, PairKind)> = HashSet::new();
                 let mut seen = 0usize;
                 let mut emitted = 0usize;
-                while let Some(t) = q34.pop() {
+                while let Some(msg) = q34.pop() {
                     seen += 1;
-                    let refcount = partition.refcount(shape, t.id);
-                    let id = t.id;
-                    book.insert(
-                        id,
-                        BookEntry {
-                            share: TransformedShare {
-                                img: t.img,
-                                buf: t.buf,
-                                transformed: t.transformed,
-                            },
-                            remaining: refcount,
-                        },
-                    );
-                    live_peak.fetch_max(book.len(), Ordering::Relaxed);
-                    let mut ready: Vec<(TileId, TileId, PairKind)> = Vec::with_capacity(4);
-                    for (a, b, kind) in [
-                        (shape.west(id), Some(id), PairKind::West),
-                        (shape.north(id), Some(id), PairKind::North),
-                        (Some(id), shape.east(id), PairKind::West),
-                        (Some(id), shape.south(id), PairKind::North),
-                    ] {
-                        if let (Some(a), Some(b)) = (a, b) {
-                            if partition.owns_pair(b)
-                                && book.contains_key(&a)
-                                && book.contains_key(&b)
-                            {
-                                ready.push((a, b, kind));
+                    match msg {
+                        TransformedMsg::Failed(id) => {
+                            failed.insert(id);
+                            for (a, b, kind) in [
+                                (shape.west(id), Some(id), PairKind::West),
+                                (shape.north(id), Some(id), PairKind::North),
+                                (Some(id), shape.east(id), PairKind::West),
+                                (Some(id), shape.south(id), PairKind::North),
+                            ] {
+                                if let (Some(a), Some(b)) = (a, b) {
+                                    if partition.owns_pair(b) {
+                                        voided.insert((shape.index(b), kind));
+                                        // the surviving endpoint's claim on
+                                        // this pair is gone
+                                        let other = if b == id { a } else { b };
+                                        if let Some(e) = book.get_mut(&other) {
+                                            e.remaining -= 1;
+                                            if e.remaining == 0 {
+                                                book.remove(&other); // recycle
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        TransformedMsg::Tile(t) => {
+                            let id = t.id;
+                            // neighbors already written off reduce this
+                            // tile's reference count up front
+                            let mut refcount = partition.refcount(shape, id);
+                            for (a, b) in [
+                                (shape.west(id), Some(id)),
+                                (shape.north(id), Some(id)),
+                                (Some(id), shape.east(id)),
+                                (Some(id), shape.south(id)),
+                            ] {
+                                if let (Some(a), Some(b)) = (a, b) {
+                                    let other = if b == id { a } else { b };
+                                    if partition.owns_pair(b) && failed.contains(&other) {
+                                        refcount -= 1;
+                                    }
+                                }
+                            }
+                            if refcount > 0 {
+                                book.insert(
+                                    id,
+                                    BookEntry {
+                                        share: TransformedShare {
+                                            img: t.img,
+                                            buf: t.buf,
+                                            transformed: t.transformed,
+                                        },
+                                        remaining: refcount,
+                                    },
+                                );
+                            }
+                            live_peak.fetch_max(book.len(), Ordering::Relaxed);
+                            let mut ready: Vec<(TileId, TileId, PairKind)> = Vec::with_capacity(4);
+                            for (a, b, kind) in [
+                                (shape.west(id), Some(id), PairKind::West),
+                                (shape.north(id), Some(id), PairKind::North),
+                                (Some(id), shape.east(id), PairKind::West),
+                                (Some(id), shape.south(id), PairKind::North),
+                            ] {
+                                if let (Some(a), Some(b)) = (a, b) {
+                                    if partition.owns_pair(b)
+                                        && book.contains_key(&a)
+                                        && book.contains_key(&b)
+                                    {
+                                        ready.push((a, b, kind));
+                                    }
+                                }
+                            }
+                            for (a, b, kind) in ready {
+                                let task = PairTask {
+                                    a: book[&a].share.clone(),
+                                    b: book[&b].share.clone(),
+                                    kind,
+                                    slot: shape.index(b),
+                                };
+                                if !w45.push(task) {
+                                    return;
+                                }
+                                emitted += 1;
+                                for t in [a, b] {
+                                    let e = book.get_mut(&t).expect("endpoint resident");
+                                    e.remaining -= 1;
+                                    if e.remaining == 0 {
+                                        book.remove(&t); // recycle when pairs done
+                                    }
+                                }
                             }
                         }
                     }
-                    for (a, b, kind) in ready {
-                        let task = PairTask {
-                            a: book[&a].share.clone(),
-                            b: book[&b].share.clone(),
-                            kind,
-                            slot: shape.index(b),
-                        };
-                        if !w45.push(task) {
-                            return;
-                        }
-                        emitted += 1;
-                        for t in [a, b] {
-                            let e = book.get_mut(&t).expect("endpoint resident");
-                            e.remaining -= 1;
-                            if e.remaining == 0 {
-                                book.remove(&t); // recycle when pairs done
-                            }
-                        }
-                    }
-                    if seen == total_tiles && emitted == total_pairs {
+                    if seen == total_tiles && emitted + voided.len() == total_pairs {
                         break;
                     }
                 }
@@ -564,7 +671,6 @@ impl PipelinedGpuStitcher {
                 }
             });
         }
-
     }
 }
 
@@ -577,13 +683,18 @@ impl Stitcher for PipelinedGpuStitcher {
         )
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         if shape.tiles() == 0 {
-            return StitchResult::empty(shape);
+            return Ok(StitchResult::empty(shape));
         }
         let counters = OpCounters::new_shared();
+        let tracker = FaultTracker::new(shape);
         let west = Mutex::new(vec![None; shape.tiles()]);
         let north = Mutex::new(vec![None; shape.tiles()]);
         let live_peak = AtomicUsize::new(0);
@@ -602,15 +713,34 @@ impl Stitcher for PipelinedGpuStitcher {
         let q56: Queue<CcfTask> = Queue::new(16 * self.devices.len());
         let (w, h) = source.tile_dims();
 
+        // q56 gets a producer from each pipeline's stage 5. The queue
+        // closes for good when its writer count hits zero, so hold a
+        // guard writer until every pipeline has registered its own —
+        // otherwise a fast early pipeline can finish and close the queue
+        // before a later pipeline's writer exists.
+        let w56_guard = q56.writer();
         std::thread::scope(|scope| {
             for (p, (device, partition)) in self.devices.iter().zip(&partitions).enumerate() {
                 let import_table = (p > 0).then(|| tables.get(p - 1).cloned()).flatten();
                 let export_table = tables.get(p).cloned();
                 self.run_pipeline(
-                    scope, device, *partition, source, shape, &counters, &live_peak,
-                    import_table, export_table, &q56,
+                    scope,
+                    device,
+                    *partition,
+                    source,
+                    shape,
+                    &counters,
+                    &live_peak,
+                    &tracker,
+                    policy,
+                    import_table,
+                    export_table,
+                    &q56,
                 );
             }
+            // every pipeline's stage-5 writer is registered; release the
+            // guard so q56 can close when the real producers finish
+            drop(w56_guard);
             // Stage 6 — CCF workers (host), shared by all pipelines.
             for _ in 0..self.config.ccf_threads {
                 let q56 = q56.clone();
@@ -643,7 +773,8 @@ impl Stitcher for PipelinedGpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = live_peak.load(Ordering::Relaxed);
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 
@@ -679,8 +810,20 @@ mod tests {
     fn column_bands_cover_grid() {
         let bands = column_bands(10, 3);
         assert_eq!(bands.len(), 3);
-        assert_eq!(bands[0], Partition { col_lo: 0, col_hi: 4 });
-        assert_eq!(bands[2], Partition { col_lo: 7, col_hi: 10 });
+        assert_eq!(
+            bands[0],
+            Partition {
+                col_lo: 0,
+                col_hi: 4
+            }
+        );
+        assert_eq!(
+            bands[2],
+            Partition {
+                col_lo: 7,
+                col_hi: 10
+            }
+        );
     }
 
     #[test]
@@ -715,11 +858,9 @@ mod tests {
     fn two_gpus_match_one() {
         let src = source(3, 6);
         let one = PipelinedGpuStitcher::single(device(0)).compute_displacements(&src);
-        let two = PipelinedGpuStitcher::new(
-            vec![device(0), device(1)],
-            PipelinedGpuConfig::default(),
-        )
-        .compute_displacements(&src);
+        let two =
+            PipelinedGpuStitcher::new(vec![device(0), device(1)], PipelinedGpuConfig::default())
+                .compute_displacements(&src);
         assert!(two.is_complete());
         assert_eq!(two.west, one.west);
         assert_eq!(two.north, one.north);
@@ -760,7 +901,9 @@ mod tests {
         }));
         let dev_simple = Device::new(0, cfg.clone());
         SimpleGpuStitcher::new(dev_simple.clone()).compute_displacements(&src);
-        let simple_density = dev_simple.profiler().density_of(stitch_gpu::SpanKind::Kernel);
+        let simple_density = dev_simple
+            .profiler()
+            .density_of(stitch_gpu::SpanKind::Kernel);
         let dev_pipe = Device::new(1, cfg);
         PipelinedGpuStitcher::single(dev_pipe.clone()).compute_displacements(&src);
         let pipe_density = dev_pipe.profiler().density_of(stitch_gpu::SpanKind::Kernel);

@@ -86,10 +86,15 @@ pub fn seam_error(source: &dyn TileSource, positions: &AbsolutePositions) -> Sea
     let (tw, th) = source.tile_dims();
     let mut rms_values: Vec<f64> = Vec::new();
     for id in shape.ids() {
-        let img = source.load(id);
+        // unreadable tiles simply contribute no seams
+        let Ok(img) = source.load(id) else {
+            continue;
+        };
         let (px, py) = positions.get(id);
         for nb in [shape.west(id), shape.north(id)].into_iter().flatten() {
-            let nb_img = source.load(nb);
+            let Ok(nb_img) = source.load(nb) else {
+                continue;
+            };
             let (qx, qy) = positions.get(nb);
             // overlap rectangle in plate coordinates
             let x0 = px.max(qx);

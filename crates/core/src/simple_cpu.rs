@@ -14,6 +14,7 @@ use std::time::Instant;
 use stitch_fft::{PlanMode, Planner, C64};
 use stitch_image::Image;
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
 use crate::opcount::OpCounters;
 use crate::pciam_real::{Correlator, TransformKind};
@@ -71,7 +72,11 @@ impl Stitcher for SimpleCpuStitcher {
         "Simple-CPU".to_string()
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         let (w, h) = source.tile_dims();
@@ -79,21 +84,53 @@ impl Stitcher for SimpleCpuStitcher {
         let planner = Planner::new(self.plan_mode);
         let mut ctx = Correlator::new(self.transform, &planner, w, h, Arc::clone(&counters));
         let mut result = StitchResult::empty(shape);
+        let tracker = FaultTracker::new(shape);
         let mut live: HashMap<TileId, LiveTile> = HashMap::new();
         let mut peak_live = 0usize;
+        let neighbors = |id: TileId| {
+            [
+                shape.west(id),
+                shape.north(id),
+                shape.east(id),
+                shape.south(id),
+            ]
+            .into_iter()
+            .flatten()
+        };
 
         for id in self.traversal.order(shape) {
-            let img = Arc::new(source.load(id));
+            let img = match tracker.load(source, id, &policy.retry) {
+                Some(img) => Arc::new(img),
+                None => {
+                    // the tile is gone: every pair it participates in is
+                    // void, so release resident neighbors waiting on it
+                    for n in neighbors(id) {
+                        if let Some(entry) = live.get_mut(&n) {
+                            entry.remaining -= 1;
+                            if entry.remaining == 0 {
+                                live.remove(&n);
+                            }
+                        }
+                    }
+                    continue;
+                }
+            };
             counters.count_read();
             let fft = Arc::new(ctx.forward_fft(&img));
-            live.insert(
-                id,
-                LiveTile {
-                    img,
-                    fft,
-                    remaining: shape.degree(id),
-                },
-            );
+            // pairs to already-failed neighbors will never complete;
+            // inserting with remaining == 0 would leak the transform
+            let voided = neighbors(id).filter(|n| tracker.is_failed(*n)).count();
+            let remaining = shape.degree(id) - voided;
+            if remaining > 0 {
+                live.insert(
+                    id,
+                    LiveTile {
+                        img,
+                        fft,
+                        remaining,
+                    },
+                );
+            }
             peak_live = peak_live.max(live.len());
 
             // complete every pair whose other endpoint is already resident
@@ -129,7 +166,11 @@ impl Stitcher for SimpleCpuStitcher {
                         Arc::clone(&tb.img),
                     )
                 };
-                let kind = if is_west_pair { crate::types::PairKind::West } else { crate::types::PairKind::North };
+                let kind = if is_west_pair {
+                    crate::types::PairKind::West
+                } else {
+                    crate::types::PairKind::North
+                };
                 let d = ctx.displacement_oriented(&fa, &fb, &ia, &ib, Some(kind));
                 let slot = shape.index(b);
                 if is_west_pair {
@@ -152,7 +193,8 @@ impl Stitcher for SimpleCpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = peak_live;
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 
@@ -174,7 +216,9 @@ mod tests {
             backlash_x: 1.0,
             noise_sigma: 40.0,
             vignette: 0.03,
-            seed: 11,
+            // picked so every grid shape used by these tests has texture in
+            // all overlaps (exact phase-1 recovery, no featureless pairs)
+            seed: 14,
         })
     }
 
@@ -185,7 +229,12 @@ mod tests {
         let result = SimpleCpuStitcher::default().compute_displacements(&src);
         assert!(result.is_complete());
         let (tw, tn) = truth_vectors(src.plate());
-        assert_eq!(result.count_errors(&tw, &tn, 0), 0, "west={:?}", result.west);
+        assert_eq!(
+            result.count_errors(&tw, &tn, 0),
+            0,
+            "west={:?}",
+            result.west
+        );
     }
 
     #[test]
@@ -218,8 +267,8 @@ mod tests {
             .compute_displacements(&src);
         // peak live tiles should stay near the smaller grid dimension
         assert!(r.peak_live_tiles <= 2 * 4 + 2, "peak {}", r.peak_live_tiles);
-        let row = SimpleCpuStitcher::new(Traversal::Row, PlanMode::Estimate)
-            .compute_displacements(&src);
+        let row =
+            SimpleCpuStitcher::new(Traversal::Row, PlanMode::Estimate).compute_displacements(&src);
         assert!(r.peak_live_tiles <= row.peak_live_tiles);
     }
 

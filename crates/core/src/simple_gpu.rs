@@ -17,6 +17,7 @@ use stitch_fft::{Direction, C64};
 use stitch_gpu::{Device, PooledBuffer};
 use stitch_image::Image;
 
+use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
 use crate::opcount::OpCounters;
 use crate::pciam::{resolve_peaks_oriented, DEFAULT_PEAK_COUNT};
@@ -60,15 +61,20 @@ impl Stitcher for SimpleGpuStitcher {
         "Simple-GPU".to_string()
     }
 
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError> {
         let t0 = Instant::now();
         let shape = source.shape();
         let (w, h) = source.tile_dims();
         if shape.tiles() == 0 {
-            return StitchResult::empty(shape);
+            return Ok(StitchResult::empty(shape));
         }
         let n = w * h;
         let counters = OpCounters::new_shared();
+        let tracker = FaultTracker::new(shape);
         let mut result = StitchResult::empty(shape);
 
         // §IV-A: "allocates a pool of buffers in GPU memory for FFT
@@ -89,9 +95,34 @@ impl Stitcher for SimpleGpuStitcher {
         let mut live: HashMap<TileId, DeviceTile> = HashMap::new();
         let mut peak_live = 0usize;
 
+        let neighbors = |id: TileId| {
+            [
+                shape.west(id),
+                shape.north(id),
+                shape.east(id),
+                shape.south(id),
+            ]
+            .into_iter()
+            .flatten()
+        };
         for id in self.traversal.order(shape) {
             // read tile (host), copy synchronously, transform
-            let img = Arc::new(source.load(id));
+            let img = match tracker.load(source, id, &policy.retry) {
+                Some(img) => Arc::new(img),
+                None => {
+                    // release resident neighbors whose pair with this
+                    // tile will never complete
+                    for nb in neighbors(id) {
+                        if let Some(e) = live.get_mut(&nb) {
+                            e.remaining -= 1;
+                            if e.remaining == 0 {
+                                live.remove(&nb); // recycles the device buffer
+                            }
+                        }
+                    }
+                    continue;
+                }
+            };
             counters.count_read();
             let buf = pool.acquire();
             stream.h2d(Arc::new(img.pixels().to_vec()), &staging);
@@ -101,14 +132,18 @@ impl Stitcher for SimpleGpuStitcher {
             stream.fft2d(w, h, Direction::Forward, &buf, &scratch);
             stream.synchronize();
             counters.count_forward_fft();
-            live.insert(
-                id,
-                DeviceTile {
-                    img,
-                    buf,
-                    remaining: shape.degree(id),
-                },
-            );
+            let voided = neighbors(id).filter(|nb| tracker.is_failed(*nb)).count();
+            let remaining = shape.degree(id) - voided;
+            if remaining > 0 {
+                live.insert(
+                    id,
+                    DeviceTile {
+                        img,
+                        buf,
+                        remaining,
+                    },
+                );
+            }
             peak_live = peak_live.max(live.len());
 
             // complete ready pairs, one fully synchronous op at a time
@@ -159,10 +194,12 @@ impl Stitcher for SimpleGpuStitcher {
             }
         }
         stream.synchronize();
+        debug_assert!(live.is_empty(), "all device tiles must be recycled");
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = peak_live;
-        result
+        result.health = tracker.finish(policy)?;
+        Ok(result)
     }
 }
 
@@ -227,7 +264,11 @@ mod tests {
         let dev = device();
         let src = source(2, 3);
         SimpleGpuStitcher::new(dev.clone()).compute_displacements(&src);
-        assert_eq!(dev.profiler().peak_concurrency(stitch_gpu::SpanKind::Kernel), 1);
+        assert_eq!(
+            dev.profiler()
+                .peak_concurrency(stitch_gpu::SpanKind::Kernel),
+            1
+        );
     }
 
     #[test]

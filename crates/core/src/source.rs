@@ -3,12 +3,18 @@
 //! The paper's system reads TIFF tiles from disk; tests and benches also
 //! want in-memory and procedurally generated grids. All three are hidden
 //! behind [`TileSource`], which every stitcher implementation consumes.
+//!
+//! Reads are fallible: [`TileSource::load`] returns a
+//! [`SourceError`] instead of panicking, so the stitchers can retry
+//! transient failures and degrade gracefully on permanent ones (see the
+//! [`fault`](crate::fault) module).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use stitch_image::{tiff, GridManifest, Image, SyntheticPlate};
 
+use crate::fault::SourceError;
 use crate::grid::GridShape;
 use crate::types::TileId;
 
@@ -19,11 +25,14 @@ pub trait TileSource: Send + Sync {
     fn shape(&self) -> GridShape;
     /// Tile dimensions `(width, height)` — uniform across the grid.
     fn tile_dims(&self) -> (usize, usize);
-    /// Loads (reads, renders, or clones) one tile.
-    fn load(&self, id: TileId) -> Image<u16>;
+    /// Loads (reads, renders, or clones) one tile. Errors are per-read:
+    /// a [transient](SourceError::is_retryable) failure may succeed on a
+    /// later call for the same tile.
+    fn load(&self, id: TileId) -> Result<Image<u16>, SourceError>;
 }
 
 /// Tiles held in memory, row-major.
+#[derive(Debug)]
 pub struct MemorySource {
     shape: GridShape,
     dims: (usize, usize),
@@ -31,18 +40,49 @@ pub struct MemorySource {
 }
 
 impl MemorySource {
-    /// Wraps a row-major tile vector. Panics on count/dimension mismatch.
+    /// Wraps a row-major tile vector. Panics on an empty grid or a
+    /// count/dimension mismatch; use [`try_new`](MemorySource::try_new)
+    /// for the error-returning form.
     pub fn new(shape: GridShape, tiles: Vec<Image<u16>>) -> MemorySource {
-        assert_eq!(tiles.len(), shape.tiles(), "tile count mismatch");
-        let dims = tiles.first().map(|t| t.dims()).unwrap_or((0, 0));
-        for t in &tiles {
-            assert_eq!(t.dims(), dims, "tiles must share dimensions");
+        MemorySource::try_new(shape, tiles).unwrap_or_else(|e| panic!("invalid MemorySource: {e}"))
+    }
+
+    /// Wraps a row-major tile vector, rejecting an empty grid (which
+    /// would otherwise masquerade as a 0×0-tile source) and mismatched
+    /// dimensions.
+    pub fn try_new(shape: GridShape, tiles: Vec<Image<u16>>) -> Result<MemorySource, SourceError> {
+        if tiles.is_empty() {
+            return Err(SourceError::EmptyGrid);
         }
-        MemorySource {
+        if tiles.len() != shape.tiles() {
+            return Err(SourceError::Manifest {
+                detail: format!(
+                    "tile count mismatch: {} tiles for a {}x{} grid",
+                    tiles.len(),
+                    shape.rows,
+                    shape.cols
+                ),
+            });
+        }
+        let dims = tiles[0].dims();
+        for (i, t) in tiles.iter().enumerate() {
+            if t.dims() != dims {
+                return Err(SourceError::Manifest {
+                    detail: format!(
+                        "tiles must share dimensions: tile 0 is {}x{} but tile {i} is {}x{}",
+                        dims.0,
+                        dims.1,
+                        t.dims().0,
+                        t.dims().1
+                    ),
+                });
+            }
+        }
+        Ok(MemorySource {
             shape,
             dims,
             tiles: tiles.into_iter().map(Arc::new).collect(),
-        }
+        })
     }
 }
 
@@ -55,8 +95,8 @@ impl TileSource for MemorySource {
         self.dims
     }
 
-    fn load(&self, id: TileId) -> Image<u16> {
-        (*self.tiles[self.shape.index(id)]).clone()
+    fn load(&self, id: TileId) -> Result<Image<u16>, SourceError> {
+        Ok((*self.tiles[self.shape.index(id)]).clone())
     }
 }
 
@@ -87,14 +127,15 @@ impl TileSource for SyntheticSource {
         (self.plate.config.tile_width, self.plate.config.tile_height)
     }
 
-    fn load(&self, id: TileId) -> Image<u16> {
-        self.plate.render_tile(id.row, id.col)
+    fn load(&self, id: TileId) -> Result<Image<u16>, SourceError> {
+        Ok(self.plate.render_tile(id.row, id.col))
     }
 }
 
 /// Tiles read from TIFF files on disk, as listed by a dataset manifest —
 /// the configuration the paper's end-to-end timings use (6.68 GB of tiles
 /// on disk, read by the pipeline's dedicated reader thread).
+#[derive(Debug)]
 pub struct DirSource {
     shape: GridShape,
     dims: (usize, usize),
@@ -104,8 +145,28 @@ pub struct DirSource {
 impl DirSource {
     /// Opens a dataset directory (see
     /// [`SyntheticPlate::write_to_dir`](stitch_image::SyntheticPlate::write_to_dir)).
-    pub fn open(dir: impl AsRef<std::path::Path>) -> stitch_image::Result<DirSource> {
-        let m = GridManifest::load(dir)?;
+    ///
+    /// Validates the manifest against the directory before returning:
+    /// every listed tile file must exist on disk, and *all* missing
+    /// files are reported in one [`SourceError::MissingTiles`] — a
+    /// multi-hour stitching run should not discover absences one tile at
+    /// a time.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<DirSource, SourceError> {
+        let m = GridManifest::load(dir).map_err(|e| SourceError::Manifest {
+            detail: e.to_string(),
+        })?;
+        if m.files.is_empty() {
+            return Err(SourceError::EmptyGrid);
+        }
+        let missing: Vec<String> = m
+            .files
+            .iter()
+            .filter(|f| !f.is_file())
+            .map(|f| f.display().to_string())
+            .collect();
+        if !missing.is_empty() {
+            return Err(SourceError::MissingTiles { files: missing });
+        }
         Ok(DirSource {
             shape: GridShape::new(m.rows, m.cols),
             dims: (m.tile_width, m.tile_height),
@@ -123,10 +184,12 @@ impl TileSource for DirSource {
         self.dims
     }
 
-    fn load(&self, id: TileId) -> Image<u16> {
+    fn load(&self, id: TileId) -> Result<Image<u16>, SourceError> {
         let path = &self.files[self.shape.index(id)];
-        tiff::read_tiff(path)
-            .unwrap_or_else(|e| panic!("failed to read tile {id} from {path:?}: {e}"))
+        tiff::read_tiff(path).map_err(|e| SourceError::Io {
+            id,
+            detail: format!("{}: {e}", path.display()),
+        })
     }
 }
 
@@ -138,12 +201,10 @@ mod tests {
     #[test]
     fn memory_source_round_trip() {
         let shape = GridShape::new(2, 2);
-        let tiles: Vec<Image<u16>> = (0..4)
-            .map(|i| Image::filled(8, 6, i as u16))
-            .collect();
+        let tiles: Vec<Image<u16>> = (0..4).map(|i| Image::filled(8, 6, i as u16)).collect();
         let src = MemorySource::new(shape, tiles);
         assert_eq!(src.tile_dims(), (8, 6));
-        assert_eq!(src.load(TileId::new(1, 0)).pixels()[0], 2);
+        assert_eq!(src.load(TileId::new(1, 0)).unwrap().pixels()[0], 2);
     }
 
     #[test]
@@ -153,6 +214,16 @@ mod tests {
             GridShape::new(1, 2),
             vec![Image::new(4, 4), Image::new(5, 4)],
         );
+    }
+
+    #[test]
+    fn memory_source_rejects_empty_grid() {
+        let err = MemorySource::try_new(GridShape::new(0, 0), Vec::new()).unwrap_err();
+        assert_eq!(err, SourceError::EmptyGrid);
+        // count mismatch gets its own descriptive error, not a panic
+        let err = MemorySource::try_new(GridShape::new(2, 2), vec![Image::new(4, 4)]).unwrap_err();
+        assert!(matches!(err, SourceError::Manifest { .. }), "{err}");
+        assert!(err.to_string().contains("2x2"), "{err}");
     }
 
     #[test]
@@ -167,7 +238,7 @@ mod tests {
         let src = SyntheticSource::new(SyntheticPlate::generate(cfg));
         assert_eq!(src.shape(), GridShape::new(2, 3));
         assert_eq!(src.tile_dims(), (32, 24));
-        let t = src.load(TileId::new(1, 2));
+        let t = src.load(TileId::new(1, 2)).unwrap();
         assert_eq!(t.dims(), (32, 24));
     }
 
@@ -186,7 +257,49 @@ mod tests {
         plate.write_to_dir(&dir).unwrap();
         let src = DirSource::open(&dir).unwrap();
         assert_eq!(src.shape(), GridShape::new(2, 2));
-        assert_eq!(src.load(TileId::new(0, 1)), plate.render_tile(0, 1));
+        assert_eq!(
+            src.load(TileId::new(0, 1)).unwrap(),
+            plate.render_tile(0, 1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_source_reports_all_missing_tiles_up_front() {
+        let dir = std::env::temp_dir().join("stitch_dirsource_missing_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ScanConfig {
+            grid_rows: 2,
+            grid_cols: 3,
+            tile_width: 16,
+            tile_height: 12,
+            ..ScanConfig::default()
+        };
+        SyntheticPlate::generate(cfg).write_to_dir(&dir).unwrap();
+        // delete two tiles: open must name both, not fail on the first
+        let victims: Vec<PathBuf> = {
+            let src = DirSource::open(&dir).unwrap();
+            let shape = src.shape();
+            [TileId::new(0, 1), TileId::new(1, 2)]
+                .iter()
+                .map(|id| src.files[shape.index(*id)].clone())
+                .collect()
+        };
+        for v in &victims {
+            std::fs::remove_file(v).unwrap();
+        }
+        match DirSource::open(&dir) {
+            Err(SourceError::MissingTiles { files }) => {
+                assert_eq!(files.len(), 2, "{files:?}");
+                for v in &victims {
+                    assert!(
+                        files.iter().any(|f| f == &v.display().to_string()),
+                        "{files:?}"
+                    );
+                }
+            }
+            other => panic!("expected MissingTiles, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

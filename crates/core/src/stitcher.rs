@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use crate::fault::{FailurePolicy, HealthReport, StitchError, TileStatus};
 use crate::grid::GridShape;
 use crate::opcount::OpCounts;
 use crate::source::TileSource;
@@ -28,6 +29,9 @@ pub struct StitchResult {
     /// Peak number of simultaneously live tile transforms (memory
     /// management quality; bounded by the pool in pipelined versions).
     pub peak_live_tiles: usize,
+    /// Per-tile read health: which tiles loaded cleanly, which needed
+    /// retries, which failed permanently.
+    pub health: HealthReport,
 }
 
 impl StitchResult {
@@ -40,6 +44,7 @@ impl StitchResult {
             elapsed: Duration::ZERO,
             ops: OpCounts::default(),
             peak_live_tiles: 0,
+            health: HealthReport::new(shape),
         }
     }
 
@@ -61,6 +66,31 @@ impl StitchResult {
                 return false;
             }
             if id.row > 0 && self.north[i].is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Like [`is_complete`](StitchResult::is_complete), but pairs that
+    /// touch a permanently failed tile are excused: the degraded-but-done
+    /// check for `--allow-partial` runs.
+    pub fn is_complete_modulo_failures(&self) -> bool {
+        let failed = |id: TileId| matches!(self.health.status(id), TileStatus::Failed { .. });
+        for id in self.shape.ids().collect::<Vec<_>>() {
+            let i = self.shape.index(id);
+            if id.col > 0
+                && self.west[i].is_none()
+                && !failed(id)
+                && !failed(TileId::new(id.row, id.col - 1))
+            {
+                return false;
+            }
+            if id.row > 0
+                && self.north[i].is_none()
+                && !failed(id)
+                && !failed(TileId::new(id.row - 1, id.col))
+            {
                 return false;
             }
         }
@@ -103,8 +133,26 @@ pub trait Stitcher {
     /// Implementation name as it appears in Table II.
     fn name(&self) -> String;
 
-    /// Computes relative displacements for every adjacent pair in the grid.
-    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult;
+    /// Computes relative displacements for every adjacent pair in the
+    /// grid under a failure policy: transient read errors are retried
+    /// per `policy.retry`, and permanently failed tiles either degrade
+    /// the result (`policy.allow_partial`, with the casualties listed in
+    /// [`StitchResult::health`]) or abort it with [`StitchError::Tile`].
+    fn try_compute_displacements(
+        &self,
+        source: &dyn TileSource,
+        policy: &FailurePolicy,
+    ) -> Result<StitchResult, StitchError>;
+
+    /// Infallible convenience wrapper over
+    /// [`try_compute_displacements`](Stitcher::try_compute_displacements)
+    /// with the default policy (bounded retries, no partial output).
+    /// Panics on permanent failure — reads from a healthy source keep
+    /// the original behavior.
+    fn compute_displacements(&self, source: &dyn TileSource) -> StitchResult {
+        self.try_compute_displacements(source, &FailurePolicy::default())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", self.name()))
+    }
 }
 
 /// Ground-truth displacement vectors, row-major, `None` where no pair

@@ -108,7 +108,7 @@ mod tests {
                 cell_sigma: (3.0, 8.0),
                 texture_amplitude: 0.0, // pixel-locked texture can't shift fractionally
                 illumination_amplitude: 0.0,
-                seed: 31,
+                seed: 30,
                 ..SceneParams::default()
             },
         );
@@ -117,12 +117,15 @@ mod tests {
         for true_dx in [48.3f64, 48.5, 47.8] {
             let a = scene.render_region(96.0, 64.0, w, h, 0.0, 0.0, 1);
             let b = scene.render_region(96.0 + true_dx, 64.0 + 2.0, w, h, 0.0, 0.0, 2);
-            let mut ctx =
-                PciamContext::new(&Planner::default(), w, h, OpCounters::new_shared());
+            let mut ctx = PciamContext::new(&Planner::default(), w, h, OpCounters::new_shared());
             let fa = ctx.forward_fft(&a);
             let fb = ctx.forward_fft(&b);
             let d = ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West));
-            assert!((d.x as f64 - true_dx).abs() <= 1.0, "integer peak off: {} vs {true_dx}", d.x);
+            assert!(
+                (d.x as f64 - true_dx).abs() <= 1.0,
+                "integer peak off: {} vs {true_dx}",
+                d.x
+            );
             let s = refine_subpixel(&a, &b, d);
             assert!(
                 (s.x - true_dx).abs() < 0.35,

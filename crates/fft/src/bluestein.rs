@@ -118,11 +118,16 @@ mod tests {
     use crate::radix::dft_naive;
 
     fn ramp(n: usize) -> Vec<C64> {
-        (0..n).map(|k| c64((k % 7) as f64 - 3.0, (k % 5) as f64 * 0.25)).collect()
+        (0..n)
+            .map(|k| c64((k % 7) as f64 - 3.0, (k % 5) as f64 * 0.25))
+            .collect()
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
         assert_eq!(next_smooth(11), 12);
         assert_eq!(next_smooth(1392), 1400); // 2^3 · 5^2 · 7
         assert_eq!(next_smooth(1040), 1050); // 2 · 3 · 5^2 · 7
-        // result is always 7-smooth and >= input
+                                             // result is always 7-smooth and >= input
         for n in 1..3000 {
             let m = next_smooth(n);
             assert!(m >= n);

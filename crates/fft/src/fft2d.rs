@@ -151,18 +151,27 @@ mod tests {
     use crate::radix::dft_naive;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn ramp(n: usize) -> Vec<C64> {
-        (0..n).map(|k| c64((k % 9) as f64 - 4.0, (k % 4) as f64)).collect()
+        (0..n)
+            .map(|k| c64((k % 9) as f64 - 4.0, (k % 4) as f64))
+            .collect()
     }
 
     /// Naive 2-D DFT for verification.
     fn dft2d_naive(data: &[C64], w: usize, h: usize, dir: Direction) -> Vec<C64> {
         let mut rows = vec![C64::ZERO; w * h];
         for y in 0..h {
-            dft_naive(&data[y * w..(y + 1) * w], &mut rows[y * w..(y + 1) * w], dir);
+            dft_naive(
+                &data[y * w..(y + 1) * w],
+                &mut rows[y * w..(y + 1) * w],
+                dir,
+            );
         }
         let mut out = vec![C64::ZERO; w * h];
         let mut col_in = vec![C64::ZERO; h];
@@ -203,7 +212,10 @@ mod tests {
             let reference = dft2d_naive(&data, w, h, Direction::Forward);
             let mut scratch = vec![C64::ZERO; w * h];
             Fft2d::new(&planner, w, h, Direction::Forward).process(&mut data, &mut scratch);
-            assert!(max_err(&data, &reference) < 1e-8 * (w * h) as f64, "{w}x{h}");
+            assert!(
+                max_err(&data, &reference) < 1e-8 * (w * h) as f64,
+                "{w}x{h}"
+            );
         }
     }
 

@@ -160,7 +160,9 @@ impl Planner {
             ));
         }
         // Time each candidate on scratch data; keep the fastest.
-        let input: Vec<C64> = (0..n).map(|k| c64((k % 13) as f64, (k % 7) as f64)).collect();
+        let input: Vec<C64> = (0..n)
+            .map(|k| c64((k % 13) as f64, (k % 7) as f64))
+            .collect();
         let mut output = vec![C64::ZERO; n];
         let reps = self.mode.reps();
         let mut best: Option<(u128, MixedRadixPlan)> = None;
@@ -250,18 +252,29 @@ mod tests {
     use crate::radix::dft_naive;
 
     fn ramp(n: usize) -> Vec<C64> {
-        (0..n).map(|k| c64((k % 11) as f64 - 5.0, (k % 3) as f64)).collect()
+        (0..n)
+            .map(|k| c64((k % 11) as f64 - 5.0, (k % 3) as f64))
+            .collect()
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn planner_routes_smooth_to_mixed_radix() {
         let p = Planner::default();
-        assert!(matches!(*p.plan(1392, Direction::Forward), FftPlan::MixedRadix(_)));
-        assert!(matches!(*p.plan(97, Direction::Forward), FftPlan::Bluestein(_)));
+        assert!(matches!(
+            *p.plan(1392, Direction::Forward),
+            FftPlan::MixedRadix(_)
+        ));
+        assert!(matches!(
+            *p.plan(97, Direction::Forward),
+            FftPlan::Bluestein(_)
+        ));
     }
 
     #[test]

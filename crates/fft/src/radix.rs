@@ -168,7 +168,13 @@ impl MixedRadixPlan {
         let r = self.schedule[level];
         let m = n / r;
         for k in 0..r {
-            self.rec(&inp[k * is..], is * r, &mut out[k * m..(k + 1) * m], m, level + 1);
+            self.rec(
+                &inp[k * is..],
+                is * r,
+                &mut out[k * m..(k + 1) * m],
+                m,
+                level + 1,
+            );
         }
         // Combine: X[j + q·m] = Σ_k (sub_k[j]·W_n^{kj})·W_r^{kq}.
         // For fixed j the reads {out[k·m+j]} and writes {out[q·m+j]} cover
@@ -208,7 +214,11 @@ impl MixedRadixPlan {
                     let ac_m = a - c;
                     let bd_p = b + d;
                     // forward: W_4 = -i ; inverse: W_4 = +i
-                    let bd_m = if fwd { (b - d).mul_neg_i() } else { (b - d).mul_i() };
+                    let bd_m = if fwd {
+                        (b - d).mul_neg_i()
+                    } else {
+                        (b - d).mul_i()
+                    };
                     out[j] = ac_p + bd_p;
                     out[m + j] = ac_m + bd_m;
                     out[2 * m + j] = ac_p - bd_p;
@@ -263,11 +273,16 @@ mod tests {
     use super::*;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn ramp(n: usize) -> Vec<C64> {
-        (0..n).map(|k| c64(k as f64 * 0.37 - 1.0, (k * k % 17) as f64 * 0.11)).collect()
+        (0..n)
+            .map(|k| c64(k as f64 * 0.37 - 1.0, (k * k % 17) as f64 * 0.11))
+            .collect()
     }
 
     #[test]
@@ -348,7 +363,12 @@ mod tests {
         let x = ramp(n);
         let mut reference = vec![C64::ZERO; n];
         MixedRadixPlan::new(n, Direction::Forward).process(&x, &mut reference);
-        for sched in [vec![2, 2, 2, 3, 5], vec![5, 3, 4, 2], vec![3, 5, 2, 4], vec![2, 3, 4, 5]] {
+        for sched in [
+            vec![2, 2, 2, 3, 5],
+            vec![5, 3, 4, 2],
+            vec![3, 5, 2, 4],
+            vec![2, 3, 4, 5],
+        ] {
             let mut out = vec![C64::ZERO; n];
             MixedRadixPlan::with_schedule(n, Direction::Forward, sched.clone())
                 .process(&x, &mut out);

@@ -89,7 +89,9 @@ impl RealFft {
         if let Some(fwd) = &self.half_fwd {
             let half = self.n / 2;
             // Pack x[2k] + i·x[2k+1] and transform at half length.
-            let packed: Vec<C64> = (0..half).map(|k| c64(input[2 * k], input[2 * k + 1])).collect();
+            let packed: Vec<C64> = (0..half)
+                .map(|k| c64(input[2 * k], input[2 * k + 1]))
+                .collect();
             let mut z = vec![C64::ZERO; half];
             fwd.process(&packed, &mut z);
             // Recombine: X[j] = E_j + W^j·O_j with
@@ -250,7 +252,9 @@ mod tests {
     use crate::plan::fft_forward;
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n).map(|k| ((k * 7) % 13) as f64 - 6.0 + 0.5 * ((k % 5) as f64)).collect()
+        (0..n)
+            .map(|k| ((k * 7) % 13) as f64 - 6.0 + 0.5 * ((k % 5) as f64))
+            .collect()
     }
 
     #[test]
@@ -276,7 +280,10 @@ mod tests {
             r.forward(&x, &mut half);
             let full = fft_forward(&x.iter().map(|&v| c64(v, 0.0)).collect::<Vec<_>>());
             for j in 0..r.spectrum_len() {
-                assert!((half[j] - full[j]).abs() < 1e-9 * n.max(4) as f64, "n={n} j={j}");
+                assert!(
+                    (half[j] - full[j]).abs() < 1e-9 * n.max(4) as f64,
+                    "n={n} j={j}"
+                );
             }
         }
     }

@@ -26,7 +26,11 @@ pub fn ncc_scalar(a: &[C64], b: &[C64], out: &mut [C64]) {
     for i in 0..a.len() {
         let fc = a[i] * b[i].conj();
         let mag = fc.abs();
-        out[i] = if mag > 1e-300 { fc.scale(1.0 / mag) } else { C64::ZERO };
+        out[i] = if mag > 1e-300 {
+            fc.scale(1.0 / mag)
+        } else {
+            C64::ZERO
+        };
     }
 }
 
@@ -171,7 +175,9 @@ mod tests {
     fn data(n: usize, seed: u64) -> Vec<C64> {
         (0..n)
             .map(|i| {
-                let v = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                let v = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(seed);
                 c64(
                     ((v >> 16) % 2000) as f64 / 10.0 - 100.0,
                     ((v >> 40) % 2000) as f64 / 10.0 - 100.0,

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use stitch_fft::{
-    c64, dft_naive, fft_forward, fft_inverse, BluesteinPlan, C64, Direction, Fft2d,
-    MixedRadixPlan, Planner, RealFft,
+    c64, dft_naive, fft_forward, fft_inverse, BluesteinPlan, Direction, Fft2d, MixedRadixPlan,
+    Planner, RealFft, C64,
 };
 
 fn max_err(a: &[C64], b: &[C64]) -> f64 {

@@ -23,6 +23,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use stitch_fft::Planner;
 
+use crate::fault::{GpuFaultConfig, GpuFaultState, GpuFaultStats};
 use crate::memory::{BufferPool, DeviceBuffer, MemoryLedger, OutOfDeviceMemory};
 use crate::profile::Profiler;
 use crate::semaphore::Semaphore;
@@ -45,6 +46,9 @@ pub struct DeviceConfig {
     pub d2h_bytes_per_sec: Option<f64>,
     /// Fixed kernel launch overhead (the per-launch gap visible in Fig 7).
     pub launch_overhead: Duration,
+    /// Deterministic fault injection; `None` (the default) injects
+    /// nothing and costs nothing on the command path.
+    pub fault: Option<GpuFaultConfig>,
 }
 
 impl Default for DeviceConfig {
@@ -56,6 +60,7 @@ impl Default for DeviceConfig {
             h2d_bytes_per_sec: None,
             d2h_bytes_per_sec: None,
             launch_overhead: Duration::ZERO,
+            fault: None,
         }
     }
 }
@@ -104,6 +109,7 @@ pub(crate) struct DeviceInner {
     pub(crate) fft_lock: Mutex<()>,
     pub(crate) profiler: Profiler,
     pub(crate) planner: Planner,
+    pub(crate) fault: Option<GpuFaultState>,
 }
 
 /// Handle to one simulated accelerator. Cheap to clone; all clones refer
@@ -126,6 +132,7 @@ impl Device {
                 fft_lock: Mutex::new(()),
                 profiler: Profiler::new(),
                 planner: Planner::default(),
+                fault: config.fault.map(GpuFaultState::new),
                 config,
             }),
         }
@@ -151,11 +158,26 @@ impl Device {
         &self.inner.planner
     }
 
-    /// Allocates a zeroed device buffer of `len` elements.
+    /// Allocates a zeroed device buffer of `len` elements. Injected OOM
+    /// spikes are retried inside this call (modeling a driver retry loop)
+    /// and only surface as an error once the retry budget is spent.
     pub fn alloc<T: Default + Clone>(
         &self,
         len: usize,
     ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        if let Some(fault) = &self.inner.fault {
+            let mut attempt: u32 = 0;
+            while fault.oom_spike(attempt) {
+                attempt += 1;
+                if attempt > fault.max_retries() {
+                    let bytes = len * std::mem::size_of::<T>();
+                    return Err(OutOfDeviceMemory {
+                        requested: bytes,
+                        available: self.memory_capacity() - self.memory_used(),
+                    });
+                }
+            }
+        }
         DeviceBuffer::alloc(&self.inner.ledger, len)
     }
 
@@ -171,7 +193,10 @@ impl Device {
 
     /// Bytes currently allocated on the device.
     pub fn memory_used(&self) -> usize {
-        self.inner.ledger.used.load(std::sync::atomic::Ordering::Relaxed)
+        self.inner
+            .ledger
+            .used
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Device memory capacity in bytes.
@@ -182,6 +207,16 @@ impl Device {
     /// Creates a named in-order command stream.
     pub fn create_stream(&self, name: &str) -> Stream {
         Stream::spawn(Arc::clone(&self.inner), name)
+    }
+
+    /// Counters of injected device faults (all zero when fault injection
+    /// is disabled).
+    pub fn fault_stats(&self) -> GpuFaultStats {
+        self.inner
+            .fault
+            .as_ref()
+            .map(|f| f.stats())
+            .unwrap_or_default()
     }
 }
 
@@ -205,6 +240,54 @@ mod tests {
         assert!(d.alloc::<u64>(128).is_err());
         drop(buf);
         assert_eq!(d.memory_used(), 0);
+    }
+
+    #[test]
+    fn faulty_copies_still_deliver_correct_data() {
+        use crate::fault::GpuFaultConfig;
+        let cfg = DeviceConfig {
+            fault: Some(GpuFaultConfig {
+                seed: 3,
+                h2d_fail_rate: 0.3,
+                d2h_fail_rate: 0.3,
+                kernel_fail_rate: 0.3,
+                ..GpuFaultConfig::default()
+            }),
+            ..DeviceConfig::small(1 << 20)
+        };
+        let d = Device::new(0, cfg);
+        let s = d.create_stream("s0");
+        let buf = d.alloc::<u16>(256).unwrap();
+        let host: Arc<Vec<u16>> = Arc::new((0..256).collect());
+        for _ in 0..20 {
+            s.h2d(Arc::clone(&host), &buf);
+            let back = s.d2h(&buf).wait();
+            assert_eq!(&back, &*host, "faults must be retried, not corrupt data");
+        }
+        let stats = d.fault_stats();
+        assert!(
+            stats.h2d_faults + stats.d2h_faults > 0,
+            "a 30% rate over 40 copies should have injected something: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn oom_spikes_are_retried_transparently() {
+        use crate::fault::GpuFaultConfig;
+        let cfg = DeviceConfig {
+            fault: Some(GpuFaultConfig {
+                seed: 17,
+                oom_spike_rate: 0.4,
+                ..GpuFaultConfig::default()
+            }),
+            ..DeviceConfig::small(1 << 20)
+        };
+        let d = Device::new(0, cfg);
+        for _ in 0..50 {
+            let buf = d.alloc::<u8>(64).expect("spikes retried inside alloc");
+            drop(buf);
+        }
+        assert!(d.fault_stats().oom_spikes > 0);
     }
 
     #[test]

@@ -232,8 +232,14 @@ mod tests {
         let a = dev.alloc::<C64>(3).unwrap();
         let b = dev.alloc::<C64>(3).unwrap();
         let out = dev.alloc::<C64>(3).unwrap();
-        s.h2d(Arc::new(vec![c64(3.0, 4.0), c64(0.0, 0.0), c64(2.0, 0.0)]), &a);
-        s.h2d(Arc::new(vec![c64(1.0, 0.0), c64(5.0, 1.0), c64(0.0, -2.0)]), &b);
+        s.h2d(
+            Arc::new(vec![c64(3.0, 4.0), c64(0.0, 0.0), c64(2.0, 0.0)]),
+            &a,
+        );
+        s.h2d(
+            Arc::new(vec![c64(1.0, 0.0), c64(5.0, 1.0), c64(0.0, -2.0)]),
+            &b,
+        );
         s.ncc(&a, &b, &out, 3);
         let v = s.d2h(&out).wait();
         assert!((v[0].abs() - 1.0).abs() < 1e-12);

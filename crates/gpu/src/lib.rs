@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod kernels;
 pub mod memory;
 pub mod profile;
@@ -33,6 +34,7 @@ pub mod semaphore;
 pub mod stream;
 
 pub use device::{Device, DeviceConfig};
+pub use fault::{GpuFaultConfig, GpuFaultStats};
 pub use kernels::MaxLoc;
 pub use memory::{BufferPool, DeviceBuffer, KernelToken, OutOfDeviceMemory, PooledBuffer};
 pub use profile::{Profiler, Span, SpanKind};

@@ -230,7 +230,9 @@ impl Profiler {
             let mut row = vec![' '; width];
             for s in spans.iter().filter(|s| &s.stream == stream) {
                 let a = ((s.start_ns - t0) as f64 * scale) as usize;
-                let b = (((s.end_ns - t0) as f64 * scale) as usize).max(a + 1).min(width);
+                let b = (((s.end_ns - t0) as f64 * scale) as usize)
+                    .max(a + 1)
+                    .min(width);
                 for cell in row.iter_mut().take(b).skip(a.min(width - 1)) {
                     *cell = s.kind.glyph();
                 }

@@ -47,7 +47,9 @@ impl<T> HostFuture<T> {
 
     /// Blocks until the producing command completes.
     pub fn wait(self) -> T {
-        self.rx.recv().expect("device stream dropped before completing copy")
+        self.rx
+            .recv()
+            .expect("device stream dropped before completing copy")
     }
 
     /// Returns the value if already produced.
@@ -139,17 +141,20 @@ impl Stream {
                             } else {
                                 None
                             };
-                            let _fft_guard = if kind == SpanKind::Kernel
-                                && is_fft
-                                && dev.config.serialize_fft
-                            {
-                                Some(dev.fft_lock.lock())
-                            } else {
-                                None
-                            };
-                            if kind == SpanKind::Kernel
-                                && !dev.config.launch_overhead.is_zero()
-                            {
+                            // Fault injection: decide (and retry the
+                            // decision) before executing, so the work
+                            // closure runs exactly once. Panics the
+                            // worker when the retry budget is spent.
+                            if let Some(fault) = &dev.fault {
+                                fault.gate(kind, &name);
+                            }
+                            let _fft_guard =
+                                if kind == SpanKind::Kernel && is_fft && dev.config.serialize_fft {
+                                    Some(dev.fft_lock.lock())
+                                } else {
+                                    None
+                                };
+                            if kind == SpanKind::Kernel && !dev.config.launch_overhead.is_zero() {
                                 spin_sleep(dev.config.launch_overhead);
                             }
                             let t0 = dev.profiler.now_ns();
@@ -216,11 +221,7 @@ impl Stream {
     /// Asynchronous host→device copy. The source is shared with the
     /// command (host code must not mutate it mid-flight — enforced by the
     /// `Arc`), like pinned memory handed to `cudaMemcpyAsync`.
-    pub fn h2d<T: Copy + Send + Sync + 'static>(
-        &self,
-        src: Arc<Vec<T>>,
-        dst: &DeviceBuffer<T>,
-    ) {
+    pub fn h2d<T: Copy + Send + Sync + 'static>(&self, src: Arc<Vec<T>>, dst: &DeviceBuffer<T>) {
         assert!(src.len() <= dst.len(), "h2d source larger than destination");
         let dst = dst.clone();
         let bytes = src.len() * std::mem::size_of::<T>();
@@ -285,7 +286,6 @@ impl Stream {
         self.send(Payload::Marker(tx));
         rx.recv().expect("stream worker exited during synchronize");
     }
-
 }
 
 impl Drop for Stream {
@@ -333,7 +333,9 @@ mod tests {
         let buf = dev.alloc::<u32>(1).unwrap();
         for i in 1..=50u32 {
             let b = buf.clone();
-            s.launch("inc", move |tok| b.map(tok, |d| d[0] = d[0].wrapping_mul(2).wrapping_add(i % 3)));
+            s.launch("inc", move |tok| {
+                b.map(tok, |d| d[0] = d[0].wrapping_mul(2).wrapping_add(i % 3))
+            });
         }
         s.synchronize();
         // deterministic result only if strictly ordered
@@ -387,7 +389,9 @@ mod tests {
         s.synchronize();
         let spans = dev.profiler().spans();
         assert!(spans.iter().any(|sp| sp.kind == SpanKind::H2D));
-        assert!(spans.iter().any(|sp| sp.kind == SpanKind::Kernel && sp.name == "k"));
+        assert!(spans
+            .iter()
+            .any(|sp| sp.kind == SpanKind::Kernel && sp.name == "k"));
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl<T: Copy + Default> Image<T> {
     /// Wraps an existing buffer. Panics if `data.len() != width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Image<T> {
         assert_eq!(data.len(), width * height, "buffer size mismatch");
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Builds an image by evaluating `f(x, y)` at every pixel.
@@ -45,7 +49,11 @@ impl<T: Copy + Default> Image<T> {
                 data.push(f(x, y));
             }
         }
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -124,7 +132,10 @@ impl<T: Copy + Default> Image<T> {
     /// Copies the rectangle `(x0, y0) .. (x0+w, y0+h)` into a new image.
     /// Panics if the rectangle exceeds the bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image<T> {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Vec::with_capacity(w * h);
         for y in y0..y0 + h {
             out.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);

@@ -66,7 +66,9 @@ pub fn decode_pgm(bytes: &[u8]) -> Result<Image<u16>> {
         .get(pos..pos + need)
         .ok_or_else(|| ImageError::Format("PGM pixel data truncated".into()))?;
     let data: Vec<u16> = if two_byte {
-        raw.chunks_exact(2).map(|p| u16::from_be_bytes([p[0], p[1]])).collect()
+        raw.chunks_exact(2)
+            .map(|p| u16::from_be_bytes([p[0], p[1]]))
+            .collect()
     } else {
         raw.iter().map(|&b| b as u16).collect()
     };

@@ -387,7 +387,10 @@ impl SyntheticPlate {
                 // serpentine backlash: odd rows scan right-to-left, shifting
                 // every tile by a consistent bias
                 let bx = if r % 2 == 1 { config.backlash_x } else { 0.0 };
-                positions.push(((nominal_x + jx + bx).round() as i64, (nominal_y + jy).round() as i64));
+                positions.push((
+                    (nominal_x + jx + bx).round() as i64,
+                    (nominal_y + jy).round() as i64,
+                ));
             }
         }
         SyntheticPlate {

@@ -96,7 +96,11 @@ pub fn decode_tiff(bytes: &[u8]) -> Result<Image<u16>> {
             _ => continue,
         };
         let total = elem_size * count;
-        let val_off = if total <= 4 { e + 8 } else { cur.u32_at(e + 8)? as usize };
+        let val_off = if total <= 4 {
+            e + 8
+        } else {
+            cur.u32_at(e + 8)? as usize
+        };
         let mut values = Vec::with_capacity(count);
         for k in 0..count {
             values.push(if is_short {
@@ -107,7 +111,12 @@ pub fn decode_tiff(bytes: &[u8]) -> Result<Image<u16>> {
         }
         entries.push(Entry { tag, values });
     }
-    let find = |tag: u16| entries.iter().find(|e| e.tag == tag).map(|e| e.values.as_slice());
+    let find = |tag: u16| {
+        entries
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| e.values.as_slice())
+    };
     let one = |tag: u16, default: Option<u32>| -> Result<u32> {
         match find(tag).and_then(|v| v.first().copied()) {
             Some(v) => Ok(v),
@@ -122,7 +131,9 @@ pub fn decode_tiff(bytes: &[u8]) -> Result<Image<u16>> {
     let spp = one(TAG_SAMPLES_PER_PIXEL, Some(1))?;
     let photometric = one(TAG_PHOTOMETRIC, Some(1))?;
     if compression != 1 {
-        return Err(ImageError::Unsupported(format!("compression {compression}")));
+        return Err(ImageError::Unsupported(format!(
+            "compression {compression}"
+        )));
     }
     if spp != 1 {
         return Err(ImageError::Unsupported(format!("{spp} samples per pixel")));
@@ -131,13 +142,18 @@ pub fn decode_tiff(bytes: &[u8]) -> Result<Image<u16>> {
         return Err(ImageError::Unsupported(format!("{bits} bits per sample")));
     }
     if photometric > 1 {
-        return Err(ImageError::Unsupported(format!("photometric {photometric}")));
+        return Err(ImageError::Unsupported(format!(
+            "photometric {photometric}"
+        )));
     }
-    let offsets = find(TAG_STRIP_OFFSETS).ok_or_else(|| ImageError::Format("no strip offsets".into()))?;
+    let offsets =
+        find(TAG_STRIP_OFFSETS).ok_or_else(|| ImageError::Format("no strip offsets".into()))?;
     let counts = find(TAG_STRIP_BYTE_COUNTS)
         .ok_or_else(|| ImageError::Format("no strip byte counts".into()))?;
     if offsets.len() != counts.len() {
-        return Err(ImageError::Format("strip offset/count length mismatch".into()));
+        return Err(ImageError::Format(
+            "strip offset/count length mismatch".into(),
+        ));
     }
 
     let bytes_per_px = (bits / 8) as usize;

@@ -22,7 +22,7 @@
 //! pl.add_source("numbers", move || { for i in 1..=10 { w.push(i); } });
 //! let t = Arc::clone(&total);
 //! pl.add_stage("sum", 2, q.clone(), move |v| { t.fetch_add(v, Ordering::Relaxed); });
-//! pl.join();
+//! pl.join().unwrap();
 //! assert_eq!(total.load(Ordering::Relaxed), 55);
 //! ```
 
@@ -32,4 +32,4 @@ pub mod queue;
 pub mod stage;
 
 pub use queue::{Queue, QueueMetrics, QueueWriter};
-pub use stage::{Pipeline, StageMetrics, StageReport};
+pub use stage::{Pipeline, PipelineError, StageMetrics, StageReport};

@@ -74,7 +74,9 @@ impl<T> Queue<T> {
     /// writer has been dropped (and stays closed).
     pub fn writer(&self) -> QueueWriter<T> {
         self.inner.state.lock().writers += 1;
-        QueueWriter { queue: self.clone() }
+        QueueWriter {
+            queue: self.clone(),
+        }
     }
 
     /// Blocking push. Returns `false` (dropping `item`) if the queue was

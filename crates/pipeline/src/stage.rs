@@ -5,13 +5,55 @@
 //! that API: a [`Pipeline`] owns stages; each stage runs one or more
 //! worker threads (Fig 8 annotates the thread count of every stage) that
 //! pop from an input [`Queue`] and push wherever their closure decides.
+//!
+//! ## Panic containment
+//!
+//! A panicking stage worker must not hang the rest of the pipeline:
+//! without containment, its consumers block forever on a queue no one
+//! feeds and its producers block forever on a queue no one drains. Each
+//! worker therefore catches its own panic, closes its *input* queue
+//! (failing producers fast and releasing sibling workers), and lets the
+//! unwind drop its captured output writers (closing downstream queues so
+//! consumers drain out). [`Pipeline::join`] then reports the first panic
+//! as a [`PipelineError`] instead of aborting the calling thread.
 
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use crate::queue::Queue;
+
+/// A stage worker panicked; the pipeline shut down instead of hanging.
+#[derive(Clone, Debug)]
+pub struct PipelineError {
+    /// Name of the stage whose worker panicked.
+    pub stage: String,
+    /// The panic payload, rendered to text.
+    pub panic: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage '{}' panicked: {}", self.stage, self.panic)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Lifetime counters for one stage (aggregated over its threads).
 #[derive(Default)]
@@ -88,6 +130,7 @@ struct StageHandle {
 #[derive(Default)]
 pub struct Pipeline {
     stages: Vec<StageHandle>,
+    error: Arc<Mutex<Option<PipelineError>>>,
 }
 
 impl Pipeline {
@@ -112,22 +155,40 @@ impl Pipeline {
             let input = input.clone();
             let mut work = work.clone();
             let metrics = Arc::clone(&metrics);
+            let error = Arc::clone(&self.error);
+            let stage_name = name.to_string();
             let thread_name = format!("{name}-{t}");
             handles.push(
                 std::thread::Builder::new()
                     .name(thread_name)
-                    .spawn(move || loop {
-                        let w0 = Instant::now();
-                        let Some(item) = input.pop() else { break };
-                        metrics
-                            .wait_nanos
-                            .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        let b0 = Instant::now();
-                        work(item);
-                        metrics
-                            .busy_nanos
-                            .fetch_add(b0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        metrics.items.fetch_add(1, Ordering::Relaxed);
+                    .spawn(move || {
+                        // the catch closure owns `work` (and through it the
+                        // stage's output writers): unwinding drops them,
+                        // closing downstream queues so consumers drain out
+                        let inner = input.clone();
+                        let caught = std::panic::catch_unwind(AssertUnwindSafe(move || loop {
+                            let w0 = Instant::now();
+                            let Some(item) = inner.pop() else { break };
+                            metrics
+                                .wait_nanos
+                                .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            let b0 = Instant::now();
+                            work(item);
+                            metrics
+                                .busy_nanos
+                                .fetch_add(b0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            metrics.items.fetch_add(1, Ordering::Relaxed);
+                        }));
+                        if let Err(payload) = caught {
+                            // close our input: producers fail fast instead of
+                            // blocking on a queue nobody drains, and sibling
+                            // workers of this stage exit
+                            input.close();
+                            error.lock().get_or_insert_with(|| PipelineError {
+                                stage: stage_name,
+                                panic: panic_text(payload),
+                            });
+                        }
                     })
                     .expect("spawn stage thread"),
             );
@@ -147,14 +208,26 @@ impl Pipeline {
     {
         let metrics = Arc::new(StageMetrics::default());
         let m2 = Arc::clone(&metrics);
+        let error = Arc::clone(&self.error);
+        let stage_name = name.to_string();
         let handle = std::thread::Builder::new()
             .name(name.to_string())
             .spawn(move || {
-                let t0 = Instant::now();
-                produce();
-                m2.busy_nanos
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                m2.items.fetch_add(1, Ordering::Relaxed);
+                // unwinding drops `produce`'s captured writers, closing the
+                // queues this source fed so consumers finish instead of hang
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    let t0 = Instant::now();
+                    produce();
+                    m2.busy_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    m2.items.fetch_add(1, Ordering::Relaxed);
+                }));
+                if let Err(payload) = caught {
+                    error.lock().get_or_insert_with(|| PipelineError {
+                        stage: stage_name,
+                        panic: panic_text(payload),
+                    });
+                }
             })
             .expect("spawn source thread");
         self.stages.push(StageHandle {
@@ -164,14 +237,18 @@ impl Pipeline {
         });
     }
 
-    /// Waits for every stage thread to finish and returns per-stage
-    /// reports in registration order.
-    pub fn join(self) -> Vec<StageReport> {
+    /// Waits for every stage thread to finish. Returns per-stage reports
+    /// in registration order, or the first [`PipelineError`] if any
+    /// worker panicked (the join itself never hangs: a panicking worker
+    /// closes its queues on the way down, unblocking every other stage).
+    pub fn join(self) -> Result<Vec<StageReport>, PipelineError> {
         let mut reports = Vec::with_capacity(self.stages.len());
         for stage in self.stages {
             let threads = stage.threads.len();
             for h in stage.threads {
-                h.join().expect("stage thread panicked");
+                // worker bodies catch their own panics; a join error here
+                // would mean the containment wrapper itself failed
+                h.join().expect("stage thread infrastructure panicked");
             }
             reports.push(StageReport {
                 name: stage.name,
@@ -181,7 +258,10 @@ impl Pipeline {
                 wait_nanos: stage.metrics.wait_nanos(),
             });
         }
-        reports
+        match self.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(reports),
+        }
     }
 
     /// Number of registered stages.
@@ -216,7 +296,7 @@ mod tests {
         pl.add_stage("sum", 2, q2.clone(), move |v: u64| {
             sum2.fetch_add(v, Ordering::Relaxed);
         });
-        let reports = pl.join();
+        let reports = pl.join().unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 2 * (100 * 101) / 2);
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[1].items, 100);
@@ -243,7 +323,7 @@ mod tests {
             shared.fetch_add(1, Ordering::Relaxed);
             let _ = local;
         });
-        pl.join();
+        pl.join().unwrap();
         assert_eq!(total.load(Ordering::Relaxed), 50);
     }
 
@@ -261,7 +341,7 @@ mod tests {
         pl.add_stage("slow", 1, q.clone(), |_v| {
             std::thread::sleep(std::time::Duration::from_micros(200));
         });
-        let reports = pl.join();
+        let reports = pl.join().unwrap();
         let slow = &reports[1];
         assert!(slow.utilization() > 0.0 && slow.utilization() <= 1.0);
         assert!(slow.busy_nanos > 0);
@@ -271,6 +351,50 @@ mod tests {
     fn empty_pipeline_joins() {
         let pl = Pipeline::new();
         assert_eq!(pl.stage_count(), 0);
-        assert!(pl.join().is_empty());
+        assert!(pl.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn panicking_stage_reports_error_not_hang() {
+        let q: Queue<u32> = Queue::new(4);
+        let q2: Queue<u32> = Queue::new(4);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            for i in 0..100 {
+                if !w.push(i) {
+                    break; // downstream died; stop producing
+                }
+            }
+        });
+        let w2 = q2.writer();
+        pl.add_stage("explode", 1, q.clone(), move |v: u32| {
+            if v == 3 {
+                panic!("injected stage failure");
+            }
+            w2.push(v);
+        });
+        pl.add_stage("sink", 1, q2.clone(), |_v: u32| {});
+        let err = pl.join().unwrap_err();
+        assert_eq!(err.stage, "explode");
+        assert!(
+            err.panic.contains("injected stage failure"),
+            "{}",
+            err.panic
+        );
+    }
+
+    #[test]
+    fn panicking_source_reports_error_not_hang() {
+        let q: Queue<u32> = Queue::new(2);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            w.push(1);
+            panic!("source died");
+        });
+        pl.add_stage("sink", 2, q.clone(), |_v: u32| {});
+        let err = pl.join().unwrap_err();
+        assert_eq!(err.stage, "src");
     }
 }

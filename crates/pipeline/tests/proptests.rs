@@ -93,7 +93,7 @@ proptest! {
         pl.add_stage("sink", width2, q2.clone(), move |v: u64| {
             s2.fetch_add(v, Ordering::Relaxed);
         });
-        let reports = pl.join();
+        let reports = pl.join().unwrap();
         prop_assert_eq!(reports[1].items, items as u64);
         prop_assert_eq!(reports[2].items, items as u64);
         let n = items as u64;

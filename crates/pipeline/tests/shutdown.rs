@@ -1,0 +1,126 @@
+//! Bounded-time shutdown: a panicking producer must wake consumers that
+//! are blocked on `Queue::pop`, and `Pipeline::join` must return (with an
+//! error) instead of hanging. Every test here runs the pipeline on a
+//! watchdog thread and fails if it does not complete within a generous
+//! wall-clock bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use stitch_pipeline::{Pipeline, PipelineError, Queue};
+
+/// Runs `f` on its own thread; panics if it takes longer than `bound`.
+fn within<T: Send + 'static>(bound: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(bound)
+        .expect("pipeline shutdown exceeded the time bound (hang)")
+}
+
+#[test]
+fn consumer_blocked_on_pop_wakes_when_producer_panics() {
+    let err: PipelineError = within(Duration::from_secs(10), || {
+        let q: Queue<u32> = Queue::new(4);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("reader", move || {
+            w.push(1);
+            w.push(2);
+            // consumers are now (or will soon be) parked in q.pop()
+            std::thread::sleep(Duration::from_millis(30));
+            panic!("injected reader crash");
+        });
+        // more consumers than items: some never see an item and would
+        // block forever without writer-drop-on-unwind
+        pl.add_stage("consume", 4, q.clone(), |_v: u32| {});
+        pl.join().unwrap_err()
+    });
+    assert_eq!(err.stage, "reader");
+    assert!(err.panic.contains("injected reader crash"), "{}", err.panic);
+}
+
+#[test]
+fn producer_blocked_on_push_wakes_when_consumer_panics() {
+    let err = within(Duration::from_secs(10), || {
+        let q: Queue<u32> = Queue::new(1);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("reader", move || {
+            // capacity 1 and a dead consumer: without input-close-on-panic
+            // this push sequence blocks forever
+            for i in 0..1000 {
+                if !w.push(i) {
+                    return; // queue closed by the dying consumer
+                }
+            }
+        });
+        pl.add_stage("consume", 1, q.clone(), |v: u32| {
+            if v == 0 {
+                panic!("injected consumer crash");
+            }
+        });
+        pl.join().unwrap_err()
+    });
+    assert_eq!(err.stage, "consume");
+}
+
+#[test]
+fn mid_stage_panic_unblocks_both_sides() {
+    let (err, downstream_done) = within(Duration::from_secs(10), || {
+        let q1: Queue<u32> = Queue::new(2);
+        let q2: Queue<u32> = Queue::new(2);
+        let mut pl = Pipeline::new();
+        let w1 = q1.writer();
+        pl.add_source("src", move || {
+            for i in 0..1000 {
+                if !w1.push(i) {
+                    return;
+                }
+            }
+        });
+        let w2 = q2.writer();
+        pl.add_stage("mid", 1, q1.clone(), move |v: u32| {
+            if v == 5 {
+                panic!("mid died");
+            }
+            w2.push(v);
+        });
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&seen);
+        pl.add_stage("sink", 2, q2.clone(), move |_v: u32| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        });
+        let err = pl.join().unwrap_err();
+        (err, seen.load(Ordering::Relaxed))
+    });
+    assert_eq!(err.stage, "mid");
+    // the sink drained what was already in flight, then exited cleanly
+    assert!(downstream_done <= 5, "sink saw {downstream_done} items");
+}
+
+#[test]
+fn healthy_pipeline_still_reports_cleanly() {
+    let reports = within(Duration::from_secs(10), || {
+        let q: Queue<u64> = Queue::new(8);
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            for i in 1..=50 {
+                w.push(i);
+            }
+        });
+        let s2 = Arc::clone(&sum);
+        pl.add_stage("sink", 2, q.clone(), move |v: u64| {
+            s2.fetch_add(v, Ordering::Relaxed);
+        });
+        let reports = pl.join().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2);
+        reports
+    });
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[1].items, 50);
+}

@@ -252,7 +252,9 @@ impl MachineSpec {
             return 0.0;
         }
         let phys = threads.min(self.physical_cores);
-        let smt = threads.min(self.logical_cores).saturating_sub(self.physical_cores);
+        let smt = threads
+            .min(self.logical_cores)
+            .saturating_sub(self.physical_cores);
         1.0 + (phys - 1) as f64 * self.core_efficiency + smt as f64 * self.smt_efficiency
     }
 

@@ -80,8 +80,8 @@ pub fn mt_cpu_ns(shape: GridShape, cost: &CostModel, machine: &MachineSpec, thre
         let _ = north_rows;
         let pairs = west_pairs + north_pairs.min(rows * shape.cols);
         // CPU compute inflates under contention; disk reads do not
-        let compute = tiles as u64 * cost.fft_cpu_ns
-            + pairs as u64 * (cost.cpu_pair_ns() + cost.ccf_ns);
+        let compute =
+            tiles as u64 * cost.fft_cpu_ns + pairs as u64 * (cost.cpu_pair_ns() + cost.ccf_ns);
         let band_time = (compute as f64 * contention) as u64 + tiles as u64 * cost.read_ns;
         worst = worst.max(band_time);
     }
@@ -131,9 +131,9 @@ pub fn pipelined_cpu_ns(
     let mut events: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut payload: Vec<Option<Ev>> = Vec::new();
     let push_event = |events: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                          payload: &mut Vec<Option<Ev>>,
-                          t: u64,
-                          e: Ev| {
+                      payload: &mut Vec<Option<Ev>>,
+                      t: u64,
+                      e: Ev| {
         payload.push(Some(e));
         events.push(Reverse((t, (payload.len() - 1) as u64)));
     };
@@ -159,10 +159,10 @@ pub fn pipelined_cpu_ns(
         makespan = makespan.max(now);
         // dispatch helper: start task on a worker if one is idle
         let start_or_queue = |task: Task,
-                                  idle: &mut Vec<usize>,
-                                  q: &mut VecDeque<Task>,
-                                  events: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                                  payload: &mut Vec<Option<Ev>>| {
+                              idle: &mut Vec<usize>,
+                              q: &mut VecDeque<Task>,
+                              events: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                              payload: &mut Vec<Option<Ev>>| {
             if let Some(lane) = idle.pop() {
                 let dur = match task {
                     Task::Fft(_) => fft_ns,
@@ -591,8 +591,8 @@ mod tests {
         let shape = paper_shape();
         let cost = CostModel::paper_c2070();
         let m = MachineSpec::paper_testbed();
-        let ratio = simple_gpu_ns(shape, &cost) as f64
-            / pipelined_gpu_ns(shape, &cost, &m, 1, 4) as f64;
+        let ratio =
+            simple_gpu_ns(shape, &cost) as f64 / pipelined_gpu_ns(shape, &cost, &m, 1, 4) as f64;
         assert!((8.0..15.0).contains(&ratio), "ratio {ratio}");
     }
 

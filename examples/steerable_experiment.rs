@@ -77,9 +77,7 @@ fn main() {
             mosaic.height(),
         );
         if growth > 3.0 {
-            println!(
-                "  -> intervention: growth exceeded 3x — flagging plate for media change"
-            );
+            println!("  -> intervention: growth exceeded 3x — flagging plate for media change");
         }
     }
 }

@@ -6,10 +6,11 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use stitch_core::pciam_real::TransformKind;
 use stitch_core::prelude::*;
-use stitch_gpu::{Device, DeviceConfig};
+use stitch_gpu::{Device, DeviceConfig, GpuFaultConfig};
 use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
 
 /// Parsed command line.
@@ -42,6 +43,16 @@ pub enum Command {
         positions_out: Option<PathBuf>,
         /// Draw tile borders (Fig 14 style).
         highlight: bool,
+        /// Max retries per failed tile read.
+        retries: u32,
+        /// Initial retry backoff in milliseconds (doubles per retry).
+        retry_backoff_ms: u64,
+        /// Fault-injection spec (`key=value,...`); `None` injects nothing.
+        fault_spec: Option<String>,
+        /// Degrade to a partial mosaic instead of aborting on tile loss.
+        allow_partial: bool,
+        /// Where to write the machine-readable health report as JSON.
+        health_out: Option<PathBuf>,
     },
     /// Print dataset information.
     Info {
@@ -105,12 +116,19 @@ USAGE:
   stitch stitch --dataset DIR [--impl NAME] [--threads N] [--gpus N]
                 [--transform complex|real|padded] [--blend overlay|first|average|linear]
                 [--out mosaic.pgm|.tif] [--positions out.tsv] [--highlight]
+                [--retries N] [--retry-backoff-ms N] [--allow-partial]
+                [--fault-spec SPEC] [--health-json out.json]
   stitch info --dataset DIR
   stitch simulate [--machine testbed|laptop] [--rows N] [--cols N]
   stitch help
 
 IMPLEMENTATIONS: simple-cpu, mt-cpu, pipelined-cpu (default), simple-gpu,
                  pipelined-gpu, fiji
+
+FAULT SPEC (comma-separated key=value):
+  seed=N transient=RATE corrupt=R.C+R.C latency-ms=N     (tile reads)
+  gpu-seed=N gpu-h2d=RATE gpu-d2h=RATE gpu-kernel=RATE
+  gpu-oom=RATE gpu-retries=N                             (device ops)
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -120,7 +138,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value
-            if name == "highlight" {
+            if name == "highlight" || name == "allow-partial" {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -144,7 +162,9 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: {v:?}")),
     }
 }
 
@@ -181,7 +201,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or("stitch requires --dataset DIR")?
                 .into(),
             implementation: Implementation::parse(
-                flags.get("impl").map(String::as_str).unwrap_or("pipelined-cpu"),
+                flags
+                    .get("impl")
+                    .map(String::as_str)
+                    .unwrap_or("pipelined-cpu"),
             )?,
             threads: get_num(&flags, "threads", 4)?,
             gpus: get_num(&flags, "gpus", 1)?,
@@ -201,6 +224,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: flags.get("out").map(PathBuf::from),
             positions_out: flags.get("positions").map(PathBuf::from),
             highlight: flags.contains_key("highlight"),
+            retries: get_num(&flags, "retries", 3)?,
+            retry_backoff_ms: get_num(&flags, "retry-backoff-ms", 1)?,
+            fault_spec: flags.get("fault-spec").cloned(),
+            allow_partial: flags.contains_key("allow-partial"),
+            health_out: flags.get("health-json").map(PathBuf::from),
         }),
         "info" => Ok(Command::Info {
             dataset: flags
@@ -271,7 +299,11 @@ pub fn run(cmd: Command) -> i32 {
                 1
             }
         },
-        Command::Simulate { machine, rows, cols } => {
+        Command::Simulate {
+            machine,
+            rows,
+            cols,
+        } => {
             use stitch_sim::*;
             let m = match machine.as_str() {
                 "laptop" => MachineSpec::paper_laptop(),
@@ -284,7 +316,10 @@ pub fn run(cmd: Command) -> i32 {
             let rows_out = [
                 ("Simple-CPU", simple),
                 ("MT-CPU (16t)", mt_cpu_ns(shape, &cost, &m, 16)),
-                ("Pipelined-CPU (16t)", pipelined_cpu_ns(shape, &cost, &m, 16)),
+                (
+                    "Pipelined-CPU (16t)",
+                    pipelined_cpu_ns(shape, &cost, &m, 16),
+                ),
                 ("Simple-GPU", simple_gpu_ns(shape, &cost)),
                 ("Pipelined-GPU x1", pipelined_gpu_ns(shape, &cost, &m, 1, 4)),
                 (
@@ -311,13 +346,50 @@ pub fn run(cmd: Command) -> i32 {
             out,
             positions_out,
             highlight,
+            retries,
+            retry_backoff_ms,
+            fault_spec,
+            allow_partial,
+            health_out,
         } => {
-            let source = match DirSource::open(&dataset) {
+            let policy = FailurePolicy {
+                retry: RetryPolicy {
+                    max_retries: retries,
+                    backoff: Duration::from_millis(retry_backoff_ms),
+                    ..RetryPolicy::default()
+                },
+                allow_partial,
+            };
+            // One spec string configures both injection layers: the core
+            // parser reads the tile-level keys, the gpu parser the gpu- ones.
+            let tile_faults = match fault_spec.as_deref().map(FaultSpec::parse).transpose() {
+                Ok(spec) => spec.filter(|s| !s.is_noop()),
+                Err(e) => {
+                    eprintln!("error: bad --fault-spec: {e}");
+                    return 1;
+                }
+            };
+            let gpu_faults = match fault_spec.as_deref().map(GpuFaultConfig::parse).transpose() {
+                Ok(cfg) => cfg.flatten(),
+                Err(e) => {
+                    eprintln!("error: bad --fault-spec: {e}");
+                    return 1;
+                }
+            };
+            let device_config = DeviceConfig {
+                fault: gpu_faults,
+                ..DeviceConfig::default()
+            };
+            let dir = match DirSource::open(&dataset) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: cannot open dataset: {e}");
                     return 1;
                 }
+            };
+            let source: Box<dyn TileSource> = match tile_faults {
+                Some(spec) => Box::new(FaultySource::new(dir, spec)),
+                None => Box::new(dir),
             };
             let stitcher: Box<dyn Stitcher> = match implementation {
                 Implementation::SimpleCpu => {
@@ -332,11 +404,11 @@ pub fn run(cmd: Command) -> i32 {
                 )),
                 Implementation::SimpleGpu => Box::new(SimpleGpuStitcher::new(Device::new(
                     0,
-                    DeviceConfig::default(),
+                    device_config.clone(),
                 ))),
                 Implementation::PipelinedGpu => {
                     let devices: Vec<Device> = (0..gpus.max(1))
-                        .map(|i| Device::new(i, DeviceConfig::default()))
+                        .map(|i| Device::new(i, device_config.clone()))
                         .collect();
                     Box::new(PipelinedGpuStitcher::new(
                         devices,
@@ -355,7 +427,32 @@ pub fn run(cmd: Command) -> i32 {
                 source.shape().cols,
                 stitcher.name()
             );
-            let result = stitcher.compute_displacements(&source);
+            let result = match stitcher.try_compute_displacements(source.as_ref(), &policy) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let health = &result.health;
+            if health.is_degraded() || !health.recovered_tiles().is_empty() {
+                println!(
+                    "health: {} tile(s) failed, {} recovered, {} retries total",
+                    health.failed_tiles().len(),
+                    health.recovered_tiles().len(),
+                    health.total_retries
+                );
+                for id in health.failed_tiles() {
+                    println!("  lost tile {id}");
+                }
+            }
+            if let Some(path) = health_out {
+                if let Err(e) = std::fs::write(&path, health.to_json()) {
+                    eprintln!("error writing health report: {e}");
+                    return 1;
+                }
+                println!("health report -> {}", path.display());
+            }
             println!(
                 "phase 1: {} pairs in {:.2?} ({} forward FFTs, peak {} live tiles)",
                 source.shape().pairs(),
@@ -379,7 +476,7 @@ pub fn run(cmd: Command) -> i32 {
             if let Some(path) = out {
                 let mut composer = Composer::new(positions, blend);
                 composer.highlight_tiles = highlight;
-                let mosaic = composer.compose(&source);
+                let mosaic = composer.compose(source.as_ref());
                 let res = match path.extension().and_then(|e| e.to_str()) {
                     Some("tif") | Some("tiff") => tiff::write_tiff(&path, &mosaic),
                     _ => pgm::write_pgm(&path, &mosaic),
@@ -460,12 +557,63 @@ mod tests {
     }
 
     #[test]
+    fn parses_fault_tolerance_flags() {
+        let cmd = parse(&argv(
+            "stitch --dataset /d --retries 5 --retry-backoff-ms 20 \
+             --fault-spec transient=0.1,gpu-h2d=0.05 --allow-partial \
+             --health-json h.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stitch {
+                retries,
+                retry_backoff_ms,
+                fault_spec,
+                allow_partial,
+                health_out,
+                ..
+            } => {
+                assert_eq!(retries, 5);
+                assert_eq!(retry_backoff_ms, 20);
+                assert_eq!(fault_spec.as_deref(), Some("transient=0.1,gpu-h2d=0.05"));
+                assert!(allow_partial);
+                assert_eq!(health_out, Some(PathBuf::from("h.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_are_strict() {
+        match parse(&argv("stitch --dataset /d")).unwrap() {
+            Command::Stitch {
+                retries,
+                retry_backoff_ms,
+                fault_spec,
+                allow_partial,
+                health_out,
+                ..
+            } => {
+                assert_eq!(retries, 3);
+                assert_eq!(retry_backoff_ms, 1);
+                assert_eq!(fault_spec, None);
+                assert!(!allow_partial, "partial mosaics must be opt-in");
+                assert_eq!(health_out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("stitch")).is_err(), "missing --dataset");
         assert!(parse(&argv("stitch --dataset /d --impl nope")).is_err());
         assert!(parse(&argv("generate --out /tmp/x --rows abc")).is_err());
-        assert!(parse(&argv("generate --out")).is_err(), "flag without value");
+        assert!(
+            parse(&argv("generate --out")).is_err(),
+            "flag without value"
+        );
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Acceptance tests for the fault-tolerance work: deterministic fault
+//! injection against every stitcher variant, checking (a) transient
+//! faults + retries leave the output bit-identical, (b) a permanently
+//! corrupt tile degrades to a partial result under `--allow-partial`,
+//! and (c) strict mode aborts cleanly instead of hanging.
+
+use std::time::Duration;
+
+use stitching::gpu::{Device, DeviceConfig, GpuFaultConfig};
+use stitching::image::{ScanConfig, SyntheticPlate};
+use stitching::prelude::*;
+
+fn scan(rows: usize, cols: usize, seed: u64) -> ScanConfig {
+    ScanConfig {
+        grid_rows: rows,
+        grid_cols: cols,
+        tile_width: 64,
+        tile_height: 48,
+        overlap: 0.25,
+        stage_jitter: 2.5,
+        backlash_x: 1.0,
+        noise_sigma: 40.0,
+        vignette: 0.03,
+        seed,
+    }
+}
+
+fn variants() -> Vec<Box<dyn Stitcher>> {
+    let gpu = || Device::new(0, DeviceConfig::small(128 << 20));
+    vec![
+        Box::new(SimpleCpuStitcher::default()),
+        Box::new(MtCpuStitcher::new(2)),
+        Box::new(PipelinedCpuStitcher::new(2)),
+        Box::new(SimpleGpuStitcher::new(gpu())),
+        Box::new(PipelinedGpuStitcher::single(gpu())),
+        Box::new(FijiStyleStitcher::new(2)),
+    ]
+}
+
+/// A retry policy that spins fast (no real sleeping) with enough budget
+/// that a 20% per-attempt transient rate cannot plausibly exhaust it.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+        deadline: None,
+    }
+}
+
+#[test]
+fn transient_faults_with_retries_are_bit_identical() {
+    let cfg = scan(3, 4, 1101);
+    let clean = SyntheticSource::new(SyntheticPlate::generate(cfg.clone()));
+    let reference = SimpleCpuStitcher::default().compute_displacements(&clean);
+    assert!(reference.is_complete());
+
+    let spec = FaultSpec::parse("seed=7,transient=0.2").unwrap();
+    let policy = FailurePolicy {
+        retry: fast_retry(),
+        allow_partial: false,
+    };
+    for s in variants() {
+        let faulty = FaultySource::new(
+            SyntheticSource::new(SyntheticPlate::generate(cfg.clone())),
+            spec.clone(),
+        );
+        let r = s
+            .try_compute_displacements(&faulty, &policy)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        assert!(r.is_complete(), "{}", s.name());
+        assert_eq!(r.west, reference.west, "{}", s.name());
+        assert_eq!(r.north, reference.north, "{}", s.name());
+        assert!(r.health.failed_tiles().is_empty(), "{}", s.name());
+        assert!(
+            faulty.stats().transient > 0,
+            "{}: seed 7 at 20% must inject something",
+            s.name()
+        );
+        assert!(
+            r.health.total_retries > 0,
+            "{}: injected transients imply retries",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn corrupt_tile_degrades_to_partial_result() {
+    let cfg = scan(3, 4, 1202);
+    let truth = SyntheticPlate::generate(cfg.clone()).positions().to_vec();
+    let dead = TileId::new(1, 1);
+    let spec = FaultSpec::parse("corrupt=1.1").unwrap();
+    let policy = FailurePolicy {
+        retry: fast_retry(),
+        allow_partial: true,
+    };
+    for s in variants() {
+        let faulty = FaultySource::new(
+            SyntheticSource::new(SyntheticPlate::generate(cfg.clone())),
+            spec.clone(),
+        );
+        let r = s
+            .try_compute_displacements(&faulty, &policy)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        assert_eq!(r.health.failed_tiles(), vec![dead], "{}", s.name());
+        assert!(r.health.is_degraded(), "{}", s.name());
+        assert!(r.is_complete_modulo_failures(), "{}", s.name());
+        assert!(!r.is_complete(), "{}", s.name());
+
+        // phase 2 must still place every survivor exactly (up to the
+        // global translation the optimizer normalizes away)
+        let positions = GlobalOptimizer::default().solve(&r);
+        let anchor = TileId::new(0, 0);
+        let (ax, ay) = positions.get(anchor);
+        let (tx, ty) = truth[r.shape.index(anchor)];
+        for id in r.shape.ids() {
+            if id == dead {
+                continue;
+            }
+            let (x, y) = positions.get(id);
+            let (wx, wy) = truth[r.shape.index(id)];
+            assert_eq!(
+                (x - ax, y - ay),
+                (wx - tx, wy - ty),
+                "{}: survivor {id} misplaced",
+                s.name()
+            );
+        }
+
+        // the machine-readable summary must name the lost tile
+        let json = r.health.to_json();
+        assert!(json.contains("\"failed\""), "{}: {json}", s.name());
+        assert!(
+            json.contains("1,1") || json.contains("(1, 1)"),
+            "{}: {json}",
+            s.name()
+        );
+
+        // and composition must still produce a mosaic (with a hole)
+        let mosaic = Composer::new(positions, Blend::First).compose(&faulty);
+        assert!(mosaic.width() > 0 && mosaic.height() > 0, "{}", s.name());
+    }
+}
+
+#[test]
+fn strict_mode_aborts_cleanly_on_corrupt_tile() {
+    let cfg = scan(3, 4, 1303);
+    let spec = FaultSpec::parse("corrupt=2.0").unwrap();
+    let policy = FailurePolicy {
+        retry: fast_retry(),
+        allow_partial: false,
+    };
+    for s in variants() {
+        let faulty = FaultySource::new(
+            SyntheticSource::new(SyntheticPlate::generate(cfg.clone())),
+            spec.clone(),
+        );
+        let err = s
+            .try_compute_displacements(&faulty, &policy)
+            .err()
+            .unwrap_or_else(|| panic!("{}: strict mode must refuse a lost tile", s.name()));
+        match &err {
+            StitchError::Tile { id, .. } => assert_eq!(*id, TileId::new(2, 0), "{}", s.name()),
+            other => panic!("{}: unexpected error {other:?}", s.name()),
+        }
+        assert!(
+            err.to_string().contains("allow-partial"),
+            "{}: the error must point at the escape hatch: {err}",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn device_faults_and_tile_faults_compose() {
+    // one spec string drives both layers: tile transients retried by the
+    // reader, device transfer/kernel faults retried by the stream workers
+    let cfg = scan(3, 4, 1404);
+    let clean = SyntheticSource::new(SyntheticPlate::generate(cfg.clone()));
+    let reference = SimpleCpuStitcher::default().compute_displacements(&clean);
+
+    let spec_str = "seed=5,transient=0.15,gpu-seed=5,gpu-h2d=0.1,gpu-d2h=0.1,gpu-kernel=0.1";
+    let tile_spec = FaultSpec::parse(spec_str).unwrap();
+    let gpu_cfg = GpuFaultConfig::parse(spec_str).unwrap().unwrap();
+    let device_config = DeviceConfig {
+        fault: Some(gpu_cfg),
+        ..DeviceConfig::small(128 << 20)
+    };
+    let policy = FailurePolicy {
+        retry: fast_retry(),
+        allow_partial: false,
+    };
+
+    let stitchers: Vec<Box<dyn Stitcher>> = vec![
+        Box::new(SimpleGpuStitcher::new(Device::new(
+            0,
+            device_config.clone(),
+        ))),
+        Box::new(PipelinedGpuStitcher::single(Device::new(
+            0,
+            device_config.clone(),
+        ))),
+    ];
+    for s in stitchers {
+        let faulty = FaultySource::new(
+            SyntheticSource::new(SyntheticPlate::generate(cfg.clone())),
+            tile_spec.clone(),
+        );
+        let r = s
+            .try_compute_displacements(&faulty, &policy)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        assert!(r.is_complete(), "{}", s.name());
+        assert_eq!(r.west, reference.west, "{}", s.name());
+        assert_eq!(r.north, reference.north, "{}", s.name());
+    }
+}
+
+#[test]
+fn both_endpoints_of_a_pair_can_fail() {
+    // adjacent corrupt tiles: the shared pair must be voided exactly once
+    // and every variant must still terminate and report both tiles
+    let cfg = scan(3, 4, 1505);
+    let spec = FaultSpec::parse("corrupt=1.1+1.2").unwrap();
+    let policy = FailurePolicy {
+        retry: fast_retry(),
+        allow_partial: true,
+    };
+    for s in variants() {
+        let faulty = FaultySource::new(
+            SyntheticSource::new(SyntheticPlate::generate(cfg.clone())),
+            spec.clone(),
+        );
+        let r = s
+            .try_compute_displacements(&faulty, &policy)
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        let mut failed = r.health.failed_tiles();
+        failed.sort();
+        assert_eq!(
+            failed,
+            vec![TileId::new(1, 1), TileId::new(1, 2)],
+            "{}",
+            s.name()
+        );
+        assert!(r.is_complete_modulo_failures(), "{}", s.name());
+    }
+}
