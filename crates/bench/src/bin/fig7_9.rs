@@ -13,6 +13,7 @@
 use stitch_bench::{scaled_scan, synthetic_source, ResultTable};
 use stitch_core::prelude::*;
 use stitch_gpu::{Device, DeviceConfig, SpanKind};
+use stitch_trace::{RunReport, TraceHandle};
 
 fn main() {
     let src = synthetic_source(scaled_scan(8, 8, 128, 96));
@@ -21,16 +22,28 @@ fn main() {
         ..DeviceConfig::with_transfer_model()
     };
 
+    // each run records a merged host+device timeline; the density and
+    // overlap metrics below come from that timeline, not the raw device
+    // profiler, so host gaps count against the schedule
+    let trace_simple = TraceHandle::new();
     let dev_simple = Device::new(0, cfg.clone());
-    let r_simple = SimpleGpuStitcher::new(dev_simple.clone()).compute_displacements(&src);
+    let r_simple = SimpleGpuStitcher::new(dev_simple.clone())
+        .with_trace(trace_simple.clone())
+        .compute_displacements(&src);
     println!("-- Fig 7: Simple-GPU profile (8x8 grid) --");
     print!("{}", dev_simple.profiler().render_timeline(110));
 
+    let trace_pipe = TraceHandle::new();
     let dev_pipe = Device::new(1, cfg);
-    let r_pipe = PipelinedGpuStitcher::single(dev_pipe.clone()).compute_displacements(&src);
+    let r_pipe = PipelinedGpuStitcher::single(dev_pipe.clone())
+        .with_trace(trace_pipe.clone())
+        .compute_displacements(&src);
     println!("\n-- Fig 9: Pipelined-GPU profile (8x8 grid) --");
     print!("{}", dev_pipe.profiler().render_timeline(110));
     println!("\nlegend: '>' H2D copy, '<' D2H copy, '#' kernel, '.' sync, ' ' idle\n");
+
+    let rep_simple = RunReport::from_trace(&trace_simple);
+    let rep_pipe = RunReport::from_trace(&trace_pipe);
 
     let mut t = ResultTable::new(
         "fig7_9",
@@ -38,10 +51,17 @@ fn main() {
         &["metric", "Simple-GPU", "Pipelined-GPU"],
     );
     t.row(
-        "kernel density",
+        "kernel density (merged timeline)",
         &[
-            format!("{:.3}", dev_simple.profiler().kernel_density()),
-            format!("{:.3}", dev_pipe.profiler().kernel_density()),
+            format!("{:.3}", rep_simple.kernel_density),
+            format!("{:.3}", rep_pipe.kernel_density),
+        ],
+    );
+    t.row(
+        "copy/compute overlap",
+        &[
+            format!("{:.3}", rep_simple.copy_compute_overlap),
+            format!("{:.3}", rep_pipe.copy_compute_overlap),
         ],
     );
     t.row(
@@ -87,7 +107,8 @@ fn main() {
     t.note("the simple profile serialized (one kernel at a time, gaps between)");
     t.emit();
 
-    // with --json DIR, also dump raw span CSVs for external plotting
+    // with --json DIR, also dump raw span CSVs and the merged Chrome
+    // traces for external plotting / chrome://tracing
     if let Some(dir) = stitch_bench::json_dir() {
         std::fs::create_dir_all(&dir).expect("create json dir");
         std::fs::write(
@@ -100,6 +121,16 @@ fn main() {
             dev_pipe.profiler().to_csv(),
         )
         .expect("write fig9 csv");
-        eprintln!("(wrote span CSVs to {})", dir.display());
+        std::fs::write(
+            dir.join("fig7_simple_gpu_trace.json"),
+            trace_simple.to_chrome_json(),
+        )
+        .expect("write fig7 trace");
+        std::fs::write(
+            dir.join("fig9_pipelined_gpu_trace.json"),
+            trace_pipe.to_chrome_json(),
+        )
+        .expect("write fig9 trace");
+        eprintln!("(wrote span CSVs and Chrome traces to {})", dir.display());
     }
 }

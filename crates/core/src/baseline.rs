@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use stitch_fft::{PlanMode, Planner};
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::opcount::OpCounters;
@@ -28,13 +29,24 @@ use crate::types::{Displacement, PairKind, TileId};
 /// is "fully multithreaded taking advantage of multi-core CPUs").
 pub struct FijiStyleStitcher {
     threads: usize,
+    trace: TraceHandle,
 }
 
 impl FijiStyleStitcher {
     /// Creates the baseline with `threads` workers.
     pub fn new(threads: usize) -> FijiStyleStitcher {
         assert!(threads >= 1);
-        FijiStyleStitcher { threads }
+        FijiStyleStitcher {
+            threads,
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Records each worker's per-pair read/compute spans into `trace`
+    /// (track `"pair{i}"`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> FijiStyleStitcher {
+        self.trace = trace;
+        self
     }
 }
 
@@ -69,7 +81,7 @@ impl Stitcher for FijiStyleStitcher {
         let planner = Planner::new(PlanMode::Estimate);
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(pairs.len()).max(1) {
+            for worker in 0..self.threads.min(pairs.len()).max(1) {
                 let counters = Arc::clone(&counters);
                 let pairs = &pairs;
                 let cursor = &cursor;
@@ -77,7 +89,9 @@ impl Stitcher for FijiStyleStitcher {
                 let west = &west;
                 let north = &north;
                 let tracker = &tracker;
+                let trace = self.trace.clone();
                 scope.spawn(move || {
+                    let track = format!("pair{worker}");
                     // a fresh context per worker, but — deliberately — no
                     // caching of anything across pairs
                     let mut ctx = PciamContext::new(planner, w, h, counters.clone());
@@ -90,6 +104,7 @@ impl Stitcher for FijiStyleStitcher {
                         // per-pair re-read and re-transform: the plugin's
                         // redundancy, on purpose. Either read failing
                         // voids just this pair.
+                        let r0 = trace.now_ns();
                         let Some(img_a) = tracker.load(source, a, &policy.retry) else {
                             continue;
                         };
@@ -98,9 +113,12 @@ impl Stitcher for FijiStyleStitcher {
                             continue;
                         };
                         counters.count_read();
+                        trace.record(&track, "io", format!("read pair {i}"), r0, trace.now_ns());
+                        let c0 = trace.now_ns();
                         let fa = ctx.forward_fft(&img_a);
                         let fb = ctx.forward_fft(&img_b);
                         let d = ctx.displacement_oriented(&fa, &fb, &img_a, &img_b, Some(kind));
+                        trace.record(&track, "compute", format!("pair {i}"), c0, trace.now_ns());
                         let slot = shape.index(b);
                         match kind {
                             PairKind::West => west.lock()[slot] = Some(d),

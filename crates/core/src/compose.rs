@@ -9,6 +9,7 @@
 //! of visualizing the stitched image."
 
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::global_opt::AbsolutePositions;
 use crate::source::TileSource;
@@ -36,6 +37,7 @@ pub struct Composer {
     /// Draw 1-px tile borders at full intensity (Fig 14's highlighted
     /// tiles).
     pub highlight_tiles: bool,
+    trace: TraceHandle,
 }
 
 impl Composer {
@@ -45,7 +47,15 @@ impl Composer {
             positions,
             blend,
             highlight_tiles: false,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Records tile reads (cat `"io"`) and the blend loop (cat
+    /// `"compute"`) of each composition call on track `"compose"`.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Composer {
+        self.trace = trace;
+        self
     }
 
     /// The blend mode.
@@ -58,10 +68,30 @@ impl Composer {
         &self.positions
     }
 
-    /// Full mosaic dimensions for `source`'s tile size.
+    /// The mosaic origin: the minimum placed coordinate on each axis.
+    /// [`GlobalOptimizer::solve`](crate::global_opt::GlobalOptimizer::solve)
+    /// normalizes positions so this is `(0, 0)`, but hand-built or
+    /// partially-updated position sets may legitimately place tiles at
+    /// negative coordinates; every composition method translates by this
+    /// origin so such sets render correctly instead of wrapping through an
+    /// unsigned cast.
+    pub fn origin(&self) -> (i64, i64) {
+        let ox = self.positions.positions.iter().map(|p| p.0).min();
+        let oy = self.positions.positions.iter().map(|p| p.1).min();
+        (ox.unwrap_or(0), oy.unwrap_or(0))
+    }
+
+    /// Full mosaic dimensions for `source`'s tile size (origin-translated
+    /// bounding box of every tile).
     pub fn mosaic_dims(&self, source: &dyn TileSource) -> (usize, usize) {
         let (tw, th) = source.tile_dims();
-        self.positions.mosaic_dims(tw, th)
+        let (ox, oy) = self.origin();
+        let max_x = self.positions.positions.iter().map(|p| p.0).max();
+        let max_y = self.positions.positions.iter().map(|p| p.1).max();
+        match (max_x, max_y) {
+            (Some(mx), Some(my)) => ((mx - ox) as usize + tw, (my - oy) as usize + th),
+            _ => (0, 0),
+        }
     }
 
     /// Composes the whole mosaic.
@@ -71,7 +101,9 @@ impl Composer {
     }
 
     /// Composes only the `w × h` window at `(x0, y0)` of the mosaic —
-    /// the on-demand path used for interactive visualization.
+    /// the on-demand path used for interactive visualization. Window
+    /// coordinates are origin-translated mosaic coordinates: `(0, 0)` is
+    /// the top-left of the bounding box, i.e. [`Composer::origin`].
     pub fn compose_region(
         &self,
         source: &dyn TileSource,
@@ -81,12 +113,17 @@ impl Composer {
         h: usize,
     ) -> Image<u16> {
         let (tw, th) = source.tile_dims();
+        let (ox, oy) = self.origin();
         let shape = self.positions.shape;
         let mut acc = vec![0.0f64; w * h];
         let mut weight = vec![0.0f64; w * h];
         let (rx0, ry0, rx1, ry1) = (x0 as i64, y0 as i64, (x0 + w) as i64, (y0 + h) as i64);
+        let _span = self
+            .trace
+            .scope("compose", "compute", format!("region {w}x{h}@({x0},{y0})"));
         for id in shape.ids() {
             let (px, py) = self.positions.get(id);
+            let (px, py) = (px - ox, py - oy);
             // intersect tile rectangle with the requested window
             let ix0 = px.max(rx0);
             let iy0 = py.max(ry0);
@@ -97,7 +134,16 @@ impl Composer {
             }
             // a tile that can't be read leaves a hole in the mosaic
             // rather than aborting the whole composition
-            let Ok(tile) = source.load(id) else {
+            let r0 = self.trace.now_ns();
+            let loaded = source.load(id);
+            self.trace.record(
+                "compose",
+                "io",
+                format!("read r{}c{}", id.row, id.col),
+                r0,
+                self.trace.now_ns(),
+            );
+            let Ok(tile) = loaded else {
                 continue;
             };
             for gy in iy0..iy1 {
@@ -153,11 +199,15 @@ impl Composer {
     }
 
     /// Renders the tile at grid position `id` into mosaic coordinates —
-    /// convenience for spot checks.
+    /// convenience for spot checks. Positions are translated by
+    /// [`Composer::origin`] first, so a tile legitimately placed at a
+    /// negative coordinate renders its window instead of wrapping to a
+    /// huge offset.
     pub fn tile_window(&self, source: &dyn TileSource, id: TileId) -> Image<u16> {
         let (tw, th) = source.tile_dims();
         let (x, y) = self.positions.get(id);
-        self.compose_region(source, x as usize, y as usize, tw, th)
+        let (ox, oy) = self.origin();
+        self.compose_region(source, (x - ox) as usize, (y - oy) as usize, tw, th)
     }
 }
 
@@ -165,6 +215,13 @@ impl Composer {
 /// both dimensions by 2×2 averaging (the §VI-A visualization prototype
 /// "generates image pyramids ... and renders a stitched image at varying
 /// resolutions").
+///
+/// Averages are rounded to the nearest integer (ties round up), not
+/// floored — flooring would darken every level by up to 0.75 intensity
+/// units and the bias would compound across levels. When a dimension is
+/// odd, the trailing edge row/column has no 2×2 partner and is dropped
+/// (each level is exactly `(w / 2, h / 2)`); levels stop early once either
+/// dimension reaches 1.
 pub fn pyramid(base: Image<u16>, levels: usize) -> Vec<Image<u16>> {
     let mut out = Vec::with_capacity(levels + 1);
     out.push(base);
@@ -180,7 +237,7 @@ pub fn pyramid(base: Image<u16>, levels: usize) -> Vec<Image<u16>> {
                 + prev.get(2 * x + 1, 2 * y) as u32
                 + prev.get(2 * x, 2 * y + 1) as u32
                 + prev.get(2 * x + 1, 2 * y + 1) as u32;
-            (s / 4) as u16
+            ((s + 2) / 4) as u16
         });
         out.push(next);
     }
@@ -283,6 +340,98 @@ mod tests {
         assert_eq!(m.get(0, 0), 65535);
         assert_eq!(m.get(12, 7), 65535);
         assert_eq!(m.get(2, 4), 100, "interior untouched");
+    }
+
+    #[test]
+    fn negative_positions_translate_instead_of_wrap() {
+        // tile a hand-placed at (-5, -3): before origin translation this
+        // wrapped through `as usize` into a huge offset
+        let shape = GridShape::new(1, 2);
+        let a = Image::filled(8, 8, 100u16);
+        let b = Image::filled(8, 8, 300u16);
+        let src = MemorySource::new(shape, vec![a, b]);
+        let pos = AbsolutePositions {
+            shape,
+            positions: vec![(-5, -3), (0, 0)],
+        };
+        let c = Composer::new(pos, Blend::Overlay);
+        assert_eq!(c.origin(), (-5, -3));
+        // bounding box: x spans [-5, 8), y spans [-3, 8) → 13 × 11
+        assert_eq!(c.mosaic_dims(&src), (13, 11));
+        let m = c.compose(&src);
+        assert_eq!(m.get(0, 0), 100, "tile a renders at the origin");
+        assert_eq!(m.get(12, 10), 300, "tile b at its translated offset");
+        assert_eq!(m.get(12, 0), 0, "corner covered by neither tile");
+        // identical to composing the same layout shifted to min (0,0)
+        let norm = Composer::new(
+            AbsolutePositions {
+                shape,
+                positions: vec![(0, 0), (5, 3)],
+            },
+            Blend::Overlay,
+        )
+        .compose(&src);
+        assert_eq!(m.pixels(), norm.pixels());
+    }
+
+    #[test]
+    fn tile_window_handles_negative_positions() {
+        let shape = GridShape::new(1, 2);
+        let a = Image::filled(8, 8, 100u16);
+        let b = Image::filled(8, 8, 300u16);
+        let src = MemorySource::new(shape, vec![a, b]);
+        let pos = AbsolutePositions {
+            shape,
+            positions: vec![(-5, -3), (0, 0)],
+        };
+        let c = Composer::new(pos, Blend::First);
+        let wa = c.tile_window(&src, TileId { row: 0, col: 0 });
+        assert_eq!(wa.dims(), (8, 8));
+        assert_eq!(wa.get(0, 0), 100);
+        let wb = c.tile_window(&src, TileId { row: 0, col: 1 });
+        assert_eq!(wb.dims(), (8, 8));
+        // tile a (First blend) still owns the overlapping corner of b's window
+        assert_eq!(wb.get(0, 0), 100);
+        assert_eq!(wb.get(7, 7), 300);
+    }
+
+    #[test]
+    fn traced_compose_records_read_and_blend_spans() {
+        let (src, pos) = simple_setup();
+        let trace = stitch_trace::TraceHandle::new();
+        Composer::new(pos, Blend::Overlay)
+            .with_trace(trace.clone())
+            .compose(&src);
+        let spans = trace.spans();
+        assert!(spans.iter().any(|s| s.cat == "io" && s.name == "read r0c0"));
+        assert!(spans
+            .iter()
+            .any(|s| s.cat == "compute" && s.name.starts_with("region ")));
+    }
+
+    #[test]
+    fn pyramid_rounds_to_nearest_not_floor() {
+        // 2×2 block (1,2,3,5): mean 2.75 → rounds to 3 (flooring gave 2)
+        let base = Image::from_vec(2, 2, vec![1u16, 2, 3, 5]);
+        let pyr = pyramid(base, 1);
+        assert_eq!(pyr[1].dims(), (1, 1));
+        assert_eq!(pyr[1].get(0, 0), 3);
+        // saturation-safe at the top of the range
+        let bright = Image::filled(2, 2, 65535u16);
+        assert_eq!(pyramid(bright, 1)[1].get(0, 0), 65535);
+    }
+
+    #[test]
+    fn pyramid_level1_pins_values_and_drops_odd_edges() {
+        // 5×3 base: only the 4×2 even region participates in level 1;
+        // column 4 and row 2 are dropped (documented edge behavior)
+        let base = Image::from_fn(5, 3, |x, y| (10 * y + x) as u16);
+        // rows: [0 1 2 3 4] [10 11 12 13 14] [20 21 22 23 24]
+        let pyr = pyramid(base, 1);
+        assert_eq!(pyr[1].dims(), (2, 1));
+        // (0,0): avg(0,1,10,11) = 5.5 → 6; (1,0): avg(2,3,12,13) = 7.5 → 8
+        assert_eq!(pyr[1].get(0, 0), 6);
+        assert_eq!(pyr[1].get(1, 0), 8);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use stitch_fft::{PlanMode, Planner};
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::opcount::OpCounters;
@@ -31,6 +32,7 @@ type CachedTile = (Arc<Image<u16>>, Arc<Vec<stitch_fft::C64>>);
 pub struct MtCpuStitcher {
     threads: usize,
     plan_mode: PlanMode,
+    trace: TraceHandle,
 }
 
 impl MtCpuStitcher {
@@ -40,7 +42,15 @@ impl MtCpuStitcher {
         MtCpuStitcher {
             threads,
             plan_mode: PlanMode::Estimate,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Records each band worker's read/FFT/CCF spans into `trace` (track
+    /// `"band{i}"`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> MtCpuStitcher {
+        self.trace = trace;
+        self
     }
 
     /// Worker count.
@@ -88,13 +98,15 @@ impl Stitcher for MtCpuStitcher {
         let bands = row_bands(shape.rows, self.threads);
 
         std::thread::scope(|scope| {
-            for &(r0, r1) in &bands {
+            for (band, &(r0, r1)) in bands.iter().enumerate() {
                 let counters = Arc::clone(&counters);
                 let planner = &planner;
                 let west = &west;
                 let north = &north;
                 let tracker = &tracker;
+                let trace = self.trace.clone();
                 scope.spawn(move || {
+                    let track = format!("band{band}");
                     let mut ctx = PciamContext::new(planner, w, h, counters.clone());
                     // rolling cache: the row above the current one
                     let mut prev_row: Vec<Option<CachedTile>> = vec![None; shape.cols];
@@ -110,16 +122,33 @@ impl Stitcher for MtCpuStitcher {
                             // a failed tile leaves an empty cache slot: the
                             // pairs that needed it are skipped, the rest of
                             // the band streams on
-                            let cached: Option<CachedTile> =
-                                tracker.load(source, id, &policy.retry).map(|img| {
-                                    counters.count_read();
-                                    let img = Arc::new(img);
-                                    let fft = Arc::new(ctx.forward_fft(&img));
-                                    (img, fft)
-                                });
+                            let l0 = trace.now_ns();
+                            let loaded = tracker.load(source, id, &policy.retry);
+                            trace.record(
+                                &track,
+                                "io",
+                                format!("read r{r}c{c}"),
+                                l0,
+                                trace.now_ns(),
+                            );
+                            let cached: Option<CachedTile> = loaded.map(|img| {
+                                counters.count_read();
+                                let img = Arc::new(img);
+                                let f0 = trace.now_ns();
+                                let fft = Arc::new(ctx.forward_fft(&img));
+                                trace.record(
+                                    &track,
+                                    "compute",
+                                    format!("fft r{r}c{c}"),
+                                    f0,
+                                    trace.now_ns(),
+                                );
+                                (img, fft)
+                            });
                             if !ghost {
                                 if let Some((img, fft)) = &cached {
                                     if let Some((pimg, pfft)) = &prev_in_row {
+                                        let c0 = trace.now_ns();
                                         let d = ctx.displacement_oriented(
                                             pfft,
                                             fft,
@@ -127,15 +156,30 @@ impl Stitcher for MtCpuStitcher {
                                             img,
                                             Some(crate::types::PairKind::West),
                                         );
+                                        trace.record(
+                                            &track,
+                                            "compute",
+                                            format!("ccf-w r{r}c{c}"),
+                                            c0,
+                                            trace.now_ns(),
+                                        );
                                         west.lock()[shape.index(id)] = Some(d);
                                     }
                                     if let Some((nimg, nfft)) = &prev_row[c] {
+                                        let c0 = trace.now_ns();
                                         let d = ctx.displacement_oriented(
                                             nfft,
                                             fft,
                                             nimg,
                                             img,
                                             Some(crate::types::PairKind::North),
+                                        );
+                                        trace.record(
+                                            &track,
+                                            "compute",
+                                            format!("ccf-n r{r}c{c}"),
+                                            c0,
+                                            trace.now_ns(),
                                         );
                                         north.lock()[shape.index(id)] = Some(d);
                                     }

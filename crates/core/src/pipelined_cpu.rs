@@ -31,6 +31,7 @@ use parking_lot::Mutex;
 use stitch_fft::{PlanMode, Planner, C64};
 use stitch_gpu::semaphore::{OwnedPermit, Semaphore};
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
@@ -78,6 +79,7 @@ impl PipelinedCpuConfig {
 /// The Pipelined-CPU stitcher.
 pub struct PipelinedCpuStitcher {
     config: PipelinedCpuConfig,
+    trace: TraceHandle,
 }
 
 struct TileData {
@@ -127,7 +129,19 @@ impl PipelinedCpuStitcher {
     /// Creates a pipeline stitcher with an explicit configuration.
     pub fn with_config(config: PipelinedCpuConfig) -> PipelinedCpuStitcher {
         assert!(config.threads >= 1 && config.read_threads >= 1);
-        PipelinedCpuStitcher { config }
+        PipelinedCpuStitcher {
+            config,
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Records every stage's spans into `trace`: reader tracks
+    /// `"read.{i}"`, compute-worker tracks `"fft.{i}"`, bookkeeping track
+    /// `"bk"`, each with `"wait"` spans around queue pops; queue statistics
+    /// are snapshotted after the run.
+    pub fn with_trace(mut self, trace: TraceHandle) -> PipelinedCpuStitcher {
+        self.trace = trace;
+        self
     }
 
     /// The configuration in use.
@@ -184,7 +198,7 @@ impl Stitcher for PipelinedCpuStitcher {
         // The scoped-thread trick is unnecessary: the source reference only
         // needs to outlive the pipeline, which `join` below guarantees.
         let joined = std::thread::scope(|scope| {
-            let mut pipeline = Pipeline::new();
+            let mut pipeline = Pipeline::with_trace(self.trace.clone());
 
             // Stage 0 — feed tile ids in traversal order.
             {
@@ -203,17 +217,31 @@ impl Stitcher for PipelinedCpuStitcher {
             // `source` borrows the caller's TileSource; a scoped spawn
             // inside Pipeline isn't possible, so readers run on scoped
             // threads of our own mirroring a pipeline stage.
-            for _ in 0..self.config.read_threads {
+            for rt in 0..self.config.read_threads {
                 let w_work = q_work.writer();
                 let w_bk = q_bk.writer();
                 let pool = Arc::clone(&pool);
                 let counters = Arc::clone(&counters);
                 let q_ids = q_ids.clone();
                 let tracker = &tracker;
+                let trace = self.trace.clone();
                 scope.spawn(move || {
-                    while let Some(id) = q_ids.pop() {
+                    let track = format!("read.{rt}");
+                    loop {
+                        let w0 = trace.now_ns();
+                        let Some(id) = q_ids.pop() else { break };
+                        trace.record(&track, "wait", "wait", w0, trace.now_ns());
                         let permit = pool.acquire_owned();
-                        match tracker.load(source, id, &policy.retry) {
+                        let l0 = trace.now_ns();
+                        let loaded = tracker.load(source, id, &policy.retry);
+                        trace.record(
+                            &track,
+                            "io",
+                            format!("read r{}c{}", id.row, id.col),
+                            l0,
+                            trace.now_ns(),
+                        );
+                        match loaded {
                             Some(img) => {
                                 counters.count_read();
                                 if !w_work.push(Work::Fft(id, Arc::new(img), permit)) {
@@ -242,14 +270,26 @@ impl Stitcher for PipelinedCpuStitcher {
                 let counters = Arc::clone(&counters);
                 let west = Arc::clone(&west);
                 let north = Arc::clone(&north);
-                let _ = t;
                 let transform = self.config.transform;
+                let trace = self.trace.clone();
                 scope.spawn(move || {
+                    let track = format!("fft.{t}");
                     let mut ctx = Correlator::new(transform, &planner, w, h, Arc::clone(&counters));
-                    while let Some(work) = q_work.pop() {
+                    loop {
+                        let w0 = trace.now_ns();
+                        let Some(work) = q_work.pop() else { break };
+                        trace.record(&track, "wait", "wait", w0, trace.now_ns());
                         match work {
                             Work::Fft(id, img, permit) => {
+                                let f0 = trace.now_ns();
                                 let fft = Arc::new(ctx.forward_fft(&img));
+                                trace.record(
+                                    &track,
+                                    "compute",
+                                    format!("fft r{}c{}", id.row, id.col),
+                                    f0,
+                                    trace.now_ns(),
+                                );
                                 let done = FftDone {
                                     id,
                                     data: TileData { img, fft },
@@ -260,12 +300,20 @@ impl Stitcher for PipelinedCpuStitcher {
                                 }
                             }
                             Work::Pair { a, b, kind, slot } => {
+                                let c0 = trace.now_ns();
                                 let d = ctx.displacement_oriented(
                                     &a.fft,
                                     &b.fft,
                                     &a.img,
                                     &b.img,
                                     Some(kind),
+                                );
+                                trace.record(
+                                    &track,
+                                    "compute",
+                                    format!("ccf slot {slot}"),
+                                    c0,
+                                    trace.now_ns(),
                                 );
                                 match kind {
                                     PairKind::West => west.lock()[slot] = Some(d),
@@ -282,6 +330,7 @@ impl Stitcher for PipelinedCpuStitcher {
                 let q_bk2 = q_bk.clone();
                 let w_work = q_work.writer();
                 let live_peak = Arc::clone(&live_peak);
+                let trace = self.trace.clone();
                 scope.spawn(move || {
                     let mut book: HashMap<TileId, BookEntry> = HashMap::new();
                     let mut failed: HashSet<TileId> = HashSet::new();
@@ -291,7 +340,11 @@ impl Stitcher for PipelinedCpuStitcher {
                     let mut voided: HashSet<(usize, PairKind)> = HashSet::new();
                     let mut tiles_seen = 0usize;
                     let mut pairs_emitted = 0usize;
-                    while let Some(msg) = q_bk2.pop() {
+                    loop {
+                        let w0 = trace.now_ns();
+                        let Some(msg) = q_bk2.pop() else { break };
+                        trace.record("bk", "wait", "wait", w0, trace.now_ns());
+                        let s0 = trace.now_ns();
                         tiles_seen += 1;
                         match msg {
                             BkMsg::Failed(id) => {
@@ -394,6 +447,7 @@ impl Stitcher for PipelinedCpuStitcher {
                                 }
                             }
                         }
+                        trace.record("bk", "stage", "bookkeep", s0, trace.now_ns());
                         if tiles_seen == total_tiles && pairs_emitted + voided.len() == total_pairs
                         {
                             break; // all work emitted; drop our work-queue writer
@@ -409,6 +463,10 @@ impl Stitcher for PipelinedCpuStitcher {
             pipeline.join()
             // the scope now waits for reader/workers/bookkeeping threads
         });
+        // snapshot queue metrics into the trace once every thread is done
+        q_ids.record_to_trace(&self.trace, "read.in");
+        q_work.record_to_trace(&self.trace, "fft.in");
+        q_bk.record_to_trace(&self.trace, "bk.in");
         if let Err(e) = joined {
             return Err(StitchError::Pipeline {
                 detail: e.to_string(),
@@ -421,6 +479,8 @@ impl Stitcher for PipelinedCpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = live_peak.load(Ordering::Relaxed);
+        self.trace
+            .set_gauge("peak_live_tiles", result.peak_live_tiles as f64);
         result.health = tracker.finish(policy)?;
         Ok(result)
     }

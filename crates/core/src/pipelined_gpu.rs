@@ -41,6 +41,7 @@ use parking_lot::Mutex;
 use stitch_fft::{Direction, C64};
 use stitch_gpu::{Device, Event, PooledBuffer};
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::{GridShape, Traversal};
@@ -98,6 +99,7 @@ impl Default for PipelinedGpuConfig {
 pub struct PipelinedGpuStitcher {
     devices: Vec<Device>,
     config: PipelinedGpuConfig,
+    trace: TraceHandle,
 }
 
 /// Stage 1 → 2 payload.
@@ -288,12 +290,26 @@ impl PipelinedGpuStitcher {
     pub fn new(devices: Vec<Device>, config: PipelinedGpuConfig) -> PipelinedGpuStitcher {
         assert!(!devices.is_empty(), "need at least one device");
         assert!(config.ccf_threads >= 1);
-        PipelinedGpuStitcher { devices, config }
+        PipelinedGpuStitcher {
+            devices,
+            config,
+            trace: TraceHandle::disabled(),
+        }
     }
 
     /// Single-device convenience.
     pub fn single(device: Device) -> PipelinedGpuStitcher {
         PipelinedGpuStitcher::new(vec![device], PipelinedGpuConfig::default())
+    }
+
+    /// Records host-side stage spans (tracks `"pipe{id}/read"` …
+    /// `"pipe{id}/disp"`, CCF workers on `"ccf.{i}"`), per-queue
+    /// occupancy stats, and — at the end of the run — each device
+    /// profiler's H2D/D2H/kernel/sync spans on the same clock (tracks
+    /// `"gpu{id}/{stream}"`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> PipelinedGpuStitcher {
+        self.trace = trace;
+        self
     }
 
     /// Number of pipelines (devices).
@@ -365,16 +381,28 @@ impl PipelinedGpuStitcher {
 
         // Stage 1 — read. In peer-to-peer ghost mode the ghost column is
         // not read at all: the copier imports it from the neighbor.
+        let dev_id = device.id();
         {
             let w12 = q12.writer();
             let counters = Arc::clone(counters);
             let p2p_ghosts = import_table.is_some();
+            let trace = self.trace.clone();
             scope.spawn(move || {
+                let track = format!("pipe{dev_id}/read");
                 for id in order {
                     let payload = if p2p_ghosts && id.col < partition.col_lo {
                         ReadPayload::Import
                     } else {
-                        match tracker.load(source, id, &policy.retry) {
+                        let r0 = trace.now_ns();
+                        let loaded = tracker.load(source, id, &policy.retry);
+                        trace.record(
+                            &track,
+                            "io",
+                            format!("read r{}c{}", id.row, id.col),
+                            r0,
+                            trace.now_ns(),
+                        );
+                        match loaded {
                             Some(img) => {
                                 counters.count_read();
                                 ReadPayload::Img(Arc::new(img))
@@ -396,8 +424,15 @@ impl PipelinedGpuStitcher {
             let stream = device.create_stream("copy");
             let staging = device.alloc::<u16>(n).expect("staging buffer");
             let import_table = import_table.clone();
+            let trace = self.trace.clone();
             scope.spawn(move || {
-                while let Some(t) = q12.pop() {
+                let track = format!("pipe{dev_id}/copy");
+                loop {
+                    let w0 = trace.now_ns();
+                    let Some(t) = q12.pop() else { break };
+                    trace.record(&track, "wait", "wait", w0, trace.now_ns());
+                    let s0 = trace.now_ns();
+                    let span_name = format!("copy r{}c{}", t.id.row, t.id.col);
                     let item = match t.payload {
                         ReadPayload::Img(img) => {
                             let buf = Arc::new(pool.acquire()); // back-pressure
@@ -451,10 +486,12 @@ impl PipelinedGpuStitcher {
                         }
                         ReadPayload::Failed => CopiedMsg::Failed(t.id),
                     };
+                    trace.record(&track, "stage", span_name, s0, trace.now_ns());
                     if !w23.push(item) {
                         break;
                     }
                 }
+                q12.record_to_trace(&trace, &format!("gpu{dev_id}.q12"));
             });
         }
 
@@ -466,8 +503,13 @@ impl PipelinedGpuStitcher {
             let scratch = device.alloc::<C64>(n).expect("fft scratch");
             let counters = Arc::clone(counters);
             let export_table = export_table.clone();
+            let trace = self.trace.clone();
             scope.spawn(move || {
-                while let Some(msg) = q23.pop() {
+                let track = format!("pipe{dev_id}/fft");
+                loop {
+                    let w0 = trace.now_ns();
+                    let Some(msg) = q23.pop() else { break };
+                    trace.record(&track, "wait", "wait", w0, trace.now_ns());
                     let t = match msg {
                         CopiedMsg::Tile(t) => t,
                         CopiedMsg::Failed(id) => {
@@ -485,6 +527,7 @@ impl PipelinedGpuStitcher {
                             continue;
                         }
                     };
+                    let s0 = trace.now_ns();
                     let transformed = if t.already_transformed {
                         // ghost import: the buffer already holds a transform
                         t.copied
@@ -494,6 +537,13 @@ impl PipelinedGpuStitcher {
                         counters.count_forward_fft();
                         stream.record_event()
                     };
+                    trace.record(
+                        &track,
+                        "stage",
+                        format!("fft r{}c{}", t.id.row, t.id.col),
+                        s0,
+                        trace.now_ns(),
+                    );
                     // publish boundary-column transforms for the eastern
                     // neighbor's ghost imports
                     if let Some(exports) = &export_table {
@@ -517,6 +567,7 @@ impl PipelinedGpuStitcher {
                         break;
                     }
                 }
+                q23.record_to_trace(&trace, &format!("gpu{dev_id}.q23"));
             });
         }
 
@@ -524,7 +575,9 @@ impl PipelinedGpuStitcher {
         {
             let q34 = q34.clone();
             let w45 = q45.writer();
+            let trace = self.trace.clone();
             scope.spawn(move || {
+                let track = format!("pipe{dev_id}/bk");
                 let mut book: HashMap<TileId, BookEntry> = HashMap::new();
                 let mut failed: HashSet<TileId> = HashSet::new();
                 // pairs written off because an endpoint never arrived,
@@ -533,7 +586,11 @@ impl PipelinedGpuStitcher {
                 let mut voided: HashSet<(usize, PairKind)> = HashSet::new();
                 let mut seen = 0usize;
                 let mut emitted = 0usize;
-                while let Some(msg) = q34.pop() {
+                loop {
+                    let w0 = trace.now_ns();
+                    let Some(msg) = q34.pop() else { break };
+                    trace.record(&track, "wait", "wait", w0, trace.now_ns());
+                    let s0 = trace.now_ns();
                     seen += 1;
                     match msg {
                         TransformedMsg::Failed(id) => {
@@ -629,10 +686,12 @@ impl PipelinedGpuStitcher {
                             }
                         }
                     }
+                    trace.record(&track, "stage", "bookkeep", s0, trace.now_ns());
                     if seen == total_tiles && emitted + voided.len() == total_pairs {
                         break;
                     }
                 }
+                q34.record_to_trace(&trace, &format!("gpu{dev_id}.q34"));
             });
         }
 
@@ -644,8 +703,14 @@ impl PipelinedGpuStitcher {
             let pair_buf = device.alloc::<C64>(n).expect("pair buffer");
             let scratch = device.alloc::<C64>(n).expect("disp scratch");
             let counters = Arc::clone(counters);
+            let trace = self.trace.clone();
             scope.spawn(move || {
-                while let Some(task) = q45.pop() {
+                let track = format!("pipe{dev_id}/disp");
+                loop {
+                    let w0 = trace.now_ns();
+                    let Some(task) = q45.pop() else { break };
+                    trace.record(&track, "wait", "wait", w0, trace.now_ns());
+                    let s0 = trace.now_ns();
                     stream.wait_event(&task.a.transformed);
                     stream.wait_event(&task.b.transformed);
                     stream.ncc(task.a.buf.buffer(), task.b.buf.buffer(), &pair_buf, n);
@@ -665,10 +730,13 @@ impl PipelinedGpuStitcher {
                         kind: task.kind,
                         slot: task.slot,
                     };
+                    let s1 = trace.now_ns();
+                    trace.record(&track, "stage", format!("disp slot {}", ccf.slot), s0, s1);
                     if !w56.push(ccf) {
                         break;
                     }
                 }
+                q45.record_to_trace(&trace, &format!("gpu{dev_id}.q45"));
             });
         }
     }
@@ -742,13 +810,19 @@ impl Stitcher for PipelinedGpuStitcher {
             // guard so q56 can close when the real producers finish
             drop(w56_guard);
             // Stage 6 — CCF workers (host), shared by all pipelines.
-            for _ in 0..self.config.ccf_threads {
+            for worker in 0..self.config.ccf_threads {
                 let q56 = q56.clone();
                 let counters = Arc::clone(&counters);
                 let west = &west;
                 let north = &north;
+                let trace = self.trace.clone();
                 scope.spawn(move || {
-                    while let Some(task) = q56.pop() {
+                    let track = format!("ccf.{worker}");
+                    loop {
+                        let w0 = trace.now_ns();
+                        let Some(task) = q56.pop() else { break };
+                        trace.record(&track, "wait", "wait", w0, trace.now_ns());
+                        let s0 = trace.now_ns();
                         let d = resolve_peaks_oriented(
                             &task.peaks,
                             w,
@@ -758,6 +832,13 @@ impl Stitcher for PipelinedGpuStitcher {
                             Some(task.kind),
                         );
                         counters.count_ccf_group();
+                        trace.record(
+                            &track,
+                            "compute",
+                            format!("ccf slot {}", task.slot),
+                            s0,
+                            trace.now_ns(),
+                        );
                         match task.kind {
                             PairKind::West => west.lock()[task.slot] = Some(d),
                             PairKind::North => north.lock()[task.slot] = Some(d),
@@ -766,6 +847,12 @@ impl Stitcher for PipelinedGpuStitcher {
                 });
             }
         });
+        q56.record_to_trace(&self.trace, "q56");
+        for device in &self.devices {
+            device
+                .profiler()
+                .export_to_trace(&self.trace, &format!("gpu{}", device.id()));
+        }
 
         let mut result = StitchResult::empty(shape);
         result.west = west.into_inner();
@@ -773,6 +860,8 @@ impl Stitcher for PipelinedGpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = live_peak.load(Ordering::Relaxed);
+        self.trace
+            .set_gauge("peak_live_tiles", result.peak_live_tiles as f64);
         result.health = tracker.finish(policy)?;
         Ok(result)
     }
@@ -899,14 +988,14 @@ mod tests {
             vignette: 0.03,
             seed: 83,
         }));
+        // full-run-window kernel density: gaps where the device sat idle
+        // count against the schedule (the paper's Fig 7 vs Fig 9 metric)
         let dev_simple = Device::new(0, cfg.clone());
         SimpleGpuStitcher::new(dev_simple.clone()).compute_displacements(&src);
-        let simple_density = dev_simple
-            .profiler()
-            .density_of(stitch_gpu::SpanKind::Kernel);
+        let simple_density = dev_simple.profiler().kernel_density();
         let dev_pipe = Device::new(1, cfg);
         PipelinedGpuStitcher::single(dev_pipe.clone()).compute_displacements(&src);
-        let pipe_density = dev_pipe.profiler().density_of(stitch_gpu::SpanKind::Kernel);
+        let pipe_density = dev_pipe.profiler().kernel_density();
         assert!(
             pipe_density > simple_density,
             "pipelined {pipe_density:.3} should beat simple {simple_density:.3}"

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use stitch_fft::{PlanMode, Planner, C64};
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
@@ -27,6 +28,7 @@ pub struct SimpleCpuStitcher {
     traversal: Traversal,
     plan_mode: PlanMode,
     transform: TransformKind,
+    trace: TraceHandle,
 }
 
 impl Default for SimpleCpuStitcher {
@@ -51,6 +53,7 @@ impl SimpleCpuStitcher {
             traversal,
             plan_mode,
             transform: TransformKind::Complex,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -58,6 +61,12 @@ impl SimpleCpuStitcher {
     /// real-to-complex optimization when [`TransformKind::Real`]).
     pub fn with_transform(mut self, transform: TransformKind) -> SimpleCpuStitcher {
         self.transform = transform;
+        self
+    }
+
+    /// Records read/FFT/CCF spans into `trace` (track `"cpu/main"`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> SimpleCpuStitcher {
+        self.trace = trace;
         self
     }
 
@@ -99,7 +108,16 @@ impl Stitcher for SimpleCpuStitcher {
         };
 
         for id in self.traversal.order(shape) {
-            let img = match tracker.load(source, id, &policy.retry) {
+            let r0 = self.trace.now_ns();
+            let loaded = tracker.load(source, id, &policy.retry);
+            self.trace.record(
+                "cpu/main",
+                "io",
+                format!("read r{}c{}", id.row, id.col),
+                r0,
+                self.trace.now_ns(),
+            );
+            let img = match loaded {
                 Some(img) => Arc::new(img),
                 None => {
                     // the tile is gone: every pair it participates in is
@@ -116,7 +134,15 @@ impl Stitcher for SimpleCpuStitcher {
                 }
             };
             counters.count_read();
+            let f0 = self.trace.now_ns();
             let fft = Arc::new(ctx.forward_fft(&img));
+            self.trace.record(
+                "cpu/main",
+                "compute",
+                format!("fft r{}c{}", id.row, id.col),
+                f0,
+                self.trace.now_ns(),
+            );
             // pairs to already-failed neighbors will never complete;
             // inserting with remaining == 0 would leak the transform
             let voided = neighbors(id).filter(|n| tracker.is_failed(*n)).count();
@@ -171,7 +197,15 @@ impl Stitcher for SimpleCpuStitcher {
                 } else {
                     crate::types::PairKind::North
                 };
+                let c0 = self.trace.now_ns();
                 let d = ctx.displacement_oriented(&fa, &fb, &ia, &ib, Some(kind));
+                self.trace.record(
+                    "cpu/main",
+                    "compute",
+                    format!("ccf r{}c{}-r{}c{}", a.row, a.col, b.row, b.col),
+                    c0,
+                    self.trace.now_ns(),
+                );
                 let slot = shape.index(b);
                 if is_west_pair {
                     result.west[slot] = Some(d);
@@ -193,6 +227,7 @@ impl Stitcher for SimpleCpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = peak_live;
+        self.trace.set_gauge("peak_live_tiles", peak_live as f64);
         result.health = tracker.finish(policy)?;
         Ok(result)
     }

@@ -16,6 +16,7 @@ use std::time::Instant;
 use stitch_fft::{Direction, C64};
 use stitch_gpu::{Device, PooledBuffer};
 use stitch_image::Image;
+use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
@@ -31,6 +32,7 @@ pub struct SimpleGpuStitcher {
     traversal: Traversal,
     /// Device buffers in the transform pool; `None` sizes from the grid.
     pool_size: Option<usize>,
+    trace: TraceHandle,
 }
 
 struct DeviceTile {
@@ -46,12 +48,21 @@ impl SimpleGpuStitcher {
             device,
             traversal: Traversal::ChainedDiagonal,
             pool_size: None,
+            trace: TraceHandle::disabled(),
         }
     }
 
     /// Overrides the device buffer-pool size.
     pub fn with_pool_size(mut self, pool_size: usize) -> SimpleGpuStitcher {
         self.pool_size = Some(pool_size);
+        self
+    }
+
+    /// Records host read spans into `trace` and, at the end of the run,
+    /// exports the device profiler's spans onto the same clock (tracks
+    /// `"gpu{id}/{stream}"`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> SimpleGpuStitcher {
+        self.trace = trace;
         self
     }
 }
@@ -107,7 +118,16 @@ impl Stitcher for SimpleGpuStitcher {
         };
         for id in self.traversal.order(shape) {
             // read tile (host), copy synchronously, transform
-            let img = match tracker.load(source, id, &policy.retry) {
+            let r0 = self.trace.now_ns();
+            let loaded = tracker.load(source, id, &policy.retry);
+            self.trace.record(
+                "cpu/main",
+                "io",
+                format!("read r{}c{}", id.row, id.col),
+                r0,
+                self.trace.now_ns(),
+            );
+            let img = match loaded {
                 Some(img) => Arc::new(img),
                 None => {
                     // release resident neighbors whose pair with this
@@ -198,6 +218,10 @@ impl Stitcher for SimpleGpuStitcher {
         result.elapsed = t0.elapsed();
         result.ops = counters.snapshot();
         result.peak_live_tiles = peak_live;
+        self.trace.set_gauge("peak_live_tiles", peak_live as f64);
+        self.device
+            .profiler()
+            .export_to_trace(&self.trace, &format!("gpu{}", self.device.id()));
         result.health = tracker.finish(policy)?;
         Ok(result)
     }

@@ -93,6 +93,51 @@ impl Profiler {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// The instant all recorded span timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Re-times every recorded span onto `trace`'s clock and records it
+    /// there, so device rows align with host spans on one merged timeline.
+    /// Each stream becomes the track `"{device_label}/{stream}"`; span
+    /// kinds map to the categories `"kernel"`, `"h2d"`, `"d2h"`, `"sync"`.
+    /// Device activity that predates the trace epoch is clamped to 0.
+    pub fn export_to_trace(&self, trace: &stitch_trace::TraceHandle, device_label: &str) {
+        let Some(trace_epoch) = trace.epoch() else {
+            return;
+        };
+        // Signed offset (ns) from the trace epoch to the profiler epoch;
+        // `Instant` subtraction panics on negative results, so probe both
+        // directions with `checked_duration_since`.
+        let ahead = self
+            .epoch
+            .checked_duration_since(trace_epoch)
+            .map(|d| d.as_nanos() as i128)
+            .unwrap_or(0);
+        let behind = trace_epoch
+            .checked_duration_since(self.epoch)
+            .map(|d| d.as_nanos() as i128)
+            .unwrap_or(0);
+        let offset = ahead - behind;
+        let shift = |ns: u64| (ns as i128 + offset).clamp(0, u64::MAX as i128) as u64;
+        for s in self.spans() {
+            let cat = match s.kind {
+                SpanKind::H2D => "h2d",
+                SpanKind::D2H => "d2h",
+                SpanKind::Kernel => "kernel",
+                SpanKind::Sync => "sync",
+            };
+            trace.record(
+                &format!("{device_label}/{}", s.stream),
+                cat,
+                s.name,
+                shift(s.start_ns),
+                shift(s.end_ns),
+            );
+        }
+    }
+
     /// Records a finished span.
     pub fn record(&self, stream: &str, kind: SpanKind, name: &str, start_ns: u64, end_ns: u64) {
         if !*self.enabled.lock() {
@@ -130,27 +175,54 @@ impl Profiler {
             .sum()
     }
 
-    /// Kernel execution density: fraction of the observed interval during
-    /// which ≥ 1 kernel was executing. This is the Fig 7 vs Fig 9 metric —
-    /// Simple-GPU shows long gaps (low density), Pipelined-GPU is dense.
+    /// Kernel execution density: fraction of the **full-run window** (first
+    /// start to last end over *all* recorded spans, copies and syncs
+    /// included) during which ≥ 1 kernel was executing. This is the Fig 7
+    /// vs Fig 9 metric — Simple-GPU shows long copy/sync gaps between
+    /// kernels (low density), Pipelined-GPU is dense. Using the full-run
+    /// window is deliberate: the gaps a synchronous schedule leaves between
+    /// kernels must count against it.
     pub fn kernel_density(&self) -> f64 {
-        self.density_of(SpanKind::Kernel)
+        let spans = self.spans.lock();
+        let intervals: Vec<(u64, u64)> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel)
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect();
+        let t0 = spans.iter().map(|s| s.start_ns).min();
+        let t1 = spans.iter().map(|s| s.end_ns).max();
+        drop(spans);
+        match (t0, t1) {
+            (Some(t0), Some(t1)) => Self::density_in_window(intervals, t0, t1),
+            _ => 0.0,
+        }
     }
 
-    /// Like [`Profiler::kernel_density`] but for any span kind.
+    /// Density of one span kind over that kind's **own observation window**
+    /// — first start to last end of spans of `kind` only. Unlike
+    /// [`Profiler::kernel_density`], activity of other kinds neither widens
+    /// nor dilutes the window, so `density_of(SpanKind::D2H)` answers "how
+    /// gappy were the D2H copies among themselves", independent of how much
+    /// kernel work surrounded them.
     pub fn density_of(&self, kind: SpanKind) -> f64 {
-        let spans = self.spans.lock();
-        let mut intervals: Vec<(u64, u64)> = spans
+        let intervals: Vec<(u64, u64)> = self
+            .spans
+            .lock()
             .iter()
             .filter(|s| s.kind == kind)
             .map(|s| (s.start_ns, s.end_ns))
             .collect();
-        if intervals.is_empty() {
-            return 0.0;
+        let t0 = intervals.iter().map(|&(s, _)| s).min();
+        let t1 = intervals.iter().map(|&(_, e)| e).max();
+        match (t0, t1) {
+            (Some(t0), Some(t1)) => Self::density_in_window(intervals, t0, t1),
+            _ => 0.0,
         }
-        let t0 = spans.iter().map(|s| s.start_ns).min().unwrap();
-        let t1 = spans.iter().map(|s| s.end_ns).max().unwrap();
-        if t1 == t0 {
+    }
+
+    /// Fraction of `[t0, t1]` covered by the union of `intervals`.
+    fn density_in_window(mut intervals: Vec<(u64, u64)>, t0: u64, t1: u64) -> f64 {
+        if intervals.is_empty() || t1 == t0 {
             return 0.0;
         }
         intervals.sort_unstable();
@@ -276,6 +348,63 @@ mod tests {
         // union covers the whole [0,400] window
         assert!((p.kernel_density() - 1.0).abs() < 1e-9);
         assert_eq!(p.peak_concurrency(SpanKind::Kernel), 2);
+    }
+
+    #[test]
+    fn density_of_uses_kind_filtered_window() {
+        let p = Profiler::new();
+        // A long kernel surrounds two short D2H copies. The D2H density
+        // must be judged over the D2H window [100,400] only — 200/300 —
+        // not diluted to 200/1000 by the kernel span.
+        p.record("exec", SpanKind::Kernel, "k", 0, 1000);
+        p.record("copy", SpanKind::D2H, "a", 100, 200);
+        p.record("copy", SpanKind::D2H, "b", 300, 400);
+        assert!((p.density_of(SpanKind::D2H) - 200.0 / 300.0).abs() < 1e-9);
+        // and the kernel, over its own window, is gapless
+        assert!((p.density_of(SpanKind::Kernel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_density_keeps_full_run_window() {
+        let p = Profiler::new();
+        // h2d [0,100] → kernel [100,200] → d2h [200,400]: the kernel is
+        // gapless among kernels (density_of = 1) but covers only a quarter
+        // of the run (kernel_density = 0.25) — the paper's metric must see
+        // the copy gaps.
+        p.record("copy", SpanKind::H2D, "up", 0, 100);
+        p.record("exec", SpanKind::Kernel, "k", 100, 200);
+        p.record("copy", SpanKind::D2H, "down", 200, 400);
+        assert!((p.kernel_density() - 0.25).abs() < 1e-9);
+        assert!((p.density_of(SpanKind::Kernel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_to_trace_maps_streams_and_kinds() {
+        let trace = stitch_trace::TraceHandle::new();
+        let p = Profiler::new();
+        p.record("exec", SpanKind::Kernel, "fft", 10, 20);
+        p.record("copy", SpanKind::H2D, "tile", 0, 10);
+        p.export_to_trace(&trace, "gpu0");
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2);
+        let kernel = spans.iter().find(|s| s.cat == "kernel").unwrap();
+        assert_eq!(kernel.track, "gpu0/exec");
+        assert_eq!(kernel.name, "fft");
+        assert_eq!(kernel.end_ns - kernel.start_ns, 10);
+        let h2d = spans.iter().find(|s| s.cat == "h2d").unwrap();
+        assert_eq!(h2d.track, "gpu0/copy");
+        // the profiler epoch is at or after the trace epoch, so shifted
+        // device timestamps keep their relative order on the shared clock
+        assert!(h2d.start_ns <= kernel.start_ns);
+    }
+
+    #[test]
+    fn export_to_disabled_trace_is_noop() {
+        let trace = stitch_trace::TraceHandle::disabled();
+        let p = Profiler::new();
+        p.record("exec", SpanKind::Kernel, "fft", 0, 10);
+        p.export_to_trace(&trace, "gpu0");
+        assert!(trace.spans().is_empty());
     }
 
     #[test]

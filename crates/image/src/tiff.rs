@@ -315,6 +315,97 @@ mod tests {
         assert_eq!(img.pixels(), &[0x1234, 0xABCD]);
     }
 
+    /// Big-endian (`MM`) encoder mirroring [`encode_tiff`]'s layout —
+    /// test-only, used to exercise the full BE decode path with arbitrary
+    /// images rather than the two hand-written pixels above.
+    fn encode_tiff_be(img: &Image<u16>) -> Vec<u8> {
+        let (w, h) = img.dims();
+        let pixel_bytes = w * h * 2;
+        let ifd_off = 8 + pixel_bytes;
+        let mut out = Vec::new();
+        out.extend_from_slice(b"MM");
+        out.extend_from_slice(&42u16.to_be_bytes());
+        out.extend_from_slice(&(ifd_off as u32).to_be_bytes());
+        for &px in img.pixels() {
+            out.extend_from_slice(&px.to_be_bytes());
+        }
+        let tags: [(u16, u16, u32, u32); 9] = [
+            (TAG_IMAGE_WIDTH, TYPE_LONG, 1, w as u32),
+            (TAG_IMAGE_LENGTH, TYPE_LONG, 1, h as u32),
+            // inline SHORT values sit in the *first* two bytes of the
+            // big-endian value field, i.e. the high half of the u32
+            (TAG_BITS_PER_SAMPLE, TYPE_SHORT, 1, 16u32 << 16),
+            (TAG_COMPRESSION, TYPE_SHORT, 1, 1u32 << 16),
+            (TAG_PHOTOMETRIC, TYPE_SHORT, 1, 1u32 << 16),
+            (TAG_STRIP_OFFSETS, TYPE_LONG, 1, 8),
+            (TAG_SAMPLES_PER_PIXEL, TYPE_SHORT, 1, 1u32 << 16),
+            (TAG_ROWS_PER_STRIP, TYPE_LONG, 1, h as u32),
+            (TAG_STRIP_BYTE_COUNTS, TYPE_LONG, 1, pixel_bytes as u32),
+        ];
+        out.extend_from_slice(&(tags.len() as u16).to_be_bytes());
+        for (id, typ, count, value) in tags {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.extend_from_slice(&typ.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+            out.extend_from_slice(&value.to_be_bytes());
+        }
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out
+    }
+
+    #[test]
+    fn big_endian_round_trip() {
+        for (w, h) in [(1usize, 1usize), (7, 3), (64, 48), (100, 1)] {
+            let img = sample(w, h);
+            let decoded = decode_tiff(&encode_tiff_be(&img)).unwrap();
+            assert_eq!(img, decoded, "{w}x{h}");
+            // and the BE bytes decode to the same image as the LE bytes
+            assert_eq!(decoded, decode_tiff(&encode_tiff(&img)).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_header_truncations() {
+        let enc = encode_tiff(&sample(4, 4));
+        // every prefix shorter than the full file must error, never panic
+        for len in [0, 1, 4, 7, 8, 9, 20] {
+            assert!(decode_tiff(&enc[..len]).is_err(), "prefix len {len}");
+        }
+        // IFD offset pointing past the end of the file
+        let mut bad = enc.clone();
+        bad[4..8].copy_from_slice(&(enc.len() as u32).to_le_bytes());
+        assert!(decode_tiff(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_strip_beyond_eof() {
+        let img = sample(8, 8);
+        let mut enc = encode_tiff(&img);
+        // entry 5 (0-based) is StripOffsets; point it past the file end
+        let ifd = 8 + 8 * 8 * 2;
+        let voff = ifd + 2 + 5 * 12 + 8;
+        let past_end = (enc.len() as u32).to_le_bytes();
+        enc[voff..voff + 4].copy_from_slice(&past_end);
+        match decode_tiff(&enc) {
+            Err(ImageError::Format(msg)) => assert!(msg.contains("strip"), "{msg}"),
+            other => panic!("expected strip error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_short_strip() {
+        let img = sample(8, 8);
+        let mut enc = encode_tiff(&img);
+        // entry 8 (0-based) is StripByteCounts; claim half the pixel data
+        let ifd = 8 + 8 * 8 * 2;
+        let voff = ifd + 2 + 8 * 12 + 8;
+        enc[voff..voff + 4].copy_from_slice(&(8u32 * 8 * 2 / 2).to_le_bytes());
+        match decode_tiff(&enc) {
+            Err(ImageError::Format(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn eight_bit_widens() {
         // 2x1 8-bit LE file

@@ -95,6 +95,9 @@ impl<T> Queue<T> {
         drop(st);
         self.inner.pushed.fetch_add(1, Ordering::Relaxed);
         self.inner.high_water.fetch_max(len, Ordering::Relaxed);
+        // Block time is charged only for calls that delivered an item (a
+        // push refused by a closed queue records nothing); see the
+        // `QueueMetrics` field docs for the exact counter semantics.
         self.inner
             .producer_block_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -114,10 +117,14 @@ impl<T> Queue<T> {
         if item.is_some() {
             self.inner.popped.fetch_add(1, Ordering::Relaxed);
             self.inner.not_full.notify_one();
+            // Mirror of `push`: block time is charged only when the call
+            // delivered an item. The final `None` a consumer sees after
+            // close is shutdown, not contention, and must not inflate
+            // `consumer_block_nanos`.
+            self.inner
+                .consumer_block_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        self.inner
-            .consumer_block_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         item
     }
 
@@ -189,6 +196,22 @@ impl<T> Queue<T> {
         }
     }
 
+    /// Snapshots this queue's [`QueueMetrics`] into `trace` as a
+    /// [`stitch_trace::QueueStat`] named `name` (conventionally
+    /// `"<consumer stage>.in"`). No-op for a disabled trace.
+    pub fn record_to_trace(&self, trace: &stitch_trace::TraceHandle, name: &str) {
+        let m = self.metrics();
+        trace.record_queue(stitch_trace::QueueStat {
+            name: name.to_string(),
+            capacity: self.capacity(),
+            pushed: m.pushed,
+            popped: m.popped,
+            high_water: m.high_water,
+            producer_block_ns: m.producer_block_nanos,
+            consumer_block_ns: m.consumer_block_nanos,
+        });
+    }
+
     fn drop_writer(&self) {
         let mut st = self.inner.state.lock();
         st.writers -= 1;
@@ -231,17 +254,31 @@ impl<T> Drop for QueueWriter<T> {
 }
 
 /// Snapshot of a queue's lifetime counters.
+///
+/// The blocking (`push`/`pop`) and non-blocking (`try_push`/`try_pop`)
+/// paths share one set of counters with uniform semantics: traffic
+/// counters (`pushed`, `popped`, `high_water`) advance on every
+/// *successful* operation regardless of path, while the block-time
+/// counters are charged only by *blocking calls that succeeded* — `try_*`
+/// never blocks and never charges, a push refused by a closed queue
+/// charges nothing, and the final `None` a consumer sees after close
+/// charges nothing (shutdown is not contention).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueueMetrics {
-    /// Items successfully pushed.
+    /// Items successfully enqueued, via `push` or `try_push`.
     pub pushed: u64,
-    /// Items successfully popped.
+    /// Items successfully dequeued, via `pop` or `try_pop`. Pops that
+    /// returned `None` are not counted.
     pub popped: u64,
-    /// Maximum queue depth observed.
+    /// Maximum queue depth observed immediately after any push.
     pub high_water: usize,
-    /// Total time producers spent blocked on a full queue.
+    /// Total wall time spent inside successful blocking `push` calls
+    /// (lock acquisition plus waiting for space; dominated by the wait on
+    /// a full queue).
     pub producer_block_nanos: u64,
-    /// Total time consumers spent blocked on an empty queue.
+    /// Total wall time spent inside blocking `pop` calls that delivered an
+    /// item (lock acquisition plus waiting for data; dominated by the wait
+    /// on an empty queue).
     pub consumer_block_nanos: u64,
 }
 
@@ -389,6 +426,82 @@ mod tests {
         assert_eq!(m.pushed, 2);
         assert_eq!(m.popped, 1);
         assert_eq!(m.high_water, 2);
+    }
+
+    #[test]
+    fn metrics_final_none_charges_nothing() {
+        let q = Queue::new(4);
+        q.push(1);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        let before = q.metrics();
+        // Drained + closed: repeated pops return None and must leave every
+        // counter untouched — shutdown is not contention.
+        for _ in 0..3 {
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.try_pop(), None);
+        }
+        let after = q.metrics();
+        assert_eq!(after.popped, before.popped);
+        assert_eq!(after.consumer_block_nanos, before.consumer_block_nanos);
+    }
+
+    #[test]
+    fn metrics_blocked_consumer_waiting_out_a_close_charges_nothing() {
+        let q: Queue<u32> = Queue::new(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        // The consumer blocked ~30ms but got None; that wait must not be
+        // booked as consumer block time.
+        assert_eq!(h.join().unwrap(), None);
+        assert_eq!(q.metrics().consumer_block_nanos, 0);
+        assert_eq!(q.metrics().popped, 0);
+    }
+
+    #[test]
+    fn metrics_rejected_push_after_close_charges_nothing() {
+        let q = Queue::new(2);
+        q.close();
+        assert!(!q.push(7));
+        assert!(q.try_push(8).is_err());
+        let m = q.metrics();
+        assert_eq!(m.pushed, 0);
+        assert_eq!(m.high_water, 0);
+        assert_eq!(m.producer_block_nanos, 0);
+    }
+
+    #[test]
+    fn metrics_try_and_blocking_paths_agree() {
+        // The same traffic through either path yields identical traffic
+        // counters, and the try path never charges block time.
+        let a = Queue::new(4);
+        a.push(1);
+        a.push(2);
+        a.pop();
+        let b = Queue::new(4);
+        b.try_push(1).unwrap();
+        b.try_push(2).unwrap();
+        b.try_pop();
+        let (ma, mb) = (a.metrics(), b.metrics());
+        assert_eq!((ma.pushed, ma.popped, ma.high_water), (2, 1, 2));
+        assert_eq!((mb.pushed, mb.popped, mb.high_water), (2, 1, 2));
+        assert_eq!(mb.producer_block_nanos, 0);
+        assert_eq!(mb.consumer_block_nanos, 0);
+    }
+
+    #[test]
+    fn metrics_blocked_producer_charged_on_success() {
+        let q = Queue::new(1);
+        q.push(0);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.push(1));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(h.join().unwrap());
+        // the producer waited ~20ms for space; that time is booked
+        assert!(q.metrics().producer_block_nanos >= 10_000_000);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use stitch_trace::{StageStat, TraceHandle};
 
 use crate::queue::Queue;
 
@@ -131,12 +132,26 @@ struct StageHandle {
 pub struct Pipeline {
     stages: Vec<StageHandle>,
     error: Arc<Mutex<Option<PipelineError>>>,
+    trace: TraceHandle,
 }
 
 impl Pipeline {
     /// An empty pipeline.
     pub fn new() -> Pipeline {
         Pipeline::default()
+    }
+
+    /// An empty pipeline whose stage workers record spans into `trace`:
+    /// each worker becomes the track `"{stage}.{thread}"`, with `"wait"`
+    /// spans around input-queue pops and `"stage"` spans around stage
+    /// bodies; [`Pipeline::join`] additionally records one [`StageStat`]
+    /// per stage. With a disabled handle this is identical to
+    /// [`Pipeline::new`].
+    pub fn with_trace(trace: TraceHandle) -> Pipeline {
+        Pipeline {
+            trace,
+            ..Pipeline::default()
+        }
     }
 
     /// Adds a stage of `threads` workers consuming `input`. Each worker
@@ -156,8 +171,10 @@ impl Pipeline {
             let mut work = work.clone();
             let metrics = Arc::clone(&metrics);
             let error = Arc::clone(&self.error);
+            let trace = self.trace.clone();
             let stage_name = name.to_string();
             let thread_name = format!("{name}-{t}");
+            let track = format!("{name}.{t}");
             handles.push(
                 std::thread::Builder::new()
                     .name(thread_name)
@@ -166,17 +183,22 @@ impl Pipeline {
                         // stage's output writers): unwinding drops them,
                         // closing downstream queues so consumers drain out
                         let inner = input.clone();
+                        let span_name = stage_name.clone();
                         let caught = std::panic::catch_unwind(AssertUnwindSafe(move || loop {
                             let w0 = Instant::now();
+                            let w0_ns = trace.now_ns();
                             let Some(item) = inner.pop() else { break };
                             metrics
                                 .wait_nanos
                                 .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            trace.record(&track, "wait", "wait", w0_ns, trace.now_ns());
                             let b0 = Instant::now();
+                            let b0_ns = trace.now_ns();
                             work(item);
                             metrics
                                 .busy_nanos
                                 .fetch_add(b0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            trace.record(&track, "stage", span_name.clone(), b0_ns, trace.now_ns());
                             metrics.items.fetch_add(1, Ordering::Relaxed);
                         }));
                         if let Err(payload) = caught {
@@ -209,14 +231,17 @@ impl Pipeline {
         let metrics = Arc::new(StageMetrics::default());
         let m2 = Arc::clone(&metrics);
         let error = Arc::clone(&self.error);
+        let trace = self.trace.clone();
         let stage_name = name.to_string();
         let handle = std::thread::Builder::new()
             .name(name.to_string())
             .spawn(move || {
                 // unwinding drops `produce`'s captured writers, closing the
                 // queues this source fed so consumers finish instead of hang
+                let span_name = stage_name.clone();
                 let caught = std::panic::catch_unwind(AssertUnwindSafe(move || {
                     let t0 = Instant::now();
+                    let _span = trace.scope(&span_name, "stage", span_name.clone());
                     produce();
                     m2.busy_nanos
                         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -250,13 +275,21 @@ impl Pipeline {
                 // would mean the containment wrapper itself failed
                 h.join().expect("stage thread infrastructure panicked");
             }
-            reports.push(StageReport {
+            let report = StageReport {
                 name: stage.name,
                 threads,
                 items: stage.metrics.items(),
                 busy_nanos: stage.metrics.busy_nanos(),
                 wait_nanos: stage.metrics.wait_nanos(),
+            };
+            self.trace.record_stage(StageStat {
+                name: report.name.clone(),
+                threads: report.threads,
+                items: report.items,
+                busy_ns: report.busy_nanos,
+                wait_ns: report.wait_nanos,
             });
+            reports.push(report);
         }
         match self.error.lock().take() {
             Some(e) => Err(e),
@@ -382,6 +415,61 @@ mod tests {
             "{}",
             err.panic
         );
+    }
+
+    #[test]
+    fn traced_pipeline_records_spans_and_stats() {
+        let trace = TraceHandle::new();
+        let q: Queue<u32> = Queue::new(4);
+        let mut pl = Pipeline::with_trace(trace.clone());
+        let w = q.writer();
+        pl.add_source("src", move || {
+            for i in 0..8 {
+                w.push(i);
+            }
+        });
+        pl.add_stage("sink", 2, q.clone(), |_v: u32| {});
+        pl.join().unwrap();
+        q.record_to_trace(&trace, "sink.in");
+
+        let spans = trace.spans();
+        assert!(spans.iter().any(|s| s.track == "src" && s.cat == "stage"));
+        assert!(spans
+            .iter()
+            .any(|s| s.track.starts_with("sink.") && s.cat == "stage" && s.name == "sink"));
+        assert!(spans
+            .iter()
+            .any(|s| s.track.starts_with("sink.") && s.cat == "wait"));
+        // exactly 8 body spans across the two sink workers
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.cat == "stage" && s.name == "sink")
+                .count(),
+            8
+        );
+        let stats = trace.stages();
+        assert_eq!(stats.len(), 2, "one StageStat per stage at join");
+        let sink = stats.iter().find(|s| s.name == "sink").unwrap();
+        assert_eq!(sink.items, 8);
+        assert_eq!(sink.threads, 2);
+        let queues = trace.queues();
+        assert_eq!(queues.len(), 1);
+        assert_eq!(queues[0].pushed, 8);
+    }
+
+    #[test]
+    fn untraced_pipeline_records_nothing() {
+        let q: Queue<u32> = Queue::new(4);
+        let mut pl = Pipeline::new();
+        let w = q.writer();
+        pl.add_source("src", move || {
+            w.push(1);
+        });
+        pl.add_stage("sink", 1, q.clone(), |_v: u32| {});
+        pl.join().unwrap();
+        // nothing to assert against a disabled handle beyond "it worked";
+        // the default pipeline must behave exactly as before
     }
 
     #[test]

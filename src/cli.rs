@@ -53,6 +53,12 @@ pub enum Command {
         allow_partial: bool,
         /// Where to write the machine-readable health report as JSON.
         health_out: Option<PathBuf>,
+        /// Where to write the merged CPU+GPU timeline as Chrome
+        /// trace-event JSON (open in `chrome://tracing` / Perfetto).
+        trace_out: Option<PathBuf>,
+        /// Where to write the run report (per-stage busy/wait, queue
+        /// stats, kernel density, copy/compute overlap) as JSON.
+        report_out: Option<PathBuf>,
     },
     /// Print dataset information.
     Info {
@@ -118,6 +124,7 @@ USAGE:
                 [--out mosaic.pgm|.tif] [--positions out.tsv] [--highlight]
                 [--retries N] [--retry-backoff-ms N] [--allow-partial]
                 [--fault-spec SPEC] [--health-json out.json]
+                [--trace-json trace.json] [--run-report report.json]
   stitch info --dataset DIR
   stitch simulate [--machine testbed|laptop] [--rows N] [--cols N]
   stitch help
@@ -229,6 +236,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             fault_spec: flags.get("fault-spec").cloned(),
             allow_partial: flags.contains_key("allow-partial"),
             health_out: flags.get("health-json").map(PathBuf::from),
+            trace_out: flags.get("trace-json").map(PathBuf::from),
+            report_out: flags.get("run-report").map(PathBuf::from),
         }),
         "info" => Ok(Command::Info {
             dataset: flags
@@ -351,7 +360,16 @@ pub fn run(cmd: Command) -> i32 {
             fault_spec,
             allow_partial,
             health_out,
+            trace_out,
+            report_out,
         } => {
+            // one shared recorder feeds both outputs; stays disabled (and
+            // free) unless an observability flag asked for it
+            let trace = if trace_out.is_some() || report_out.is_some() {
+                stitch_trace::TraceHandle::new()
+            } else {
+                stitch_trace::TraceHandle::disabled()
+            };
             let policy = FailurePolicy {
                 retry: RetryPolicy {
                     max_retries: retries,
@@ -392,33 +410,43 @@ pub fn run(cmd: Command) -> i32 {
                 None => Box::new(dir),
             };
             let stitcher: Box<dyn Stitcher> = match implementation {
-                Implementation::SimpleCpu => {
-                    Box::new(SimpleCpuStitcher::default().with_transform(transform))
+                Implementation::SimpleCpu => Box::new(
+                    SimpleCpuStitcher::default()
+                        .with_transform(transform)
+                        .with_trace(trace.clone()),
+                ),
+                Implementation::MtCpu => {
+                    Box::new(MtCpuStitcher::new(threads).with_trace(trace.clone()))
                 }
-                Implementation::MtCpu => Box::new(MtCpuStitcher::new(threads)),
-                Implementation::PipelinedCpu => Box::new(PipelinedCpuStitcher::with_config(
-                    stitch_core::PipelinedCpuConfig {
+                Implementation::PipelinedCpu => Box::new(
+                    PipelinedCpuStitcher::with_config(stitch_core::PipelinedCpuConfig {
                         transform,
                         ..stitch_core::PipelinedCpuConfig::with_threads(threads)
-                    },
-                )),
-                Implementation::SimpleGpu => Box::new(SimpleGpuStitcher::new(Device::new(
-                    0,
-                    device_config.clone(),
-                ))),
+                    })
+                    .with_trace(trace.clone()),
+                ),
+                Implementation::SimpleGpu => Box::new(
+                    SimpleGpuStitcher::new(Device::new(0, device_config.clone()))
+                        .with_trace(trace.clone()),
+                ),
                 Implementation::PipelinedGpu => {
                     let devices: Vec<Device> = (0..gpus.max(1))
                         .map(|i| Device::new(i, device_config.clone()))
                         .collect();
-                    Box::new(PipelinedGpuStitcher::new(
-                        devices,
-                        stitch_core::PipelinedGpuConfig {
-                            ccf_threads: threads.max(1),
-                            ..Default::default()
-                        },
-                    ))
+                    Box::new(
+                        PipelinedGpuStitcher::new(
+                            devices,
+                            stitch_core::PipelinedGpuConfig {
+                                ccf_threads: threads.max(1),
+                                ..Default::default()
+                            },
+                        )
+                        .with_trace(trace.clone()),
+                    )
                 }
-                Implementation::Fiji => Box::new(FijiStyleStitcher::new(threads)),
+                Implementation::Fiji => {
+                    Box::new(FijiStyleStitcher::new(threads).with_trace(trace.clone()))
+                }
             };
             println!(
                 "stitching {} ({}x{} grid) with {}",
@@ -474,7 +502,7 @@ pub fn run(cmd: Command) -> i32 {
                 println!("phase 2: positions -> {}", path.display());
             }
             if let Some(path) = out {
-                let mut composer = Composer::new(positions, blend);
+                let mut composer = Composer::new(positions, blend).with_trace(trace.clone());
                 composer.highlight_tiles = highlight;
                 let mosaic = composer.compose(source.as_ref());
                 let res = match path.extension().and_then(|e| e.to_str()) {
@@ -493,6 +521,26 @@ pub fn run(cmd: Command) -> i32 {
                         return 1;
                     }
                 }
+            }
+            if let Some(path) = trace_out {
+                if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                    eprintln!("error writing trace: {e}");
+                    return 1;
+                }
+                println!("trace -> {}", path.display());
+            }
+            if let Some(path) = report_out {
+                let report = stitch_trace::RunReport::from_trace(&trace);
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("error writing run report: {e}");
+                    return 1;
+                }
+                println!(
+                    "run report -> {} (kernel density {:.3}, copy/compute overlap {:.3})",
+                    path.display(),
+                    report.kernel_density,
+                    report.copy_compute_overlap
+                );
             }
             0
         }
@@ -599,6 +647,37 @@ mod tests {
                 assert_eq!(fault_spec, None);
                 assert!(!allow_partial, "partial mosaics must be opt-in");
                 assert_eq!(health_out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse(&argv(
+            "stitch --dataset /d --trace-json t.json --run-report r.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stitch {
+                trace_out,
+                report_out,
+                ..
+            } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(report_out, Some(PathBuf::from("r.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+        // both default off: tracing must cost nothing unless asked for
+        match parse(&argv("stitch --dataset /d")).unwrap() {
+            Command::Stitch {
+                trace_out,
+                report_out,
+                ..
+            } => {
+                assert_eq!(trace_out, None);
+                assert_eq!(report_out, None);
             }
             other => panic!("{other:?}"),
         }

@@ -13,6 +13,7 @@
 //! | [`gpu`] | simulated accelerator: device memory, streams, events, kernels, profiler |
 //! | [`core`] | the stitching system: PCIAM, six implementation variants, global optimization, composition |
 //! | [`sim`] | virtual-time discrete-event simulator for the paper's scaling experiments |
+//! | [`trace`] | unified run observability: merged CPU+GPU span timeline, Chrome-trace export, run reports |
 //!
 //! ## Quickstart
 //!
@@ -49,10 +50,12 @@ pub use stitch_gpu as gpu;
 pub use stitch_image as image;
 pub use stitch_pipeline as pipeline;
 pub use stitch_sim as sim;
+pub use stitch_trace as trace;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use stitch_core::prelude::*;
     pub use stitch_gpu::{Device, DeviceConfig};
     pub use stitch_image::{GridManifest, Image, ScanConfig, SyntheticPlate};
+    pub use stitch_trace::{RunReport, TraceHandle};
 }
