@@ -73,8 +73,10 @@ impl Default for GlobalOptimizer {
 }
 
 /// Absolute tile positions (phase-2 output), normalized so the minimum
-/// coordinate on each axis is zero.
-#[derive(Clone, Debug)]
+/// coordinate on each axis is zero. `PartialEq`/`Eq` support the
+/// cross-variant differential oracle (`stitch-testkit`), which asserts
+/// bit-identical phase-2 output across all implementation variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AbsolutePositions {
     /// Grid dimensions.
     pub shape: GridShape,
@@ -495,6 +497,70 @@ mod tests {
         let sol = GlobalOptimizer::default().solve(&r);
         let dev = sol.max_deviation(&truth);
         assert_eq!(dev, (0, 0), "outlier must be filtered and bridged");
+    }
+
+    #[test]
+    fn both_methods_repair_injected_outlier_identically() {
+        // Seeded grids with one injected outlier edge: the outlier's
+        // telltale low correlation puts it below `min_correlation`, so
+        // *both* strategies must discard it and land exactly on the
+        // ground-truth positions — and therefore on each other.
+        for seed in [3u64, 17, 92] {
+            let shape = GridShape::new(4, 4);
+            let truth = grid_truth(shape, 50, 40, (seed % 4) as i64 + 1);
+            let mut r = exact_result(shape, &truth);
+            // pick the corrupted edge from the seed (any interior west edge)
+            let row = 1 + (seed as usize % (shape.rows - 1));
+            let col = 1 + (seed as usize / 3 % (shape.cols - 1));
+            let i = shape.index(TileId::new(row, col));
+            r.west[i] = Some(Displacement::new(-120, 75, 0.08));
+            let mut solutions = Vec::new();
+            for method in [Method::SpanningTree, Method::LeastSquares] {
+                let opt = GlobalOptimizer {
+                    method,
+                    ..GlobalOptimizer::default()
+                };
+                let sol = opt.solve(&r);
+                assert_eq!(
+                    sol.max_deviation(&truth),
+                    (0, 0),
+                    "seed={seed} {method:?} must repair the outlier to truth"
+                );
+                solutions.push(sol);
+            }
+            assert_eq!(
+                solutions[0], solutions[1],
+                "seed={seed}: the two methods must agree bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn cg_converges_within_documented_tolerance() {
+        // A consistent 8×8 system: conjugate gradient at the documented
+        // default tolerance (1e-9) and iteration cap must reproduce the
+        // integer truth exactly after rounding — which requires the CG
+        // residual to actually reach well below half a pixel. A sharper
+        // check: tightening the tolerance further must not change the
+        // rounded solution, i.e. the default already converged.
+        let shape = GridShape::new(8, 8);
+        let truth = grid_truth(shape, 55, 43, 3);
+        let r = exact_result(shape, &truth);
+        let defaults = GlobalOptimizer::default();
+        assert_eq!(defaults.tolerance, 1e-9, "documented default tolerance");
+        assert!(defaults.max_iterations >= shape.tiles());
+        let sol = defaults.solve(&r);
+        assert_eq!(sol.max_deviation(&truth), (0, 0));
+        let tighter = GlobalOptimizer {
+            tolerance: 1e-12,
+            max_iterations: 10_000,
+            ..GlobalOptimizer::default()
+        };
+        assert_eq!(
+            sol,
+            tighter.solve(&r),
+            "default tolerance must already be converged"
+        );
     }
 
     #[test]

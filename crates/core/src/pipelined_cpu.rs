@@ -60,6 +60,13 @@ pub struct PipelinedCpuConfig {
     pub plan_mode: PlanMode,
     /// Transform path: complex (paper) or real-to-complex (§VI-A).
     pub transform: TransformKind,
+    /// Capacity floor for the inter-stage queues. `None` keeps the
+    /// defaults (id queue 64; work/bookkeeping queues floored at 8 on top
+    /// of their pool-derived sizes). The pool-derived terms are never
+    /// reduced — they are what makes the work/bookkeeping cycle
+    /// deadlock-free — so any floor ≥ 1 is safe. The stress harness sweeps
+    /// this to exercise close/pop orderings under tight buffering.
+    pub queue_floor: Option<usize>,
 }
 
 impl PipelinedCpuConfig {
@@ -72,6 +79,7 @@ impl PipelinedCpuConfig {
             traversal: Traversal::ChainedDiagonal,
             plan_mode: PlanMode::Estimate,
             transform: TransformKind::Complex,
+            queue_floor: None,
         }
     }
 }
@@ -178,9 +186,10 @@ impl Stitcher for PipelinedCpuStitcher {
         let total_pairs = shape.pairs();
         let total_tiles = shape.tiles();
 
-        let q_ids: Queue<TileId> = Queue::new(64);
-        let q_work: Queue<Work> = Queue::new((2 * pool_size).max(8));
-        let q_bk: Queue<BkMsg> = Queue::new(pool_size.max(8));
+        let floor = self.config.queue_floor;
+        let q_ids: Queue<TileId> = Queue::new(floor.unwrap_or(64).max(1));
+        let q_work: Queue<Work> = Queue::new((2 * pool_size).max(floor.unwrap_or(8).max(1)));
+        let q_bk: Queue<BkMsg> = Queue::new(pool_size.max(floor.unwrap_or(8).max(1)));
         // q_work and q_bk each have producers in two different stages.
         // Writer-counted queues close for good when the count hits zero,
         // so hold guard writers until every stage has registered its own —
@@ -557,6 +566,21 @@ mod tests {
         };
         let r = PipelinedCpuStitcher::with_config(cfg).compute_displacements(&src);
         assert!(r.is_complete());
+    }
+
+    #[test]
+    fn tight_queue_floor_still_matches_sequential() {
+        let src = source(3, 4, 51);
+        let seq = SimpleCpuStitcher::default().compute_displacements(&src);
+        for floor in [1, 2, 5] {
+            let cfg = PipelinedCpuConfig {
+                queue_floor: Some(floor),
+                ..PipelinedCpuConfig::with_threads(3)
+            };
+            let r = PipelinedCpuStitcher::with_config(cfg).compute_displacements(&src);
+            assert_eq!(r.west, seq.west, "floor={floor}");
+            assert_eq!(r.north, seq.north, "floor={floor}");
+        }
     }
 
     #[test]

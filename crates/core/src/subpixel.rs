@@ -29,11 +29,17 @@ pub struct SubpixelDisplacement {
 
 /// Vertex offset of the parabola through `(-1, l)`, `(0, c)`, `(1, r)`,
 /// clamped to `(-0.5, 0.5)`. Returns 0 when the points do not bend
-/// downward (degenerate/flat neighborhood).
+/// downward (degenerate/flat neighborhood) or when any sample is
+/// non-finite.
 fn parabola_vertex(l: f64, c: f64, r: f64) -> f64 {
     let denom = l - 2.0 * c + r;
-    if denom >= 0.0 {
-        // not a maximum — flat or bending up; stay on the integer peak
+    // The finiteness guard runs first: a NaN correlation sample —
+    // zero-variance overlap, saturated sensor — makes `denom` NaN, and a
+    // plateau (l == c == r) makes it 0; neither may leak a NaN vertex
+    // through `0.5·(l−r)/denom`.
+    if !denom.is_finite() || !(l - r).is_finite() || denom >= 0.0 {
+        // not a maximum — flat, bending up, or unusable samples; stay on
+        // the integer peak
         return 0.0;
     }
     let v = 0.5 * (l - r) / denom;
@@ -92,6 +98,43 @@ mod tests {
         // flat / non-peak → 0
         assert_eq!(parabola_vertex(1.0, 1.0, 1.0), 0.0);
         assert_eq!(parabola_vertex(0.0, 0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn vertex_degenerate_neighborhoods_return_integer_peak() {
+        // exact plateau at every level, including zero: the fit must stay
+        // on the integer peak, never divide by the zero curvature
+        for v in [0.0, 0.25, 1.0, -3.5] {
+            let out = parabola_vertex(v, v, v);
+            assert_eq!(out, 0.0, "plateau at {v} must return 0, got {out}");
+        }
+        // NaN correlation samples (zero-variance overlap) must not
+        // propagate: the vertex stays finite and on the integer peak
+        for (l, c, r) in [
+            (f64::NAN, 1.0, 0.5),
+            (0.5, f64::NAN, 0.4),
+            (0.5, 1.0, f64::NAN),
+            (f64::NAN, f64::NAN, f64::NAN),
+        ] {
+            let out = parabola_vertex(l, c, r);
+            assert_eq!(out, 0.0, "({l},{c},{r}) must fall back to 0, got {out}");
+        }
+        // infinite samples are equally unusable
+        assert_eq!(parabola_vertex(f64::INFINITY, 1.0, 0.0), 0.0);
+        assert_eq!(parabola_vertex(f64::NEG_INFINITY, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn refine_on_flat_images_returns_integer_displacement() {
+        // constant images: every CCF sample has zero variance, so the
+        // correlation samples are all the degenerate 0.0 — refinement must
+        // return the integer displacement unchanged, with no NaN
+        let a = Image::from_fn(16, 16, |_, _| 500u16);
+        let b = a.clone();
+        let d = Displacement::new(3, 2, 0.0);
+        let s = refine_subpixel(&a, &b, d);
+        assert!(s.x.is_finite() && s.y.is_finite());
+        assert_eq!((s.x, s.y), (3.0, 2.0));
     }
 
     /// Renders two views of a smooth (cells-only) scene offset by a

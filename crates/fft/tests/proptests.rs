@@ -117,6 +117,104 @@ proptest! {
         prop_assert!(max_err(&data, &original) < 1e-6 * (w * h) as f64);
     }
 
+    /// Forward/inverse round trip through the *explicit* plan kinds at
+    /// representative mixed-radix (2^a·3^b·5^c) and prime sizes:
+    /// `inverse(forward(x)) == n·x` per the unscaled FFTW convention.
+    /// The planner-level round trip above can mask a broken plan kind by
+    /// routing around it; this pins each kernel directly.
+    #[test]
+    fn explicit_plan_round_trip_mixed_and_prime(size_idx in 0usize..10, seed in 0u64..500) {
+        const MIXED: [usize; 5] = [8, 12, 30, 60, 72];
+        const PRIME: [usize; 5] = [7, 17, 31, 61, 101];
+        let (n, prime) = if size_idx < 5 {
+            (MIXED[size_idx], false)
+        } else {
+            (PRIME[size_idx - 5], true)
+        };
+        let x: Vec<C64> = (0..n)
+            .map(|k| {
+                let v = (k as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed * 7919);
+                c64(((v >> 16) % 1000) as f64 / 10.0 - 50.0, ((v >> 40) % 1000) as f64 / 10.0 - 50.0)
+            })
+            .collect();
+        let mut spec = vec![C64::ZERO; n];
+        let mut back = vec![C64::ZERO; n];
+        if prime {
+            BluesteinPlan::new(n, Direction::Forward).process(&x, &mut spec);
+            BluesteinPlan::new(n, Direction::Inverse).process(&spec, &mut back);
+        } else {
+            MixedRadixPlan::new(n, Direction::Forward).process(&x, &mut spec);
+            MixedRadixPlan::new(n, Direction::Inverse).process(&spec, &mut back);
+        }
+        let scaled: Vec<C64> = back.iter().map(|z| z.scale(1.0 / n as f64)).collect();
+        prop_assert!(max_err(&scaled, &x) < 1e-7 * n as f64, "n={n} prime={prime}");
+    }
+
+    /// Parseval at prime sizes specifically — the Bluestein path embeds
+    /// the transform in a longer convolution, so its energy bookkeeping
+    /// deserves its own check (the fixed-size test above only covers the
+    /// mixed-radix kernel).
+    #[test]
+    fn parseval_prime_sizes(size_idx in 0usize..4, x in complex_vec(61)) {
+        const PRIMES: [usize; 4] = [13, 29, 47, 61];
+        let n = PRIMES[size_idx];
+        let x = &x[..n];
+        let spec = fft_forward(x);
+        let t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let f: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((t - f).abs() <= 1e-6 * t.max(1.0), "n={n}");
+    }
+
+    /// Real-FFT round trip at mixed-radix and prime sizes:
+    /// `RealFft::inverse(RealFft::forward(x)) == x` (the real path is
+    /// scaled, unlike the complex convention).
+    #[test]
+    fn real_fft_round_trip_mixed_and_prime(size_idx in 0usize..8, seed in 0u64..500) {
+        const SIZES: [usize; 8] = [8, 12, 48, 60, 7, 17, 41, 61];
+        let n = SIZES[size_idx];
+        let x: Vec<f64> = (0..n)
+            .map(|k| (((k as u64).wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(seed) >> 18) % 4000) as f64 / 100.0 - 20.0)
+            .collect();
+        let planner = Planner::default();
+        let r = RealFft::new(&planner, n);
+        let mut half = vec![C64::ZERO; r.spectrum_len()];
+        let mut back = vec![0.0f64; n];
+        r.forward(&x, &mut half);
+        r.inverse(&half, &mut back);
+        let err = x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-8 * n.max(4) as f64, "n={n} err={err}");
+    }
+
+    /// Differential: the half-spectrum real FFT (`real.rs`) against the
+    /// full complex kernels driven directly — `radix.rs` at mixed-radix
+    /// sizes and `bluestein.rs` at primes.
+    #[test]
+    fn real_fft_differential_against_explicit_kernels(size_idx in 0usize..8, seed in 0u64..500) {
+        const SIZES: [(usize, bool); 8] = [
+            (8, false), (24, false), (40, false), (64, false),
+            (11, true), (23, true), (43, true), (67, true),
+        ];
+        let (n, prime) = SIZES[size_idx];
+        let x: Vec<f64> = (0..n)
+            .map(|k| (((k as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed * 31) >> 22) % 2000) as f64 / 50.0 - 20.0)
+            .collect();
+        let planner = Planner::default();
+        let r = RealFft::new(&planner, n);
+        let mut half = vec![C64::ZERO; r.spectrum_len()];
+        r.forward(&x, &mut half);
+        let full_in: Vec<C64> = x.iter().map(|&v| c64(v, 0.0)).collect();
+        let mut full = vec![C64::ZERO; n];
+        if prime {
+            BluesteinPlan::new(n, Direction::Forward).process(&full_in, &mut full);
+        } else {
+            MixedRadixPlan::new(n, Direction::Forward).process(&full_in, &mut full);
+        }
+        prop_assert!(
+            max_err(&half, &full[..r.spectrum_len()]) < 1e-7 * n.max(4) as f64,
+            "n={n} prime={prime}"
+        );
+    }
+
     /// Hermitian symmetry of real-input spectra: X[n−j] == conj(X[j]).
     #[test]
     fn hermitian_symmetry(seed in 0u64..2000) {

@@ -313,6 +313,44 @@ impl Default for ScanConfig {
 }
 
 impl ScanConfig {
+    /// Convenience constructor for conformance sweeps: a grid with the
+    /// given geometry and seed, and the default mechanical imperfections
+    /// (jitter, backlash, noise, vignetting). Sweep code tunes individual
+    /// fields afterwards via struct update.
+    pub fn for_grid(
+        rows: usize,
+        cols: usize,
+        tile_width: usize,
+        tile_height: usize,
+        overlap: f64,
+        seed: u64,
+    ) -> ScanConfig {
+        ScanConfig {
+            grid_rows: rows,
+            grid_cols: cols,
+            tile_width,
+            tile_height,
+            overlap,
+            seed,
+            ..ScanConfig::default()
+        }
+    }
+
+    /// Compact one-line description of the scan geometry — the key test
+    /// harnesses use to identify a sweep case in failure reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{} grid, {}x{} tiles, overlap {:.0}%, noise {:.0}, seed {}",
+            self.grid_rows,
+            self.grid_cols,
+            self.tile_width,
+            self.tile_height,
+            self.overlap * 100.0,
+            self.noise_sigma,
+            self.seed
+        )
+    }
+
     /// Nominal stage step along x.
     pub fn step_x(&self) -> f64 {
         self.tile_width as f64 * (1.0 - self.overlap)
@@ -700,6 +738,20 @@ mod tests {
         let (x_even, _) = plate.true_position(0, 1);
         let (x_odd, _) = plate.true_position(1, 1);
         assert_eq!(x_odd - x_even, 4);
+    }
+
+    #[test]
+    fn for_grid_matches_default_imperfections() {
+        let cfg = ScanConfig::for_grid(3, 4, 61, 47, 0.25, 9);
+        assert_eq!((cfg.grid_rows, cfg.grid_cols), (3, 4));
+        assert_eq!((cfg.tile_width, cfg.tile_height), (61, 47));
+        assert_eq!(cfg.overlap, 0.25);
+        assert_eq!(cfg.seed, 9);
+        let d = ScanConfig::default();
+        assert_eq!(cfg.stage_jitter, d.stage_jitter);
+        assert_eq!(cfg.noise_sigma, d.noise_sigma);
+        let label = cfg.label();
+        assert!(label.contains("3x4") && label.contains("61x47"), "{label}");
     }
 
     #[test]

@@ -509,4 +509,65 @@ mod tests {
     fn zero_capacity_panics() {
         let _q: Queue<u8> = Queue::new(0);
     }
+
+    /// Seeded close/pop interleaving stress: a producer closes (by writer
+    /// drop) while consumers are blocked in `pop`. Every schedule must
+    /// deliver each item exactly once, wake every blocked consumer with a
+    /// clean `None`, and — protecting the accounting fix — charge no
+    /// consumer block time for waits that ended in the close rather than
+    /// an item.
+    #[test]
+    fn seeded_close_while_consumers_block_interleavings() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0u64..24 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let capacity = rng.gen_range(1usize..=4);
+            let consumers = rng.gen_range(2usize..=4);
+            let items = rng.gen_range(0usize..=12);
+            // per-push delays so the close lands at a different point of
+            // the consume schedule on every seed
+            let delays: Vec<u64> = (0..items).map(|_| rng.gen_range(0u64..3)).collect();
+            let q: Queue<usize> = Queue::new(capacity);
+            let handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let q = q.clone();
+                    thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(v) = q.pop() {
+                            got.push(v);
+                        }
+                        // post-close pops must stay None and charge nothing
+                        assert_eq!(q.pop(), None);
+                        got
+                    })
+                })
+                .collect();
+            // let some consumers reach the blocking wait before pushing
+            thread::sleep(Duration::from_millis(2));
+            let writer = q.writer();
+            for (i, &d) in delays.iter().enumerate() {
+                if d > 0 {
+                    thread::sleep(Duration::from_micros(d * 300));
+                }
+                assert!(writer.push(i));
+            }
+            drop(writer); // last writer gone → auto-close wakes blocked pops
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..items).collect::<Vec<_>>(), "seed={seed}");
+            let m = q.metrics();
+            assert_eq!(m.pushed, items as u64, "seed={seed}");
+            assert_eq!(m.popped, items as u64, "seed={seed}");
+            assert!(q.is_closed(), "seed={seed}");
+            if items == 0 {
+                // every consumer waited out the close with no item: none of
+                // that waiting is contention, so nothing may be charged
+                assert_eq!(m.consumer_block_nanos, 0, "seed={seed}");
+            }
+        }
+    }
 }

@@ -629,4 +629,31 @@ mod tests {
         assert_eq!(simple_cpu_ns(shape, &cost), 0);
         assert_eq!(pipelined_cpu_ns(shape, &cost, &m, 4), 0);
     }
+
+    /// Every scenario function is a pure function of its inputs: calling
+    /// it twice (and across grid shapes) must return the identical virtual
+    /// time. The conformance testkit's seeded stress runner leans on this
+    /// — a simulator with hidden state would make "same seed → same
+    /// report" unfalsifiable.
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cost = CostModel::paper_c2070();
+        let m = MachineSpec::paper_testbed();
+        for shape in [GridShape::new(3, 4), GridShape::new(7, 5), paper_shape()] {
+            let runs: Vec<[u64; 6]> = (0..2)
+                .map(|_| {
+                    [
+                        simple_cpu_ns(shape, &cost),
+                        mt_cpu_ns(shape, &cost, &m, 8),
+                        pipelined_cpu_ns(shape, &cost, &m, 8),
+                        simple_gpu_ns(shape, &cost),
+                        pipelined_gpu_ns(shape, &cost, &m, 2, 4),
+                        fiji_ns(shape, &cost, &m, 6, FIJI_OVERHEAD_FACTOR),
+                    ]
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "shape {shape:?}");
+            assert!(runs[0].iter().all(|&ns| ns > 0), "shape {shape:?}");
+        }
+    }
 }

@@ -1,0 +1,224 @@
+//! Ground-truth sweep cases: textured scenes cut into tile grids with
+//! known positions, over a matrix of grid shapes, overlaps, noise levels
+//! and tile sizes.
+//!
+//! Tile sizes deliberately include *awkward* FFT lengths: primes such as
+//! 61×47 cannot be handled by the mixed-radix kernel and force the
+//! Bluestein/chirp-z path, which has its own numerics — a classic place
+//! for variants to silently diverge.
+
+use stitch_core::source::SyntheticSource;
+use stitch_image::{ScanConfig, SyntheticPlate};
+
+/// One conformance sweep case: a grid geometry plus imaging conditions.
+/// The rendered plate carries exact ground-truth positions, so phase-1
+/// output can be checked against truth as well as across variants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCase {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Tile width in pixels (prime values exercise the Bluestein path).
+    pub tile_width: usize,
+    /// Tile height in pixels.
+    pub tile_height: usize,
+    /// Nominal overlap fraction between adjacent tiles.
+    pub overlap: f64,
+    /// Sensor noise sigma (16-bit counts).
+    pub noise_sigma: f64,
+    /// Scene + stage seed.
+    pub seed: u64,
+}
+
+impl SweepCase {
+    /// The scan configuration for this case (standard mechanical
+    /// imperfections: ±2 px jitter, 1 px serpentine backlash, mild
+    /// vignetting).
+    pub fn scan_config(&self) -> ScanConfig {
+        ScanConfig {
+            noise_sigma: self.noise_sigma,
+            stage_jitter: 2.0,
+            backlash_x: 1.0,
+            vignette: 0.03,
+            ..ScanConfig::for_grid(
+                self.rows,
+                self.cols,
+                self.tile_width,
+                self.tile_height,
+                self.overlap,
+                self.seed,
+            )
+        }
+    }
+
+    /// Synthesizes the plate (deterministic for a given case).
+    pub fn plate(&self) -> SyntheticPlate {
+        SyntheticPlate::generate(self.scan_config())
+    }
+
+    /// The plate wrapped as a [`stitch_core::source::TileSource`].
+    pub fn source(&self) -> SyntheticSource {
+        SyntheticSource::new(self.plate())
+    }
+
+    /// Human-readable case identifier for failure reports.
+    pub fn label(&self) -> String {
+        let mut l = self.scan_config().label();
+        if self.has_prime_dim() {
+            l.push_str(" [prime tile dim → Bluestein]");
+        }
+        l
+    }
+
+    /// True when either tile dimension is prime (and > 3), i.e. the FFT
+    /// substrate must take the Bluestein path for that axis.
+    pub fn has_prime_dim(&self) -> bool {
+        is_prime(self.tile_width) || is_prime(self.tile_height)
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 4 {
+        return n >= 2;
+    }
+    if n.is_multiple_of(2) {
+        return false;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The standard sweep: ≥ 12 grid/overlap/noise/tile-size combinations,
+/// including prime tile dimensions. Kept small enough to run in debug
+/// builds as part of tier-1.
+pub fn standard_sweep() -> Vec<SweepCase> {
+    let case = |rows, cols, tw, th, overlap, noise, seed| SweepCase {
+        rows,
+        cols,
+        tile_width: tw,
+        tile_height: th,
+        overlap,
+        noise_sigma: noise,
+        seed,
+    };
+    vec![
+        // grid-shape axis
+        case(2, 2, 64, 48, 0.25, 40.0, 301),
+        case(2, 3, 64, 48, 0.25, 40.0, 302),
+        case(3, 3, 64, 48, 0.25, 40.0, 303),
+        case(3, 4, 64, 48, 0.25, 40.0, 304),
+        // overlap axis
+        case(2, 3, 64, 48, 0.15, 40.0, 305),
+        case(2, 3, 64, 48, 0.35, 40.0, 306),
+        // noise axis
+        case(2, 3, 64, 48, 0.25, 0.0, 307),
+        case(2, 3, 64, 48, 0.25, 90.0, 308),
+        // tile-size axis, including primes (Bluestein path)
+        case(2, 3, 61, 47, 0.25, 40.0, 309),
+        case(2, 3, 53, 41, 0.30, 30.0, 310),
+        case(2, 3, 48, 64, 0.25, 40.0, 311),
+        case(3, 3, 40, 40, 0.30, 30.0, 312),
+    ]
+}
+
+/// Extra cases enabled by `STITCH_TESTKIT_EXHAUSTIVE=1`: bigger grids,
+/// another prime geometry, extreme noise and thin overlap.
+pub fn exhaustive_sweep() -> Vec<SweepCase> {
+    let case = |rows, cols, tw, th, overlap, noise, seed| SweepCase {
+        rows,
+        cols,
+        tile_width: tw,
+        tile_height: th,
+        overlap,
+        noise_sigma: noise,
+        seed,
+    };
+    let mut cases = standard_sweep();
+    cases.extend([
+        case(4, 4, 64, 48, 0.25, 40.0, 401),
+        case(3, 5, 64, 48, 0.20, 40.0, 402),
+        case(2, 3, 67, 53, 0.30, 40.0, 403),
+        case(2, 3, 64, 48, 0.25, 120.0, 404),
+        case(2, 4, 64, 48, 0.12, 20.0, 405),
+        case(4, 2, 59, 48, 0.28, 35.0, 406),
+    ]);
+    cases
+}
+
+/// The sweep the conformance suite runs: [`standard_sweep`] by default,
+/// [`exhaustive_sweep`] when the environment variable
+/// `STITCH_TESTKIT_EXHAUSTIVE` is set to a non-empty, non-`0` value.
+pub fn sweep() -> Vec<SweepCase> {
+    match std::env::var("STITCH_TESTKIT_EXHAUSTIVE") {
+        Ok(v) if !v.is_empty() && v != "0" => exhaustive_sweep(),
+        _ => standard_sweep(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_core::source::TileSource;
+
+    #[test]
+    fn standard_sweep_meets_coverage_floor() {
+        let cases = standard_sweep();
+        assert!(cases.len() >= 12, "sweep must have ≥ 12 cases");
+        assert!(
+            cases.iter().filter(|c| c.has_prime_dim()).count() >= 2,
+            "sweep must include prime tile dimensions"
+        );
+        // the axes really vary
+        let overlaps: std::collections::BTreeSet<u64> =
+            cases.iter().map(|c| (c.overlap * 100.0) as u64).collect();
+        let noises: std::collections::BTreeSet<u64> =
+            cases.iter().map(|c| c.noise_sigma as u64).collect();
+        let dims: std::collections::BTreeSet<(usize, usize)> = cases
+            .iter()
+            .map(|c| (c.tile_width, c.tile_height))
+            .collect();
+        assert!(overlaps.len() >= 4, "overlap axis: {overlaps:?}");
+        assert!(noises.len() >= 4, "noise axis: {noises:?}");
+        assert!(dims.len() >= 4, "tile-size axis: {dims:?}");
+    }
+
+    #[test]
+    fn exhaustive_extends_standard() {
+        let std_cases = standard_sweep();
+        let all = exhaustive_sweep();
+        assert!(all.len() > std_cases.len());
+        assert_eq!(&all[..std_cases.len()], &std_cases[..]);
+    }
+
+    #[test]
+    fn prime_detection() {
+        assert!(is_prime(61) && is_prime(47) && is_prime(2));
+        assert!(!is_prime(64) && !is_prime(48) && !is_prime(1) && !is_prime(49));
+    }
+
+    #[test]
+    fn cases_are_deterministic_sources() {
+        let case = &standard_sweep()[8]; // prime-dim case
+        let a = case.source();
+        let b = case.source();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.tile_dims(), (case.tile_width, case.tile_height));
+        let id = stitch_core::types::TileId::new(1, 2);
+        assert_eq!(a.load(id).unwrap(), b.load(id).unwrap());
+        // ground truth is retained and plausible for the geometry
+        let plate = case.plate();
+        let (dx, _) = plate.true_west_displacement(0, 1);
+        let nominal = case.scan_config().step_x();
+        assert!(
+            (dx as f64 - nominal).abs() <= 6.0,
+            "dx={dx} nominal={nominal}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # stitch-testkit — conformance and stress harness for the stitching system
+//!
+//! The paper's core claim is that all implementation variants compute the
+//! *same* stitching result and differ only in schedule. This crate turns
+//! that claim into machine-checked oracles:
+//!
+//! * [`cases`] — a ground-truth grid generator over
+//!   `stitch_image::synth`: textured scenes cut into `r×c` tile grids
+//!   with known absolute positions, swept over overlap %, noise level,
+//!   and tile sizes including awkward FFT lengths (primes → Bluestein);
+//! * [`oracle`] — a cross-variant differential oracle that runs all six
+//!   variants (Simple-CPU, MT-CPU, Pipelined-CPU, Simple-GPU,
+//!   Pipelined-GPU, Fiji-style) on the same `TileSource` and asserts
+//!   bit-identical phase-1 displacements, phase-2 positions, and composed
+//!   mosaics, producing a structured diff report on mismatch;
+//! * [`metamorphic`] — metamorphic properties of PCIAM/subpixel:
+//!   translation consistency, flip symmetry, intensity-scale invariance
+//!   of the peak location;
+//! * [`stress`] — a seeded stress runner that drives the pipelined
+//!   variants under randomized-but-seeded queue capacities, worker
+//!   counts, transfer-model latencies, and fault specs; the same seed
+//!   always yields the same mosaic and health report.
+//!
+//! The top-level `tests/conformance.rs` suite drives all four; setting
+//! `STITCH_TESTKIT_EXHAUSTIVE=1` extends the sweep (see
+//! [`cases::sweep`]).
+
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod metamorphic;
+pub mod oracle;
+pub mod stress;
+
+pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
+pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
+pub use stress::{run_stress, StressConfig, StressOutcome};

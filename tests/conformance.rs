@@ -1,0 +1,81 @@
+//! Conformance suite: the cross-variant differential oracle over the
+//! full sweep, plus stress-runner reproducibility.
+//!
+//! `STITCH_TESTKIT_EXHAUSTIVE=1` widens the sweep (bigger grids, more
+//! prime geometries, harsher noise); the default sweep is sized for
+//! tier-1 CI. On failure the oracle prints a structured report naming
+//! the variant, tile pair / tile / pixel, and both values — see
+//! EXPERIMENTS.md § "Conformance & stress testing" for how to read it.
+
+use stitch_testkit::{run_case, run_stress, sweep};
+
+#[test]
+fn all_variants_bit_identical_across_sweep() {
+    let cases = sweep();
+    assert!(cases.len() >= 12, "sweep shrank below the acceptance floor");
+    assert!(
+        cases.iter().any(|c| c.has_prime_dim()),
+        "sweep lost its prime-tile (Bluestein) coverage"
+    );
+    let mut failures = Vec::new();
+    for case in &cases {
+        let report = run_case(case);
+        assert_eq!(report.variants.len(), 6, "{}", report.label);
+        // Cross-variant agreement is the hard invariant. Truth recovery
+        // is asserted separately below on well-conditioned cases.
+        if !report.is_clean() {
+            failures.push(report);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "variant divergence in {} of {} cases:\n{}",
+        failures.len(),
+        cases.len(),
+        failures
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn well_conditioned_cases_also_match_ground_truth() {
+    // Generous overlap, moderate noise: phase 1 should nail every pair
+    // and phase 2 must land every tile exactly. (Thin-overlap and
+    // high-noise sweep cases may legitimately miss a featureless pair —
+    // identically in all variants — so truth is only asserted here.)
+    for case in sweep()
+        .into_iter()
+        .filter(|c| c.overlap >= 0.25 && c.noise_sigma <= 40.0)
+    {
+        let report = run_case(&case);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            report.truth_errors <= 2,
+            "phase-1 truth errors ({}) out of line: {report}",
+            report.truth_errors
+        );
+        assert_eq!(
+            report.position_deviation,
+            (0, 0),
+            "phase 2 must recover exact positions: {report}"
+        );
+    }
+}
+
+#[test]
+fn stress_runner_is_reproducible() {
+    for seed in [1u64, 2026] {
+        let a = run_stress(seed);
+        let b = run_stress(seed);
+        assert_eq!(a, b, "seed {seed}: same seed must give identical outcome");
+        assert!(
+            a.cpu_gpu_agree(),
+            "seed {seed}: pipelined CPU and GPU diverged under stress\ncpu west {:?}\ngpu west {:?}",
+            a.cpu_west,
+            a.gpu_west
+        );
+    }
+}
