@@ -80,7 +80,7 @@ fn main() {
             let img =
                 scene.render_region((i * 40) as f64, (i * 24) as f64, w, h, 0.0, 30.0, i as u64);
             let fft = ctx.forward_fft(&img);
-            handles.push(store2.insert(fft));
+            handles.push(store2.insert(fft.into_vec()));
         }
         // revisit all transforms once (what the pair computations would do)
         for &hd in &handles {

@@ -1,0 +1,466 @@
+//! perfgate — the repo's performance regression gate.
+//!
+//! Runs the standard synthetic workloads through all six stitcher
+//! variants with warmup + repeats and reports, per variant:
+//!
+//! * wall-clock **median** and **MAD** (median absolute deviation —
+//!   robust against scheduler noise on shared runners),
+//! * the run's `OpCounters` snapshot (FFTs, multiplies, CCF groups),
+//! * **heap allocation counts**, measured by installing
+//!   [`stitch_testkit::alloc::CountingAllocator`] as the global
+//!   allocator of this binary.
+//!
+//! Results are written as machine-readable JSON (`BENCH_PR<k>.json` at
+//! the repo root is the committed convention). Because absolute times
+//! are machine-dependent, every report embeds a `calibration_ns`
+//! measurement of a fixed single-thread stitch; the `--check` gate
+//! compares *calibration-normalized* medians so a slower CI runner does
+//! not read as a regression.
+//!
+//! ```text
+//! perfgate [--quick] [--out PATH] [--before PATH] [--check BASELINE]
+//! ```
+//!
+//! * `--quick` — measure only the quick preset (CI smoke).
+//! * `--out PATH` — write the JSON report to PATH.
+//! * `--before P` — embed the `"after"` section of a previous report P
+//!   as this report's `"before"` (before/after in one committed file).
+//! * `--check P` — after measuring, compare against the committed
+//!   baseline P: exit non-zero if any variant's normalized median
+//!   regressed by more than [`TOLERANCE`]×, or if P fails schema
+//!   validation.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stitch_bench::{fmt_ns, scaled_scan, synthetic_source};
+use stitch_core::prelude::*;
+use stitch_core::OpCounts;
+use stitch_gpu::{Device, DeviceConfig};
+use stitch_testkit::alloc::CountingAllocator;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Schema marker; bump when the JSON layout changes incompatibly.
+const SCHEMA: &str = "stitch-perfgate-v1";
+
+/// `--check` fails when `median/calibration` exceeds the baseline's by
+/// this factor. Deliberately loose: the gate exists to catch accidental
+/// O(n) slips and allocation storms, not 10 % jitter.
+const TOLERANCE: f64 = 2.0;
+
+/// Worker-thread count for the threaded variants.
+const THREADS: usize = 4;
+
+struct Preset {
+    name: &'static str,
+    rows: usize,
+    cols: usize,
+    tile_w: usize,
+    tile_h: usize,
+    warmup: usize,
+    repeats: usize,
+}
+
+const QUICK: Preset = Preset {
+    name: "quick",
+    rows: 6,
+    cols: 8,
+    tile_w: 64,
+    tile_h: 48,
+    warmup: 1,
+    repeats: 3,
+};
+
+/// The standard workload: table2's scaled 42×59-shaped grid.
+const STANDARD: Preset = Preset {
+    name: "standard",
+    rows: 14,
+    cols: 20,
+    tile_w: 96,
+    tile_h: 72,
+    warmup: 1,
+    repeats: 5,
+};
+
+struct VariantStats {
+    name: String,
+    median_ns: u64,
+    mad_ns: u64,
+    min_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    ops: OpCounts,
+    pair_errors: usize,
+}
+
+struct PresetReport {
+    preset: &'static Preset,
+    variants: Vec<VariantStats>,
+}
+
+fn variant_builders() -> Vec<Box<dyn Fn() -> Box<dyn Stitcher>>> {
+    let gpu = || Device::new(0, DeviceConfig::small(128 << 20));
+    vec![
+        Box::new(|| Box::new(SimpleCpuStitcher::default()) as Box<dyn Stitcher>),
+        Box::new(|| Box::new(MtCpuStitcher::new(THREADS)) as Box<dyn Stitcher>),
+        Box::new(|| Box::new(PipelinedCpuStitcher::new(THREADS)) as Box<dyn Stitcher>),
+        Box::new(move || Box::new(SimpleGpuStitcher::new(gpu())) as Box<dyn Stitcher>),
+        Box::new(move || Box::new(PipelinedGpuStitcher::single(gpu())) as Box<dyn Stitcher>),
+        Box::new(|| Box::new(FijiStyleStitcher::new(THREADS)) as Box<dyn Stitcher>),
+    ]
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2
+    }
+}
+
+fn mad(xs: &[u64], med: u64) -> u64 {
+    let mut devs: Vec<u64> = xs.iter().map(|&x| x.abs_diff(med)).collect();
+    median(&mut devs)
+}
+
+fn run_preset(preset: &'static Preset) -> PresetReport {
+    eprintln!(
+        "[perfgate] preset {}: {}x{} grid of {}x{} tiles, {} warmup + {} repeats",
+        preset.name,
+        preset.rows,
+        preset.cols,
+        preset.tile_w,
+        preset.tile_h,
+        preset.warmup,
+        preset.repeats
+    );
+    let source = synthetic_source(scaled_scan(
+        preset.rows,
+        preset.cols,
+        preset.tile_w,
+        preset.tile_h,
+    ));
+    let (tw, tn) = truth_vectors(source.plate());
+
+    let mut variants = Vec::new();
+    for build in variant_builders() {
+        let name = build().name();
+        let mut walls = Vec::with_capacity(preset.repeats);
+        let mut allocs = Vec::with_capacity(preset.repeats);
+        let mut bytes = Vec::with_capacity(preset.repeats);
+        let mut last: Option<StitchResult> = None;
+        for rep in 0..preset.warmup + preset.repeats {
+            let stitcher = build();
+            let a0 = CountingAllocator::allocations();
+            let b0 = CountingAllocator::bytes_allocated();
+            let t0 = Instant::now();
+            let res = stitcher.compute_displacements(&source);
+            let wall = t0.elapsed().as_nanos() as u64;
+            if rep >= preset.warmup {
+                walls.push(wall);
+                allocs.push(CountingAllocator::allocations() - a0);
+                bytes.push(CountingAllocator::bytes_allocated() - b0);
+                last = Some(res);
+            }
+        }
+        let res = last.expect("at least one measured repeat");
+        let med = median(&mut walls);
+        let stats = VariantStats {
+            name: name.clone(),
+            median_ns: med,
+            mad_ns: mad(&walls, med),
+            min_ns: walls.iter().copied().min().unwrap_or(0),
+            allocs: median(&mut allocs),
+            alloc_bytes: median(&mut bytes),
+            ops: res.ops,
+            pair_errors: res.count_errors(&tw, &tn, 0),
+        };
+        eprintln!(
+            "[perfgate]   {:<22} median {:>8}  mad {:>7}  allocs {:>9}",
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mad_ns),
+            stats.allocs
+        );
+        variants.push(stats);
+    }
+    PresetReport { preset, variants }
+}
+
+/// A fixed single-thread stitch whose median time normalizes this
+/// machine's speed: `--check` compares `median/calibration` ratios, so
+/// a uniformly slower runner does not trip the gate.
+fn calibrate() -> u64 {
+    let source = synthetic_source(scaled_scan(3, 3, 64, 48));
+    let mut walls = Vec::with_capacity(5);
+    for _ in 0..6 {
+        let t0 = Instant::now();
+        let res = SimpleCpuStitcher::default().compute_displacements(&source);
+        assert!(res.ops.forward_ffts > 0, "calibration stitch did no work");
+        walls.push(t0.elapsed().as_nanos() as u64);
+    }
+    walls.remove(0); // warmup
+    median(&mut walls)
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission (hand-rolled; the offline build has no serde)
+// ---------------------------------------------------------------------------
+
+fn emit_report(
+    pr: &str,
+    calibration_ns: u64,
+    presets: &[PresetReport],
+    before_section: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"pr\": \"{pr}\",");
+    let _ = writeln!(out, "  \"tolerance\": {TOLERANCE},");
+    if let Some(before) = before_section {
+        let _ = writeln!(out, "  \"before\": {},", reindent(before, "  "));
+    }
+    let _ = writeln!(
+        out,
+        "  \"after\": {}",
+        after_section(calibration_ns, presets)
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn after_section(calibration_ns: u64, presets: &[PresetReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "    \"calibration_ns\": {calibration_ns},");
+    s.push_str("    \"presets\": {\n");
+    for (pi, p) in presets.iter().enumerate() {
+        let w = p.preset;
+        let _ = writeln!(s, "      \"{}\": {{", w.name);
+        let _ = writeln!(
+            s,
+            "        \"workload\": {{\"rows\": {}, \"cols\": {}, \"tile_width\": {}, \"tile_height\": {}, \"warmup\": {}, \"repeats\": {}}},",
+            w.rows, w.cols, w.tile_w, w.tile_h, w.warmup, w.repeats
+        );
+        s.push_str("        \"variants\": {\n");
+        for (vi, v) in p.variants.iter().enumerate() {
+            let _ = writeln!(s, "          \"{}\": {{", v.name);
+            let _ = writeln!(s, "            \"median_ns\": {},", v.median_ns);
+            let _ = writeln!(s, "            \"mad_ns\": {},", v.mad_ns);
+            let _ = writeln!(s, "            \"min_ns\": {},", v.min_ns);
+            let _ = writeln!(s, "            \"allocs\": {},", v.allocs);
+            let _ = writeln!(s, "            \"alloc_bytes\": {},", v.alloc_bytes);
+            let _ = writeln!(s, "            \"reads\": {},", v.ops.reads);
+            let _ = writeln!(s, "            \"forward_ffts\": {},", v.ops.forward_ffts);
+            let _ = writeln!(s, "            \"inverse_ffts\": {},", v.ops.inverse_ffts);
+            let _ = writeln!(
+                s,
+                "            \"elementwise_mults\": {},",
+                v.ops.elementwise_mults
+            );
+            let _ = writeln!(s, "            \"ccf_groups\": {},", v.ops.ccf_groups);
+            let _ = writeln!(s, "            \"pair_errors\": {}", v.pair_errors);
+            let comma = if vi + 1 < p.variants.len() { "," } else { "" };
+            let _ = writeln!(s, "          }}{comma}");
+        }
+        s.push_str("        }\n");
+        let comma = if pi + 1 < presets.len() { "," } else { "" };
+        let _ = writeln!(s, "      }}{comma}");
+    }
+    s.push_str("    }\n  }");
+    s
+}
+
+/// Re-indents an extracted JSON object so it nests prettily at `pad`.
+fn reindent(obj: &str, pad: &str) -> String {
+    let mut out = String::with_capacity(obj.len());
+    for (i, line) in obj.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(pad);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON extraction (string-scanning; enough for our own schema)
+// ---------------------------------------------------------------------------
+
+/// Returns the `{...}` object slice that follows `"key":`, honoring
+/// nesting and strings. Finds the *first* occurrence of the key.
+fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(&needle) {
+        let rest = &json[from + pos + needle.len()..];
+        let rest_trim = rest.trim_start();
+        if let Some(after_colon) = rest_trim.strip_prefix(':') {
+            let body = after_colon.trim_start();
+            if body.starts_with('{') {
+                let start = json.len() - body.len();
+                let mut depth = 0usize;
+                let mut in_str = false;
+                let mut escape = false;
+                for (i, c) in json[start..].char_indices() {
+                    if escape {
+                        escape = false;
+                        continue;
+                    }
+                    match c {
+                        '\\' if in_str => escape = true,
+                        '"' => in_str = !in_str,
+                        '{' if !in_str => depth += 1,
+                        '}' if !in_str => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(&json[start..start + i + 1]);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return None; // unbalanced
+            }
+        }
+        from += pos + needle.len();
+    }
+    None
+}
+
+/// Reads the first `"key": <integer>` in `json`.
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let pos = json.find(&needle)?;
+    let rest = json[pos + needle.len()..].trim_start().strip_prefix(':')?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// The --check gate
+// ---------------------------------------------------------------------------
+
+fn check_against(
+    baseline: &str,
+    calibration_ns: u64,
+    presets: &[PresetReport],
+) -> Result<(), String> {
+    if !baseline.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("baseline missing schema marker {SCHEMA:?}"));
+    }
+    let after = extract_object(baseline, "after").ok_or("baseline has no \"after\" section")?;
+    let base_cal = extract_u64(after, "calibration_ns")
+        .filter(|&c| c > 0)
+        .ok_or("baseline has no positive calibration_ns")?;
+    let base_presets = extract_object(after, "presets").ok_or("baseline has no presets")?;
+
+    let mut failures = Vec::new();
+    for p in presets {
+        let bp = extract_object(base_presets, p.preset.name)
+            .ok_or_else(|| format!("baseline lacks preset {:?}", p.preset.name))?;
+        let bvars = extract_object(bp, "variants")
+            .ok_or_else(|| format!("baseline preset {:?} lacks variants", p.preset.name))?;
+        for v in &p.variants {
+            let bv = extract_object(bvars, &v.name)
+                .ok_or_else(|| format!("baseline lacks variant {:?}", v.name))?;
+            let base_med = extract_u64(bv, "median_ns")
+                .filter(|&m| m > 0)
+                .ok_or_else(|| format!("baseline variant {:?} has no positive median", v.name))?;
+            let base_norm = base_med as f64 / base_cal as f64;
+            let cur_norm = v.median_ns as f64 / calibration_ns as f64;
+            let ratio = cur_norm / base_norm;
+            eprintln!(
+                "[perfgate] check {}/{:<22} {:>8} vs baseline {:>8}  normalized x{:.2}",
+                p.preset.name,
+                v.name,
+                fmt_ns(v.median_ns),
+                fmt_ns(base_med),
+                ratio
+            );
+            if ratio > TOLERANCE {
+                failures.push(format!(
+                    "{}/{}: normalized median regressed x{:.2} (> x{TOLERANCE}): \
+                     {} now vs {} at baseline (calibration {} vs {})",
+                    p.preset.name,
+                    v.name,
+                    ratio,
+                    fmt_ns(v.median_ns),
+                    fmt_ns(base_med),
+                    fmt_ns(calibration_ns),
+                    fmt_ns(base_cal),
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick_only = args.iter().any(|a| a == "--quick");
+    let out_path = arg_value(&args, "--out");
+    let before_path = arg_value(&args, "--before");
+    let check_path = arg_value(&args, "--check");
+
+    let before_section = before_path.map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        extract_object(&text, "after")
+            .unwrap_or_else(|| panic!("{p} has no \"after\" section to use as before"))
+            .to_string()
+    });
+
+    eprintln!("[perfgate] calibrating (single-thread 3x3 stitch)...");
+    let calibration_ns = calibrate();
+    eprintln!("[perfgate] calibration: {}", fmt_ns(calibration_ns));
+
+    let mut presets = vec![run_preset(&QUICK)];
+    if !quick_only {
+        presets.push(run_preset(&STANDARD));
+    }
+
+    let report = emit_report("PR4", calibration_ns, &presets, before_section.as_deref());
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, &report).unwrap_or_else(|e| panic!("write {p}: {e}"));
+            eprintln!("[perfgate] wrote {p}");
+        }
+        None => println!("{report}"),
+    }
+
+    if let Some(p) = check_path {
+        let baseline = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        match check_against(&baseline, calibration_ns, &presets) {
+            Ok(()) => eprintln!("[perfgate] check vs {p}: OK (tolerance x{TOLERANCE})"),
+            Err(msg) => {
+                eprintln!("[perfgate] check vs {p} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

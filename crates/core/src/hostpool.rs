@@ -1,0 +1,209 @@
+//! Host-side spectrum buffer pool (paper §IV-A memory discipline).
+//!
+//! The GPU side already recycles device buffers through
+//! `stitch_gpu::memory`'s pool; this module is the host mirror. Tile
+//! spectra are the dominant host allocation of the CPU stitchers — one
+//! `Vec<C64>` of `width × height` (or the reduced/padded equivalent) per
+//! forward transform — and each is dropped as soon as the pair refcount
+//! hits zero. [`SpectrumPool`] keeps those buffers on a free list
+//! instead: a [`PooledSpectrum`] hands its storage back to the pool on
+//! drop, so at steady state the hot path performs **zero** heap
+//! allocations (asserted by the counting allocator in the conformance
+//! suite).
+//!
+//! The pool is *elastic*: `acquire` never blocks, it allocates when the
+//! free list is empty. Backpressure is not this layer's job — the
+//! pipelined stitchers already bound in-flight tiles with a semaphore,
+//! so the pool's population converges to that bound after warmup.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use stitch_fft::C64;
+
+struct PoolShared {
+    buf_len: usize,
+    free: Mutex<Vec<Vec<C64>>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// A shareable pool of equal-length `Vec<C64>` spectrum buffers.
+/// Cloning is cheap and yields a handle to the same pool; the stitcher
+/// variants create one pool per run and hand clones to every worker.
+#[derive(Clone)]
+pub struct SpectrumPool {
+    shared: Arc<PoolShared>,
+}
+
+impl SpectrumPool {
+    /// Creates an empty pool of length-`buf_len` buffers.
+    pub fn new(buf_len: usize) -> SpectrumPool {
+        SpectrumPool {
+            shared: Arc::new(PoolShared {
+                buf_len,
+                free: Mutex::new(Vec::new()),
+                created: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The fixed element count of every buffer in this pool.
+    pub fn buf_len(&self) -> usize {
+        self.shared.buf_len
+    }
+
+    /// Takes a buffer from the free list, or allocates one when the list
+    /// is empty (the pool never blocks). The contents are **unspecified**
+    /// — producers must overwrite every element, which every
+    /// `forward_fft` path does.
+    pub fn acquire(&self) -> PooledSpectrum {
+        let recycled = self.shared.free.lock().unwrap().pop();
+        let data = match recycled {
+            Some(buf) => {
+                debug_assert_eq!(buf.len(), self.shared.buf_len);
+                self.shared.reused.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.shared.created.fetch_add(1, Ordering::Relaxed);
+                vec![C64::ZERO; self.shared.buf_len]
+            }
+        };
+        PooledSpectrum {
+            data,
+            pool: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pre-populates the free list so even the first `n` acquisitions
+    /// come from the pool.
+    pub fn preallocate(&self, n: usize) {
+        let mut free = self.shared.free.lock().unwrap();
+        while free.len() < n {
+            self.shared.created.fetch_add(1, Ordering::Relaxed);
+            free.push(vec![C64::ZERO; self.shared.buf_len]);
+        }
+    }
+
+    /// How many buffers the pool has allocated over its lifetime — the
+    /// pool's high-water population, and the number the paper's
+    /// allocate-once discipline says should stop growing after warmup.
+    pub fn created(&self) -> u64 {
+        self.shared.created.load(Ordering::Relaxed)
+    }
+
+    /// How many acquisitions were served from the free list.
+    pub fn reused(&self) -> u64 {
+        self.shared.reused.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently sitting on the free list.
+    pub fn idle(&self) -> usize {
+        self.shared.free.lock().unwrap().len()
+    }
+}
+
+/// A spectrum buffer on loan from a [`SpectrumPool`]. Dereferences to
+/// `[C64]`; the storage returns to the pool's free list on drop.
+pub struct PooledSpectrum {
+    /// Invariant: `data.len() == pool.buf_len` except transiently inside
+    /// `drop`/`into_vec`, where it is taken and replaced by an empty vec.
+    data: Vec<C64>,
+    pool: Arc<PoolShared>,
+}
+
+impl PooledSpectrum {
+    /// Detaches the buffer from the pool, e.g. to hand it to an owner
+    /// with its own storage discipline (`SpillStore::insert`). The pool
+    /// simply never sees this buffer again.
+    pub fn into_vec(mut self) -> Vec<C64> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl Deref for PooledSpectrum {
+    type Target = [C64];
+    fn deref(&self) -> &[C64] {
+        &self.data
+    }
+}
+
+impl DerefMut for PooledSpectrum {
+    fn deref_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+}
+
+impl Drop for PooledSpectrum {
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        // Empty after into_vec — nothing to return.
+        if data.len() == self.pool.buf_len {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_fft::c64;
+
+    #[test]
+    fn drop_returns_storage_to_pool() {
+        let pool = SpectrumPool::new(16);
+        let ptr = {
+            let mut b = pool.acquire();
+            b[0] = c64(1.0, 0.0);
+            b.as_ptr() as usize
+        };
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.acquire();
+        assert_eq!(b2.as_ptr() as usize, ptr, "storage must be recycled");
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn concurrent_acquires_get_distinct_buffers() {
+        let pool = SpectrumPool::new(8);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!(pool.created(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn into_vec_detaches_from_pool() {
+        let pool = SpectrumPool::new(4);
+        let v = pool.acquire().into_vec();
+        assert_eq!(v.len(), 4);
+        assert_eq!(pool.idle(), 0, "detached buffer must not return");
+    }
+
+    #[test]
+    fn preallocate_populates_free_list() {
+        let pool = SpectrumPool::new(4);
+        pool.preallocate(3);
+        assert_eq!(pool.idle(), 3);
+        assert_eq!(pool.created(), 3);
+        let _a = pool.acquire();
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones() {
+        let pool = SpectrumPool::new(4);
+        let clone = pool.clone();
+        drop(clone.acquire());
+        assert_eq!(pool.idle(), 1);
+    }
+}

@@ -42,6 +42,7 @@ pub mod compose;
 pub mod fault;
 pub mod global_opt;
 pub mod grid;
+pub mod hostpool;
 pub mod memlimit;
 pub mod mt_cpu;
 pub mod opcount;
@@ -66,6 +67,7 @@ pub use fault::{
 };
 pub use global_opt::{AbsolutePositions, GlobalOptimizer, Method};
 pub use grid::{GridShape, Traversal};
+pub use hostpool::{PooledSpectrum, SpectrumPool};
 pub use mt_cpu::MtCpuStitcher;
 pub use opcount::{OpCounters, OpCounts};
 pub use pciam::PciamContext;

@@ -19,6 +19,7 @@ use stitch_image::Image;
 use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
+use crate::hostpool::{PooledSpectrum, SpectrumPool};
 use crate::opcount::OpCounters;
 use crate::pciam::PciamContext;
 use crate::source::TileSource;
@@ -26,7 +27,8 @@ use crate::stitcher::{StitchResult, Stitcher};
 use crate::types::{Displacement, TileId};
 
 /// A cached tile: pixels for the CCF stage, transform for the NCC stage.
-type CachedTile = (Arc<Image<u16>>, Arc<Vec<stitch_fft::C64>>);
+/// Dropping the spectrum returns its storage to the shared pool.
+type CachedTile = (Arc<Image<u16>>, Arc<PooledSpectrum>);
 
 /// SPMD multi-threaded stitcher.
 pub struct MtCpuStitcher {
@@ -96,6 +98,9 @@ impl Stitcher for MtCpuStitcher {
         let west: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
         let north: Mutex<Vec<Option<Displacement>>> = Mutex::new(vec![None; shape.tiles()]);
         let bands = row_bands(shape.rows, self.threads);
+        // one pool shared by all band workers: transforms released by one
+        // band are recycled by whichever band acquires next
+        let pool = SpectrumPool::new(w * h);
 
         std::thread::scope(|scope| {
             for (band, &(r0, r1)) in bands.iter().enumerate() {
@@ -105,9 +110,10 @@ impl Stitcher for MtCpuStitcher {
                 let north = &north;
                 let tracker = &tracker;
                 let trace = self.trace.clone();
+                let pool = pool.clone();
                 scope.spawn(move || {
                     let track = format!("band{band}");
-                    let mut ctx = PciamContext::new(planner, w, h, counters.clone());
+                    let mut ctx = PciamContext::with_pool(planner, w, h, counters.clone(), pool);
                     // rolling cache: the row above the current one
                     let mut prev_row: Vec<Option<CachedTile>> = vec![None; shape.cols];
                     // ghost row: recompute the transforms of row r0−1 so the

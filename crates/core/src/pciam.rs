@@ -26,6 +26,7 @@ use std::sync::Arc;
 use stitch_fft::{c64, Direction, Fft2d, Planner, C64};
 use stitch_image::Image;
 
+use crate::hostpool::{PooledSpectrum, SpectrumPool};
 use crate::opcount::OpCounters;
 use crate::types::{Displacement, PairKind};
 
@@ -50,9 +51,21 @@ const PEAK_SUPPRESSION_RADIUS: usize = 2;
 /// off the truth is a poor predictor of its refined score.
 const REFINE_CANDIDATES: usize = usize::MAX;
 
+/// Reusable per-pair working vectors (peak gather/output buffers, peak
+/// indices, scored CCF candidates). Capacities converge after the first
+/// pair, making the steady-state pair computation allocation-free.
+#[derive(Default)]
+pub(crate) struct PairScratch {
+    pub(crate) cand: Vec<(usize, f64)>,
+    pub(crate) peaks: Vec<(usize, f64)>,
+    pub(crate) indices: Vec<usize>,
+    pub(crate) scored: Vec<(f64, Displacement)>,
+}
+
 /// Per-thread context for PCIAM computations over one tile geometry:
-/// holds the planned transforms and scratch memory so the hot path
-/// allocates only the output vectors it must hand over.
+/// holds the planned transforms, scratch memory, and a [`SpectrumPool`]
+/// that recycles tile-spectrum buffers, so the steady-state hot path
+/// performs no heap allocation at all.
 pub struct PciamContext {
     width: usize,
     height: usize,
@@ -60,13 +73,30 @@ pub struct PciamContext {
     inverse: Fft2d,
     scratch: Vec<C64>,
     work: Vec<C64>,
+    pool: SpectrumPool,
+    pair: PairScratch,
     counters: Arc<OpCounters>,
 }
 
 impl PciamContext {
-    /// Builds a context for `width × height` tiles. Plans come from (and
-    /// are cached by) `planner`.
+    /// Builds a context for `width × height` tiles with a private
+    /// spectrum pool. Plans come from (and are cached by) `planner`.
     pub fn new(planner: &Planner, width: usize, height: usize, counters: Arc<OpCounters>) -> Self {
+        let pool = SpectrumPool::new(width * height);
+        Self::with_pool(planner, width, height, counters, pool)
+    }
+
+    /// Like [`PciamContext::new`] but recycling spectra through a shared
+    /// pool — the multi-threaded stitchers hand one pool to every worker
+    /// so buffers released by one thread serve another's next tile.
+    pub fn with_pool(
+        planner: &Planner,
+        width: usize,
+        height: usize,
+        counters: Arc<OpCounters>,
+        pool: SpectrumPool,
+    ) -> Self {
+        assert_eq!(pool.buf_len(), width * height, "pool sized for other tiles");
         PciamContext {
             width,
             height,
@@ -74,6 +104,8 @@ impl PciamContext {
             inverse: Fft2d::new(planner, width, height, Direction::Inverse),
             scratch: vec![C64::ZERO; width * height],
             work: vec![C64::ZERO; width * height],
+            pool,
+            pair: PairScratch::default(),
             counters,
         }
     }
@@ -93,10 +125,15 @@ impl PciamContext {
         &self.counters
     }
 
-    /// Step 2 of Fig 2: the forward 2-D FFT of a tile.
-    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+    /// Step 2 of Fig 2: the forward 2-D FFT of a tile. The returned
+    /// spectrum's storage comes from (and returns to) the context's
+    /// [`SpectrumPool`] — drop it and the next tile reuses the memory.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> PooledSpectrum {
         assert_eq!(img.dims(), (self.width, self.height), "tile dims mismatch");
-        let mut data: Vec<C64> = img.pixels().iter().map(|&p| c64(p as f64, 0.0)).collect();
+        let mut data = self.pool.acquire();
+        for (d, &p) in data.iter_mut().zip(img.pixels()) {
+            *d = c64(p as f64, 0.0);
+        }
         self.forward.process(&mut data, &mut self.scratch);
         self.counters.count_forward_fft();
         data
@@ -112,6 +149,13 @@ impl PciamContext {
     /// Like [`PciamContext::correlation_peak`] but returns up to `k`
     /// distinct peaks (suppressing near-duplicates), strongest first.
     pub fn correlation_peaks(&mut self, fa: &[C64], fb: &[C64], k: usize) -> Vec<(usize, f64)> {
+        self.correlation_peaks_into(fa, fb, k);
+        self.pair.peaks.clone()
+    }
+
+    /// Allocation-free core of [`PciamContext::correlation_peaks`]: the
+    /// result lands in `self.pair.peaks`.
+    fn correlation_peaks_into(&mut self, fa: &[C64], fb: &[C64], k: usize) {
         let n = self.width * self.height;
         assert_eq!(fa.len(), n);
         assert_eq!(fb.len(), n);
@@ -123,10 +167,18 @@ impl PciamContext {
         // Inverse transform (unscaled — scaling does not move the argmax).
         self.inverse.process(&mut self.work, &mut self.scratch);
         self.counters.count_inverse_fft();
-        let peaks = top_peaks(&self.work, self.width, k);
+        top_peaks_into(
+            &self.work,
+            self.width,
+            k,
+            &mut self.pair.cand,
+            &mut self.pair.peaks,
+        );
         self.counters.count_max_reduction();
         let scale = 1.0 / n as f64;
-        peaks.into_iter().map(|(i, m)| (i, m * scale)).collect()
+        for p in &mut self.pair.peaks {
+            p.1 *= scale;
+        }
     }
 
     /// Full pair computation from precomputed transforms plus the pixel
@@ -157,9 +209,20 @@ impl PciamContext {
         img_b: &Image<u16>,
         kind: Option<PairKind>,
     ) -> Displacement {
-        let peaks = self.correlation_peaks(fa, fb, DEFAULT_PEAK_COUNT);
-        let indices: Vec<usize> = peaks.iter().map(|&(i, _)| i).collect();
-        let d = resolve_peaks_oriented(&indices, self.width, self.height, img_a, img_b, kind);
+        self.correlation_peaks_into(fa, fb, DEFAULT_PEAK_COUNT);
+        self.pair.indices.clear();
+        self.pair
+            .indices
+            .extend(self.pair.peaks.iter().map(|&(i, _)| i));
+        let d = resolve_peaks_oriented_into(
+            &self.pair.indices,
+            self.width,
+            self.height,
+            img_a,
+            img_b,
+            kind,
+            &mut self.pair.scored,
+        );
         self.counters.count_ccf_group();
         d
     }
@@ -225,8 +288,23 @@ pub fn resolve_peaks_oriented(
     img_b: &Image<u16>,
     kind: Option<PairKind>,
 ) -> Displacement {
+    let mut scored = Vec::with_capacity(peaks.len() * 4);
+    resolve_peaks_oriented_into(peaks, width, height, img_a, img_b, kind, &mut scored)
+}
+
+/// Allocation-free core of [`resolve_peaks_oriented`]: candidate scoring
+/// reuses the caller's `scored` buffer (cleared on entry).
+pub(crate) fn resolve_peaks_oriented_into(
+    peaks: &[usize],
+    width: usize,
+    height: usize,
+    img_a: &Image<u16>,
+    img_b: &Image<u16>,
+    kind: Option<PairKind>,
+    scored: &mut Vec<(f64, Displacement)>,
+) -> Displacement {
     let (center_a, center_b) = (img_a.mean(), img_b.mean());
-    let mut scored: Vec<(f64, Displacement)> = Vec::with_capacity(peaks.len() * 4);
+    scored.clear();
     for &peak in peaks {
         for (dx, dy) in peak_candidates(peak, width, height) {
             if !orientation_ok(kind, dx, dy) {
@@ -246,8 +324,11 @@ pub fn resolve_peaks_oriented(
     }
     // Refine the best-scoring candidates, not just the winner: a peak a
     // pixel or two off the truth can score below a spurious-but-smooth
-    // candidate, yet its refined form wins decisively.
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // candidate, yet its refined form wins decisively. Unstable sort:
+    // no allocation, and equal-score ties cannot change the outcome —
+    // every survivor is refined and the winner needs a strictly higher
+    // refined score.
+    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     scored.dedup_by_key(|(_, d)| (d.x, d.y));
     let mut best = Displacement::new(0, 0, f64::NEG_INFINITY);
     let mut best_score = f64::NEG_INFINITY;
@@ -374,10 +455,27 @@ pub fn overlap_pixels(width: usize, height: usize, dx: i64, dy: i64) -> i64 {
 /// merging maxima within a small Chebyshev radius. Single pass with a
 /// small insertion buffer — O(n·k) worst case, and k is single digits.
 pub fn top_peaks(data: &[C64], width: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut cand = Vec::new();
+    let mut out = Vec::new();
+    top_peaks_into(data, width, k, &mut cand, &mut out);
+    out
+}
+
+/// Allocation-free core of [`top_peaks`]: `cand` is the gather buffer,
+/// `out` receives the result (both cleared on entry; capacities persist
+/// across calls, so reuse makes the steady state allocation-free).
+pub(crate) fn top_peaks_into(
+    data: &[C64],
+    width: usize,
+    k: usize,
+    cand: &mut Vec<(usize, f64)>,
+    out: &mut Vec<(usize, f64)>,
+) {
     // Gather generously (peaks can shadow each other inside the
     // suppression radius), then suppress.
     let gather = (4 * k).max(16);
-    let mut cand: Vec<(usize, f64)> = Vec::with_capacity(gather + 1);
+    cand.clear();
+    cand.reserve(gather + 1);
     let mut floor = f64::MIN;
     for (i, v) in data.iter().enumerate() {
         let m = v.norm_sqr();
@@ -392,10 +490,11 @@ pub fn top_peaks(data: &[C64], width: usize, k: usize) -> Vec<(usize, f64)> {
         }
     }
     let r = PEAK_SUPPRESSION_RADIUS as i64;
-    let mut out: Vec<(usize, f64)> = Vec::with_capacity(k);
-    'cands: for (i, m) in cand {
+    out.clear();
+    out.reserve(k.min(gather));
+    'cands: for &(i, m) in cand.iter() {
         let (x, y) = ((i % width) as i64, (i / width) as i64);
-        for &(j, _) in &out {
+        for &(j, _) in out.iter() {
             let (px, py) = ((j % width) as i64, (j / width) as i64);
             if (x - px).abs() <= r && (y - py).abs() <= r {
                 continue 'cands;
@@ -406,10 +505,9 @@ pub fn top_peaks(data: &[C64], width: usize, k: usize) -> Vec<(usize, f64)> {
             break;
         }
     }
-    for p in &mut out {
+    for p in out.iter_mut() {
         p.1 = p.1.sqrt();
     }
-    out
 }
 
 /// The cross-correlation factor of Fig 3 evaluated at a *signed*

@@ -19,8 +19,9 @@ use std::sync::Arc;
 use stitch_fft::{c64, factor::next_smooth, Direction, Fft2d, Planner, C64};
 use stitch_image::Image;
 
+use crate::hostpool::{PooledSpectrum, SpectrumPool};
 use crate::opcount::OpCounters;
-use crate::pciam::{resolve_peaks_oriented, top_peaks, DEFAULT_PEAK_COUNT};
+use crate::pciam::{resolve_peaks_oriented_into, top_peaks_into, PairScratch, DEFAULT_PEAK_COUNT};
 use crate::types::{Displacement, PairKind};
 
 /// Per-thread context computing PCIAM on mean-padded 7-smooth tiles.
@@ -37,16 +38,32 @@ pub struct PaddedPciamContext {
     inverse: Fft2d,
     scratch: Vec<C64>,
     work: Vec<C64>,
+    pool: SpectrumPool,
+    pair: PairScratch,
     counters: Arc<OpCounters>,
 }
 
 impl PaddedPciamContext {
     /// Builds a context for `width × height` tiles, padding to the next
-    /// 7-smooth sizes.
+    /// 7-smooth sizes, with a private spectrum pool.
     pub fn new(planner: &Planner, width: usize, height: usize, counters: Arc<OpCounters>) -> Self {
-        let padded_w = next_smooth(width);
-        let padded_h = next_smooth(height);
+        let (pw, ph) = Self::padded_dims_for(width, height);
+        let pool = SpectrumPool::new(pw * ph);
+        Self::with_pool(planner, width, height, counters, pool)
+    }
+
+    /// Like [`PaddedPciamContext::new`] but recycling padded spectra
+    /// through a shared pool (sized `padded_w × padded_h`).
+    pub fn with_pool(
+        planner: &Planner,
+        width: usize,
+        height: usize,
+        counters: Arc<OpCounters>,
+        pool: SpectrumPool,
+    ) -> Self {
+        let (padded_w, padded_h) = Self::padded_dims_for(width, height);
         let n = padded_w * padded_h;
+        assert_eq!(pool.buf_len(), n, "pool sized for other tiles");
         PaddedPciamContext {
             width,
             height,
@@ -56,8 +73,15 @@ impl PaddedPciamContext {
             inverse: Fft2d::new(planner, padded_w, padded_h, Direction::Inverse),
             scratch: vec![C64::ZERO; n],
             work: vec![C64::ZERO; n],
+            pool,
+            pair: PairScratch::default(),
             counters,
         }
+    }
+
+    /// The 7-smooth dims a `width × height` tile pads to.
+    pub fn padded_dims_for(width: usize, height: usize) -> (usize, usize) {
+        (next_smooth(width), next_smooth(height))
     }
 
     /// Original tile width.
@@ -76,11 +100,13 @@ impl PaddedPciamContext {
     }
 
     /// Forward transform of a mean-padded tile. The spectrum has
-    /// `padded_w × padded_h` bins.
-    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+    /// `padded_w × padded_h` bins; its storage recycles through the
+    /// context's pool.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> PooledSpectrum {
         assert_eq!(img.dims(), (self.width, self.height), "tile dims mismatch");
         let mean = img.mean();
-        let mut data = vec![c64(mean, 0.0); self.padded_w * self.padded_h];
+        let mut data = self.pool.acquire();
+        data.fill(c64(mean, 0.0));
         for y in 0..self.height {
             let row = img.row(y);
             let dst = &mut data[y * self.padded_w..y * self.padded_w + self.width];
@@ -95,6 +121,13 @@ impl PaddedPciamContext {
 
     /// NCC + inverse FFT + top-`k` peaks on the padded torus.
     pub fn correlation_peaks(&mut self, fa: &[C64], fb: &[C64], k: usize) -> Vec<(usize, f64)> {
+        self.correlation_peaks_into(fa, fb, k);
+        self.pair.peaks.clone()
+    }
+
+    /// Allocation-free core of [`PaddedPciamContext::correlation_peaks`]:
+    /// the result lands in `self.pair.peaks`.
+    fn correlation_peaks_into(&mut self, fa: &[C64], fb: &[C64], k: usize) {
         let n = self.padded_w * self.padded_h;
         assert_eq!(fa.len(), n);
         assert_eq!(fb.len(), n);
@@ -102,10 +135,18 @@ impl PaddedPciamContext {
         self.counters.count_elementwise();
         self.inverse.process(&mut self.work, &mut self.scratch);
         self.counters.count_inverse_fft();
-        let peaks = top_peaks(&self.work, self.padded_w, k);
+        top_peaks_into(
+            &self.work,
+            self.padded_w,
+            k,
+            &mut self.pair.cand,
+            &mut self.pair.peaks,
+        );
         self.counters.count_max_reduction();
         let scale = 1.0 / n as f64;
-        peaks.into_iter().map(|(i, m)| (i, m * scale)).collect()
+        for p in &mut self.pair.peaks {
+            p.1 *= scale;
+        }
     }
 
     /// Full pair computation: peaks from the padded torus, CCF against the
@@ -118,11 +159,22 @@ impl PaddedPciamContext {
         img_b: &Image<u16>,
         kind: Option<PairKind>,
     ) -> Displacement {
-        let peaks = self.correlation_peaks(fa, fb, DEFAULT_PEAK_COUNT);
-        let indices: Vec<usize> = peaks.iter().map(|&(i, _)| i).collect();
+        self.correlation_peaks_into(fa, fb, DEFAULT_PEAK_COUNT);
+        self.pair.indices.clear();
+        self.pair
+            .indices
+            .extend(self.pair.peaks.iter().map(|&(i, _)| i));
         // candidates use the *padded* periodicity; the CCF and refinement
         // inside resolve see the original images (their own dims)
-        let d = resolve_peaks_oriented(&indices, self.padded_w, self.padded_h, img_a, img_b, kind);
+        let d = resolve_peaks_oriented_into(
+            &self.pair.indices,
+            self.padded_w,
+            self.padded_h,
+            img_a,
+            img_b,
+            kind,
+            &mut self.pair.scored,
+        );
         self.counters.count_ccf_group();
         d
     }

@@ -23,8 +23,9 @@ use std::sync::Arc;
 use stitch_fft::{Planner, RealFft2d, C64};
 use stitch_image::Image;
 
+use crate::hostpool::{PooledSpectrum, SpectrumPool};
 use crate::opcount::OpCounters;
-use crate::pciam::{resolve_peaks_oriented, PciamContext, DEFAULT_PEAK_COUNT};
+use crate::pciam::{resolve_peaks_oriented_into, PairScratch, PciamContext, DEFAULT_PEAK_COUNT};
 use crate::pciam_padded::PaddedPciamContext;
 use crate::types::{Displacement, PairKind};
 
@@ -41,20 +42,42 @@ pub struct RealPciamContext {
     work: Vec<C64>,
     /// Real correlation surface, `width × height`.
     surface: Vec<f64>,
+    /// Reusable real-input staging for the r2c transform.
+    real_in: Vec<f64>,
+    pool: SpectrumPool,
+    pair: PairScratch,
     counters: Arc<OpCounters>,
 }
 
 impl RealPciamContext {
-    /// Builds a context for `width × height` tiles.
+    /// Builds a context for `width × height` tiles with a private
+    /// spectrum pool.
     pub fn new(planner: &Planner, width: usize, height: usize, counters: Arc<OpCounters>) -> Self {
+        let pool = SpectrumPool::new(stitch_fft::real::spectrum_len(width) * height);
+        Self::with_pool(planner, width, height, counters, pool)
+    }
+
+    /// Like [`RealPciamContext::new`] but recycling half-spectra through
+    /// a shared pool.
+    pub fn with_pool(
+        planner: &Planner,
+        width: usize,
+        height: usize,
+        counters: Arc<OpCounters>,
+        pool: SpectrumPool,
+    ) -> Self {
         let fft = RealFft2d::new(planner, width, height);
         let spectrum_len = fft.spectrum_len();
+        assert_eq!(pool.buf_len(), spectrum_len, "pool sized for other tiles");
         RealPciamContext {
             width,
             height,
             fft,
             work: vec![C64::ZERO; spectrum_len],
             surface: vec![0.0; width * height],
+            real_in: vec![0.0; width * height],
+            pool,
+            pair: PairScratch::default(),
             counters,
         }
     }
@@ -75,12 +98,15 @@ impl RealPciamContext {
     }
 
     /// The r2c forward transform of a tile — `(w/2+1)·h` complex bins,
-    /// half the footprint of the complex path's `w·h`.
-    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+    /// half the footprint of the complex path's `w·h`. The spectrum's
+    /// storage is recycled through the context's pool.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> PooledSpectrum {
         assert_eq!(img.dims(), (self.width, self.height), "tile dims mismatch");
-        let input: Vec<f64> = img.pixels().iter().map(|&p| p as f64).collect();
-        let mut spec = vec![C64::ZERO; self.spectrum_len()];
-        self.fft.forward(&input, &mut spec);
+        for (r, &p) in self.real_in.iter_mut().zip(img.pixels()) {
+            *r = p as f64;
+        }
+        let mut spec = self.pool.acquire();
+        self.fft.forward(&self.real_in, &mut spec);
         self.counters.count_forward_fft();
         spec
     }
@@ -89,6 +115,13 @@ impl RealPciamContext {
     /// the real correlation surface. Peak indices address the full
     /// `width × height` surface, exactly like the complex path.
     pub fn correlation_peaks(&mut self, fa: &[C64], fb: &[C64], k: usize) -> Vec<(usize, f64)> {
+        self.correlation_peaks_into(fa, fb, k);
+        self.pair.peaks.clone()
+    }
+
+    /// Allocation-free core of [`RealPciamContext::correlation_peaks`]:
+    /// the result lands in `self.pair.peaks`.
+    fn correlation_peaks_into(&mut self, fa: &[C64], fb: &[C64], k: usize) {
         let sl = self.spectrum_len();
         assert_eq!(fa.len(), sl);
         assert_eq!(fb.len(), sl);
@@ -96,9 +129,14 @@ impl RealPciamContext {
         self.counters.count_elementwise();
         self.fft.inverse(&self.work, &mut self.surface);
         self.counters.count_inverse_fft();
-        let peaks = top_real_peaks(&self.surface, self.width, k);
+        top_real_peaks_into(
+            &self.surface,
+            self.width,
+            k,
+            &mut self.pair.cand,
+            &mut self.pair.peaks,
+        );
         self.counters.count_max_reduction();
-        peaks
     }
 
     /// Full pair computation with the scan-geometry constraint (see
@@ -111,19 +149,38 @@ impl RealPciamContext {
         img_b: &Image<u16>,
         kind: Option<PairKind>,
     ) -> Displacement {
-        let peaks = self.correlation_peaks(fa, fb, DEFAULT_PEAK_COUNT);
-        let indices: Vec<usize> = peaks.iter().map(|&(i, _)| i).collect();
-        let d = resolve_peaks_oriented(&indices, self.width, self.height, img_a, img_b, kind);
+        self.correlation_peaks_into(fa, fb, DEFAULT_PEAK_COUNT);
+        self.pair.indices.clear();
+        self.pair
+            .indices
+            .extend(self.pair.peaks.iter().map(|&(i, _)| i));
+        let d = resolve_peaks_oriented_into(
+            &self.pair.indices,
+            self.width,
+            self.height,
+            img_a,
+            img_b,
+            kind,
+            &mut self.pair.scored,
+        );
         self.counters.count_ccf_group();
         d
     }
 }
 
 /// Top-`k` |·| maxima of a real surface with Chebyshev suppression —
-/// the f64 twin of the complex path's peak extraction.
-fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
+/// the f64 twin of the complex path's peak extraction. `cand`/`out` are
+/// reusable buffers, cleared on entry.
+fn top_real_peaks_into(
+    data: &[f64],
+    width: usize,
+    k: usize,
+    cand: &mut Vec<(usize, f64)>,
+    out: &mut Vec<(usize, f64)>,
+) {
     let gather = (4 * k).max(16);
-    let mut cand: Vec<(usize, f64)> = Vec::with_capacity(gather + 1);
+    cand.clear();
+    cand.reserve(gather + 1);
     let mut floor = f64::MIN;
     for (i, &v) in data.iter().enumerate() {
         let m = v.abs();
@@ -137,10 +194,11 @@ fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
             floor = cand.last().unwrap().1;
         }
     }
-    let mut out: Vec<(usize, f64)> = Vec::with_capacity(k);
-    'cands: for (i, m) in cand {
+    out.clear();
+    out.reserve(k.min(gather));
+    'cands: for &(i, m) in cand.iter() {
         let (x, y) = ((i % width) as i64, (i / width) as i64);
-        for &(j, _) in &out {
+        for &(j, _) in out.iter() {
             let (px, py) = ((j % width) as i64, (j / width) as i64);
             if (x - px).abs() <= PEAK_SUPPRESSION_RADIUS
                 && (y - py).abs() <= PEAK_SUPPRESSION_RADIUS
@@ -153,6 +211,13 @@ fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
             break;
         }
     }
+}
+
+#[cfg(test)]
+fn top_real_peaks(data: &[f64], width: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut cand = Vec::new();
+    let mut out = Vec::new();
+    top_real_peaks_into(data, width, k, &mut cand, &mut out);
     out
 }
 
@@ -181,7 +246,7 @@ pub enum Correlator {
 }
 
 impl Correlator {
-    /// Builds the requested path.
+    /// Builds the requested path with a private spectrum pool.
     pub fn new(
         kind: TransformKind,
         planner: &Planner,
@@ -189,21 +254,53 @@ impl Correlator {
         height: usize,
         counters: Arc<OpCounters>,
     ) -> Correlator {
+        let pool = Correlator::spectrum_pool(kind, width, height);
+        Correlator::with_pool(kind, planner, width, height, counters, pool)
+    }
+
+    /// Builds the requested path over a shared [`SpectrumPool`] (sized by
+    /// [`Correlator::spectrum_pool`] for the same kind and dims), so
+    /// multiple per-thread correlators recycle one set of buffers.
+    pub fn with_pool(
+        kind: TransformKind,
+        planner: &Planner,
+        width: usize,
+        height: usize,
+        counters: Arc<OpCounters>,
+        pool: SpectrumPool,
+    ) -> Correlator {
         match kind {
-            TransformKind::Complex => {
-                Correlator::Complex(PciamContext::new(planner, width, height, counters))
-            }
-            TransformKind::Real => {
-                Correlator::Real(RealPciamContext::new(planner, width, height, counters))
-            }
-            TransformKind::PaddedComplex => {
-                Correlator::Padded(PaddedPciamContext::new(planner, width, height, counters))
-            }
+            TransformKind::Complex => Correlator::Complex(PciamContext::with_pool(
+                planner, width, height, counters, pool,
+            )),
+            TransformKind::Real => Correlator::Real(RealPciamContext::with_pool(
+                planner, width, height, counters, pool,
+            )),
+            TransformKind::PaddedComplex => Correlator::Padded(PaddedPciamContext::with_pool(
+                planner, width, height, counters, pool,
+            )),
         }
     }
 
-    /// Forward transform of a tile (full or half spectrum by path).
-    pub fn forward_fft(&mut self, img: &Image<u16>) -> Vec<C64> {
+    /// A pool correctly sized for `kind`'s spectra over `width × height`
+    /// tiles: full `w·h` bins for the complex path, the reduced
+    /// `(w/2+1)·h` for the real path, the 7-smooth padded area for the
+    /// padded path.
+    pub fn spectrum_pool(kind: TransformKind, width: usize, height: usize) -> SpectrumPool {
+        let buf_len = match kind {
+            TransformKind::Complex => width * height,
+            TransformKind::Real => stitch_fft::real::spectrum_len(width) * height,
+            TransformKind::PaddedComplex => {
+                let (pw, ph) = PaddedPciamContext::padded_dims_for(width, height);
+                pw * ph
+            }
+        };
+        SpectrumPool::new(buf_len)
+    }
+
+    /// Forward transform of a tile (full or half spectrum by path). The
+    /// returned buffer's storage recycles through the correlator's pool.
+    pub fn forward_fft(&mut self, img: &Image<u16>) -> PooledSpectrum {
         match self {
             Correlator::Complex(c) => c.forward_fft(img),
             Correlator::Real(r) => r.forward_fft(img),

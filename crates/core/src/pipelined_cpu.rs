@@ -28,13 +28,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use stitch_fft::{PlanMode, Planner, C64};
+use stitch_fft::{PlanMode, Planner};
 use stitch_gpu::semaphore::{OwnedPermit, Semaphore};
 use stitch_image::Image;
 use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
+use crate::hostpool::PooledSpectrum;
 use crate::opcount::OpCounters;
 use crate::pciam_real::{Correlator, TransformKind};
 use crate::source::TileSource;
@@ -92,7 +93,8 @@ pub struct PipelinedCpuStitcher {
 
 struct TileData {
     img: Arc<Image<u16>>,
-    fft: Arc<Vec<C64>>,
+    /// Dropping the last clone returns the spectrum to the shared pool.
+    fft: Arc<PooledSpectrum>,
 }
 
 /// Work items for the fft/displacement stage.
@@ -183,6 +185,9 @@ impl Stitcher for PipelinedCpuStitcher {
             .unwrap_or(4 * shape.rows.min(shape.cols) + 8)
             .max(4);
         let pool = Arc::new(Semaphore::new(pool_size));
+        // spectra released by bookkeeping recycle through a pool shared by
+        // all fft/displacement workers
+        let spectra = Correlator::spectrum_pool(self.config.transform, w, h);
         let total_pairs = shape.pairs();
         let total_tiles = shape.tiles();
 
@@ -281,9 +286,17 @@ impl Stitcher for PipelinedCpuStitcher {
                 let north = Arc::clone(&north);
                 let transform = self.config.transform;
                 let trace = self.trace.clone();
+                let spectra = spectra.clone();
                 scope.spawn(move || {
                     let track = format!("fft.{t}");
-                    let mut ctx = Correlator::new(transform, &planner, w, h, Arc::clone(&counters));
+                    let mut ctx = Correlator::with_pool(
+                        transform,
+                        &planner,
+                        w,
+                        h,
+                        Arc::clone(&counters),
+                        spectra,
+                    );
                     loop {
                         let w0 = trace.now_ns();
                         let Some(work) = q_work.pop() else { break };

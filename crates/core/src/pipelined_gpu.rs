@@ -46,7 +46,7 @@ use stitch_trace::TraceHandle;
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::{GridShape, Traversal};
 use crate::opcount::OpCounters;
-use crate::pciam::{resolve_peaks_oriented, DEFAULT_PEAK_COUNT};
+use crate::pciam::{resolve_peaks_oriented_into, DEFAULT_PEAK_COUNT};
 use crate::source::TileSource;
 use crate::stitcher::{StitchResult, Stitcher};
 use crate::types::{PairKind, TileId};
@@ -818,18 +818,21 @@ impl Stitcher for PipelinedGpuStitcher {
                 let trace = self.trace.clone();
                 scope.spawn(move || {
                     let track = format!("ccf.{worker}");
+                    // per-worker CCF scratch, reused across pairs
+                    let mut scored: Vec<(f64, crate::types::Displacement)> = Vec::new();
                     loop {
                         let w0 = trace.now_ns();
                         let Some(task) = q56.pop() else { break };
                         trace.record(&track, "wait", "wait", w0, trace.now_ns());
                         let s0 = trace.now_ns();
-                        let d = resolve_peaks_oriented(
+                        let d = resolve_peaks_oriented_into(
                             &task.peaks,
                             w,
                             h,
                             &task.img_a,
                             &task.img_b,
                             Some(task.kind),
+                            &mut scored,
                         );
                         counters.count_ccf_group();
                         trace.record(

@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use stitch_fft::{PlanMode, Planner, C64};
+use stitch_fft::{PlanMode, Planner};
 use stitch_image::Image;
 use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
+use crate::hostpool::PooledSpectrum;
 use crate::opcount::OpCounters;
 use crate::pciam_real::{Correlator, TransformKind};
 use crate::source::TileSource;
@@ -39,9 +40,11 @@ impl Default for SimpleCpuStitcher {
 
 /// A tile resident in memory: its pixels (needed by the CCF stage) and
 /// its forward transform, plus the outstanding-pair reference count.
+/// When the count hits zero the `PooledSpectrum` drops and its storage
+/// returns to the correlator's pool for the next tile (§IV-A recycling).
 struct LiveTile {
     img: Arc<Image<u16>>,
-    fft: Arc<Vec<C64>>,
+    fft: Arc<PooledSpectrum>,
     remaining: usize,
 }
 

@@ -21,10 +21,10 @@ use stitch_trace::TraceHandle;
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
 use crate::opcount::OpCounters;
-use crate::pciam::{resolve_peaks_oriented, DEFAULT_PEAK_COUNT};
+use crate::pciam::{resolve_peaks_oriented_into, DEFAULT_PEAK_COUNT};
 use crate::source::TileSource;
 use crate::stitcher::{StitchResult, Stitcher};
-use crate::types::{PairKind, TileId};
+use crate::types::{Displacement, PairKind, TileId};
 
 /// The synchronous single-stream GPU stitcher.
 pub struct SimpleGpuStitcher {
@@ -105,6 +105,12 @@ impl Stitcher for SimpleGpuStitcher {
 
         let mut live: HashMap<TileId, DeviceTile> = HashMap::new();
         let mut peak_live = 0usize;
+        // host-side scratch reused across the whole run: the synchronous
+        // h2d below means the upload buffer is unique again right after
+        // each synchronize, so one allocation serves every tile
+        let mut upload: Arc<Vec<u16>> = Arc::new(vec![0u16; n]);
+        let mut indices: Vec<usize> = Vec::with_capacity(DEFAULT_PEAK_COUNT);
+        let mut scored: Vec<(f64, Displacement)> = Vec::new();
 
         let neighbors = |id: TileId| {
             [
@@ -145,7 +151,11 @@ impl Stitcher for SimpleGpuStitcher {
             };
             counters.count_read();
             let buf = pool.acquire();
-            stream.h2d(Arc::new(img.pixels().to_vec()), &staging);
+            match Arc::get_mut(&mut upload) {
+                Some(host) => host.copy_from_slice(img.pixels()),
+                None => upload = Arc::new(img.pixels().to_vec()),
+            }
+            stream.h2d(Arc::clone(&upload), &staging);
             stream.synchronize(); // synchronous cudaMemcpy
             stream.convert_u16_to_complex(&staging, &buf);
             stream.synchronize();
@@ -195,8 +205,17 @@ impl Stitcher for SimpleGpuStitcher {
                         .wait();
                     counters.count_max_reduction();
                     // CCF disambiguation on the CPU (host images)
-                    let indices: Vec<usize> = peaks.iter().map(|p| p.index).collect();
-                    let d = resolve_peaks_oriented(&indices, w, h, &ta.img, &tb.img, Some(kind));
+                    indices.clear();
+                    indices.extend(peaks.iter().map(|p| p.index));
+                    let d = resolve_peaks_oriented_into(
+                        &indices,
+                        w,
+                        h,
+                        &ta.img,
+                        &tb.img,
+                        Some(kind),
+                        &mut scored,
+                    );
                     counters.count_ccf_group();
                     let slot = shape.index(b);
                     match kind {

@@ -89,25 +89,28 @@ impl BluesteinPlan {
     }
 
     /// Executes the transform out-of-place; `input` is left untouched.
+    /// Allocation-free at steady state: the two length-`m` convolution
+    /// buffers come from the thread-local [`crate::scratch`] pool.
     pub fn process(&self, input: &[C64], output: &mut [C64]) {
         assert_eq!(input.len(), self.n);
         assert_eq!(output.len(), self.n);
         let m = self.m;
-        // a[k] = x[k]·chirp[k], zero-padded to m.
-        let mut a = vec![C64::ZERO; m];
-        for k in 0..self.n {
-            a[k] = input[k] * self.chirp[k];
-        }
-        let mut freq = vec![C64::ZERO; m];
-        self.fwd.process(&a, &mut freq);
-        for (f, k) in freq.iter_mut().zip(&self.kernel_freq) {
-            *f *= *k;
-        }
-        self.inv.process(&freq, &mut a);
-        let scale = 1.0 / m as f64;
-        for j in 0..self.n {
-            output[j] = a[j].scale(scale) * self.chirp[j];
-        }
+        crate::scratch::with_scratch(2 * m, |buf| {
+            let (a, freq) = buf.split_at_mut(m);
+            // a[k] = x[k]·chirp[k], zero-padded to m (scratch is zeroed).
+            for k in 0..self.n {
+                a[k] = input[k] * self.chirp[k];
+            }
+            self.fwd.process(a, freq);
+            for (f, k) in freq.iter_mut().zip(&self.kernel_freq) {
+                *f *= *k;
+            }
+            self.inv.process(freq, a);
+            let scale = 1.0 / m as f64;
+            for j in 0..self.n {
+                output[j] = a[j].scale(scale) * self.chirp[j];
+            }
+        })
     }
 }
 

@@ -38,6 +38,7 @@ pub mod fft2d;
 pub mod plan;
 pub mod radix;
 pub mod real;
+pub mod scratch;
 pub mod vectorops;
 
 pub use bluestein::BluesteinPlan;

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::complex::{c64, C64};
 use crate::plan::{FftPlan, Planner};
 use crate::radix::Direction;
+use crate::scratch;
 
 /// Number of independent spectrum bins for a length-`n` real signal.
 #[inline]
@@ -88,26 +89,32 @@ impl RealFft {
         assert_eq!(output.len(), self.spectrum_len());
         if let Some(fwd) = &self.half_fwd {
             let half = self.n / 2;
-            // Pack x[2k] + i·x[2k+1] and transform at half length.
-            let packed: Vec<C64> = (0..half)
-                .map(|k| c64(input[2 * k], input[2 * k + 1]))
-                .collect();
-            let mut z = vec![C64::ZERO; half];
-            fwd.process(&packed, &mut z);
-            // Recombine: X[j] = E_j + W^j·O_j with
-            // E_j = (Z_j + conj(Z_{half−j}))/2, O_j = −i(Z_j − conj(Z_{half−j}))/2.
-            for (j, out) in output.iter_mut().enumerate() {
-                let zj = z[j % half];
-                let zc = z[(half - j % half) % half].conj();
-                let e = (zj + zc).scale(0.5);
-                let o = (zj - zc).scale(0.5).mul_neg_i();
-                *out = e + self.twiddle[j] * o;
-            }
+            scratch::with_scratch(2 * half, |buf| {
+                let (packed, z) = buf.split_at_mut(half);
+                // Pack x[2k] + i·x[2k+1] and transform at half length.
+                for (k, p) in packed.iter_mut().enumerate() {
+                    *p = c64(input[2 * k], input[2 * k + 1]);
+                }
+                fwd.process(packed, z);
+                // Recombine: X[j] = E_j + W^j·O_j with
+                // E_j = (Z_j + conj(Z_{half−j}))/2, O_j = −i(Z_j − conj(Z_{half−j}))/2.
+                for (j, out) in output.iter_mut().enumerate() {
+                    let zj = z[j % half];
+                    let zc = z[(half - j % half) % half].conj();
+                    let e = (zj + zc).scale(0.5);
+                    let o = (zj - zc).scale(0.5).mul_neg_i();
+                    *out = e + self.twiddle[j] * o;
+                }
+            })
         } else {
-            let full: Vec<C64> = input.iter().map(|&r| c64(r, 0.0)).collect();
-            let mut spec = vec![C64::ZERO; self.n];
-            self.full_fwd.as_ref().unwrap().process(&full, &mut spec);
-            output.copy_from_slice(&spec[..self.spectrum_len()]);
+            scratch::with_scratch(2 * self.n, |buf| {
+                let (full, spec) = buf.split_at_mut(self.n);
+                for (f, &r) in full.iter_mut().zip(input) {
+                    *f = c64(r, 0.0);
+                }
+                self.full_fwd.as_ref().unwrap().process(full, spec);
+                output.copy_from_slice(&spec[..self.spectrum_len()]);
+            })
         }
     }
 
@@ -118,36 +125,38 @@ impl RealFft {
         assert_eq!(output.len(), self.n);
         if let Some(inv) = &self.half_inv {
             let half = self.n / 2;
-            // Rebuild Z_j from the half-spectrum, then one half-length
-            // inverse FFT recovers the packed signal.
-            let mut z = vec![C64::ZERO; half];
-            for (j, zj) in z.iter_mut().enumerate() {
-                let xj = input[j];
-                let xc = input[half - j].conj();
-                let e = (xj + xc).scale(0.5);
-                let o = (xj - xc).scale(0.5) * self.twiddle[j].conj();
-                *zj = e + o.mul_i();
-            }
-            let mut packed = vec![C64::ZERO; half];
-            inv.process(&z, &mut packed);
-            let s = 1.0 / half as f64;
-            for (k, p) in packed.iter().enumerate() {
-                output[2 * k] = p.re * s;
-                output[2 * k + 1] = p.im * s;
-            }
+            scratch::with_scratch(2 * half, |buf| {
+                let (z, packed) = buf.split_at_mut(half);
+                // Rebuild Z_j from the half-spectrum, then one half-length
+                // inverse FFT recovers the packed signal.
+                for (j, zj) in z.iter_mut().enumerate() {
+                    let xj = input[j];
+                    let xc = input[half - j].conj();
+                    let e = (xj + xc).scale(0.5);
+                    let o = (xj - xc).scale(0.5) * self.twiddle[j].conj();
+                    *zj = e + o.mul_i();
+                }
+                inv.process(z, packed);
+                let s = 1.0 / half as f64;
+                for (k, p) in packed.iter().enumerate() {
+                    output[2 * k] = p.re * s;
+                    output[2 * k + 1] = p.im * s;
+                }
+            })
         } else {
-            // Mirror the half-spectrum into a full Hermitian spectrum.
-            let mut spec = vec![C64::ZERO; self.n];
-            spec[..self.spectrum_len()].copy_from_slice(input);
-            for j in self.spectrum_len()..self.n {
-                spec[j] = input[self.n - j].conj();
-            }
-            let mut full = vec![C64::ZERO; self.n];
-            self.full_inv.as_ref().unwrap().process(&spec, &mut full);
-            let s = 1.0 / self.n as f64;
-            for (o, f) in output.iter_mut().zip(&full) {
-                *o = f.re * s;
-            }
+            scratch::with_scratch(2 * self.n, |buf| {
+                let (spec, full) = buf.split_at_mut(self.n);
+                // Mirror the half-spectrum into a full Hermitian spectrum.
+                spec[..self.spectrum_len()].copy_from_slice(input);
+                for j in self.spectrum_len()..self.n {
+                    spec[j] = input[self.n - j].conj();
+                }
+                self.full_inv.as_ref().unwrap().process(spec, full);
+                let s = 1.0 / self.n as f64;
+                for (o, f) in output.iter_mut().zip(full.iter()) {
+                    *o = f.re * s;
+                }
+            })
         }
     }
 }
@@ -206,17 +215,18 @@ impl RealFft2d {
             self.row.forward(row, &mut output[y * sw..(y + 1) * sw]);
         }
         // c2c along columns of the reduced spectrum.
-        let mut col_in = vec![C64::ZERO; self.height];
-        let mut col_out = vec![C64::ZERO; self.height];
-        for x in 0..sw {
-            for y in 0..self.height {
-                col_in[y] = output[y * sw + x];
+        scratch::with_scratch(2 * self.height, |buf| {
+            let (col_in, col_out) = buf.split_at_mut(self.height);
+            for x in 0..sw {
+                for y in 0..self.height {
+                    col_in[y] = output[y * sw + x];
+                }
+                self.col_fwd.process(col_in, col_out);
+                for y in 0..self.height {
+                    output[y * sw + x] = col_out[y];
+                }
             }
-            self.col_fwd.process(&col_in, &mut col_out);
-            for y in 0..self.height {
-                output[y * sw + x] = col_out[y];
-            }
-        }
+        })
     }
 
     /// Inverse: half-spectrum back to `w·h` reals. *Scaled* so the round
@@ -225,24 +235,26 @@ impl RealFft2d {
         assert_eq!(input.len(), self.spectrum_len());
         assert_eq!(output.len(), self.width * self.height);
         let sw = self.spectrum_width();
-        let mut spec = input.to_vec();
-        // inverse c2c along columns (unscaled), then scale by 1/h.
-        let mut col_in = vec![C64::ZERO; self.height];
-        let mut col_out = vec![C64::ZERO; self.height];
-        let s = 1.0 / self.height as f64;
-        for x in 0..sw {
-            for y in 0..self.height {
-                col_in[y] = spec[y * sw + x];
+        scratch::with_scratch(self.spectrum_len() + 2 * self.height, |buf| {
+            let (spec, cols) = buf.split_at_mut(self.spectrum_len());
+            let (col_in, col_out) = cols.split_at_mut(self.height);
+            spec.copy_from_slice(input);
+            // inverse c2c along columns (unscaled), then scale by 1/h.
+            let s = 1.0 / self.height as f64;
+            for x in 0..sw {
+                for y in 0..self.height {
+                    col_in[y] = spec[y * sw + x];
+                }
+                self.col_inv.process(col_in, col_out);
+                for y in 0..self.height {
+                    spec[y * sw + x] = col_out[y].scale(s);
+                }
             }
-            self.col_inv.process(&col_in, &mut col_out);
-            for y in 0..self.height {
-                spec[y * sw + x] = col_out[y].scale(s);
+            // c2r along rows (RealFft::inverse is already scaled).
+            for (y, row) in output.chunks_exact_mut(self.width).enumerate() {
+                self.row.inverse(&spec[y * sw..(y + 1) * sw], row);
             }
-        }
-        // c2r along rows (RealFft::inverse is already scaled).
-        for (y, row) in output.chunks_exact_mut(self.width).enumerate() {
-            self.row.inverse(&spec[y * sw..(y + 1) * sw], row);
-        }
+        })
     }
 }
 

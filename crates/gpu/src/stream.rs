@@ -10,7 +10,7 @@
 //! stream with synchronous copies — both usage patterns run unchanged on
 //! this model.
 
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -297,16 +297,48 @@ impl Drop for Stream {
     }
 }
 
-/// Sleeps `d` without relying on timer granularity for sub-millisecond
-/// delays (transfer models deal in microseconds).
-fn spin_sleep(d: Duration) {
-    if d >= Duration::from_millis(2) {
-        std::thread::sleep(d);
-    } else {
-        let t0 = Instant::now();
-        while t0.elapsed() < d {
-            std::hint::spin_loop();
+/// The OS timer's observed overshoot for a minimal `thread::sleep`,
+/// measured once per process and clamped to [50 µs, 2 ms]. Delays are
+/// slept through the OS down to this margin, then finished with a spin
+/// bounded by it — precise enough for microsecond transfer models
+/// without pinning a core for milliseconds at a time.
+fn sleep_granularity() -> Duration {
+    static GRANULE: OnceLock<Duration> = OnceLock::new();
+    *GRANULE.get_or_init(|| {
+        let probe = Duration::from_micros(50);
+        let mut worst = Duration::ZERO;
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            std::thread::sleep(probe);
+            worst = worst.max(t0.elapsed());
         }
+        worst.clamp(Duration::from_micros(50), Duration::from_millis(2))
+    })
+}
+
+/// Waits `d` without relying on timer granularity for sub-millisecond
+/// delays (transfer models deal in microseconds). The bulk of the wait
+/// is a real OS sleep; only the final calibrated granule is spun, so a
+/// multi-millisecond delay no longer pins a core for its whole
+/// duration. The tail must spin rather than `yield_now`: under
+/// oversubscription a single `sched_yield` runs out other threads'
+/// timeslices and can return milliseconds late, which would corrupt
+/// the simulated timeline these delays exist to model.
+fn spin_sleep(d: Duration) {
+    let deadline = Instant::now() + d;
+    let granule = sleep_granularity();
+    loop {
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            return;
+        };
+        if remaining > granule {
+            std::thread::sleep(remaining - granule);
+        } else {
+            break;
+        }
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
     }
 }
 
@@ -405,6 +437,59 @@ mod tests {
         s.h2d(Arc::new(vec![0u8; 1 << 20]), &buf); // 1 MB @ 100 MB/s ≈ 10 ms
         s.synchronize();
         assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn concurrent_streams_honor_sub_granularity_delays() {
+        // four streams each modeling 16 KB @ 100 MB/s ≈ 160 µs per copy —
+        // well under the old 2 ms busy-spin threshold. The sleep+spin-tail
+        // wait must still charge each copy its modeled time, and spans on
+        // one stream must stay in order (no overlap within a stream).
+        let mut cfg = DeviceConfig::small(1 << 22);
+        cfg.h2d_bytes_per_sec = Some(100.0e6);
+        let dev = Device::new(0, cfg);
+        let per_copy = Duration::from_secs_f64((16 * 1024) as f64 / 100.0e6);
+        let copies = 5usize;
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let dev = dev.clone();
+                scope.spawn(move || {
+                    let s = dev.create_stream(&format!("c{i}"));
+                    let buf = dev.alloc::<u8>(16 * 1024).unwrap();
+                    let t0 = Instant::now();
+                    for _ in 0..copies {
+                        s.h2d(Arc::new(vec![0u8; 16 * 1024]), &buf);
+                    }
+                    s.synchronize();
+                    assert!(
+                        t0.elapsed() >= per_copy * copies as u32,
+                        "stream c{i} finished early: {:?} < {:?}",
+                        t0.elapsed(),
+                        per_copy * copies as u32
+                    );
+                });
+            }
+        });
+        // per-stream ordering: consecutive spans on one stream must not
+        // overlap (the worker executes its queue strictly in order)
+        let spans = dev.profiler().spans();
+        for i in 0..4 {
+            let name = format!("c{i}");
+            let mine: Vec<_> = spans.iter().filter(|s| s.stream == name).collect();
+            assert_eq!(mine.len(), copies, "stream {name}");
+            for pair in mine.windows(2) {
+                assert!(
+                    pair[0].end_ns <= pair[1].start_ns,
+                    "overlapping spans on {name}"
+                );
+            }
+            for s in &mine {
+                assert!(
+                    s.duration_ns() as u128 >= per_copy.as_nanos() * 9 / 10,
+                    "span shorter than modeled delay on {name}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! A counting global allocator for allocation-budget assertions.
+//!
+//! The paper's §IV-A memory discipline — buffers allocated once and
+//! recycled by reference count — is only checkable if allocations are
+//! observable. [`CountingAllocator`] wraps the system allocator with
+//! atomic counters; a test or bench binary installs it with
+//! `#[global_allocator]` and asserts deltas around the region of
+//! interest (the conformance suite pins the steady-state PCIAM pair
+//! computation at **zero** allocations; `perfgate` reports per-run
+//! allocation counts next to wall-clock medians).
+//!
+//! Two counter scopes are exposed:
+//!
+//! * process-wide ([`CountingAllocator::allocations`] /
+//!   [`CountingAllocator::bytes_allocated`]) — right for sequential
+//!   whole-run measurements like `perfgate`;
+//! * per-thread ([`CountingAllocator::thread_allocations`]) — right for
+//!   assertions inside a multi-threaded test harness, where unrelated
+//!   tests allocating on sibling threads must not pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-initialized Cell: no lazy init, no destructor — safe to
+    // touch from inside the allocator itself.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `#[global_allocator]`-installable wrapper over [`System`] that
+/// counts every allocation. Zero-sized; the counters are process-global
+/// statics so the type can be constructed in `const` position.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Creates the allocator (const, for `static` initializers).
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+
+    /// Total heap allocations (including reallocations) process-wide.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total heap deallocations process-wide.
+    pub fn deallocations() -> u64 {
+        DEALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the heap process-wide.
+    pub fn bytes_allocated() -> u64 {
+        BYTES_ALLOCATED.load(Ordering::Relaxed)
+    }
+
+    /// Heap allocations performed by the *calling thread* only.
+    pub fn thread_allocations() -> u64 {
+        THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> CountingAllocator {
+        CountingAllocator::new()
+    }
+}
+
+#[inline]
+fn count(bytes: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    BYTES_ALLOCATED.fetch_add(bytes as u64, Ordering::Relaxed);
+    // try_with: the TLS slot has no destructor, but stay panic-free
+    // during thread teardown regardless.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates verbatim to `System`; the counter updates are
+// side-effect-only and allocation-free (atomics + const-init TLS).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod cases;
 pub mod metamorphic;
 pub mod oracle;

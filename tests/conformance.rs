@@ -6,8 +6,68 @@
 //! tier-1 CI. On failure the oracle prints a structured report naming
 //! the variant, tile pair / tile / pixel, and both values — see
 //! EXPERIMENTS.md § "Conformance & stress testing" for how to read it.
+//!
+//! This binary also runs under the counting allocator so it can assert
+//! the hot-path invariant directly: steady-state PCIAM pair computation
+//! performs zero heap allocations after warmup.
 
+use stitch_core::{Correlator, OpCounters, PairKind, TransformKind};
+use stitch_fft::{PlanMode, Planner};
+use stitch_image::{Scene, SceneParams};
+use stitch_testkit::alloc::CountingAllocator;
 use stitch_testkit::{run_case, run_stress, sweep};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Runs `pairs` full PCIAM pair computations (two forward FFTs + NCC +
+/// inverse + peaks + CCF refine) after `warmup` of the same, returning
+/// the number of heap allocations the measured iterations performed on
+/// this thread.
+fn steady_state_pair_allocations(kind: TransformKind, warmup: usize, pairs: usize) -> u64 {
+    let (w, h) = (64usize, 48usize);
+    let scene = Scene::generate(
+        w as f64 * 3.0,
+        h as f64 * 3.0,
+        SceneParams {
+            colony_count: 20,
+            seed: 99,
+            ..SceneParams::default()
+        },
+    );
+    let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
+    let b = scene.render_region(w as f64 * 1.75, h as f64 + 2.0, w, h, 0.02, 30.0, 2);
+    let planner = Planner::new(PlanMode::Estimate);
+    let mut ctx = Correlator::new(kind, &planner, w, h, OpCounters::new_shared());
+    let run_pair = |ctx: &mut Correlator| {
+        let fa = ctx.forward_fft(&a);
+        let fb = ctx.forward_fft(&b);
+        ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West))
+    };
+    let mut sink = Vec::with_capacity(warmup + pairs);
+    for _ in 0..warmup {
+        sink.push(run_pair(&mut ctx));
+    }
+    let before = CountingAllocator::thread_allocations();
+    for _ in 0..pairs {
+        sink.push(run_pair(&mut ctx));
+    }
+    let measured = CountingAllocator::thread_allocations() - before;
+    // sanity: the work actually happened and was deterministic
+    assert!(sink.windows(2).all(|p| p[0] == p[1]), "unstable result");
+    measured
+}
+
+#[test]
+fn steady_state_pair_computation_is_allocation_free() {
+    for kind in [TransformKind::Complex, TransformKind::Real] {
+        let allocs = steady_state_pair_allocations(kind, 3, 5);
+        assert_eq!(
+            allocs, 0,
+            "{kind:?}: steady-state pair computation allocated {allocs} times"
+        );
+    }
+}
 
 #[test]
 fn all_variants_bit_identical_across_sweep() {
