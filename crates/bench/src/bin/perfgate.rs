@@ -19,6 +19,7 @@
 //!
 //! ```text
 //! perfgate [--quick] [--out PATH] [--before PATH] [--check BASELINE]
+//! perfgate --batch
 //! ```
 //!
 //! * `--quick` — measure only the quick preset (CI smoke).
@@ -29,6 +30,11 @@
 //!   baseline P: exit non-zero if any variant's normalized median
 //!   regressed by more than [`TOLERANCE`]×, or if P fails schema
 //!   validation.
+//! * `--batch` — self-checking scheduler-throughput gate: runs
+//!   [`BATCH_JOBS`] identical single-threaded quick jobs through
+//!   `stitch-sched` serially (1 worker) and concurrently
+//!   ([`BATCH_JOBS`] workers) and exits non-zero unless concurrent
+//!   throughput is at least [`BATCH_SPEEDUP_FLOOR`]× serial.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,6 +58,17 @@ const TOLERANCE: f64 = 2.0;
 
 /// Worker-thread count for the threaded variants.
 const THREADS: usize = 4;
+
+/// Jobs in the `--batch` scheduler gate.
+const BATCH_JOBS: usize = 4;
+
+/// `--batch` fails unless concurrent throughput reaches this multiple of
+/// serial throughput (best of [`BATCH_ROUNDS`] rounds — robust against a
+/// noisy neighbor on shared CI runners).
+const BATCH_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Measurement rounds for the `--batch` gate.
+const BATCH_ROUNDS: usize = 3;
 
 struct Preset {
     name: &'static str,
@@ -413,6 +430,101 @@ fn check_against(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The --batch scheduler-throughput gate
+// ---------------------------------------------------------------------------
+
+/// The `--batch` workload: [`BATCH_JOBS`] identical quick jobs on the
+/// *shared* simulated device, with the PCIe transfer-time model slowed
+/// so each job spends a meaningful fraction of its run stalled in
+/// simulated H2D/D2H waits. That is exactly the regime where a multi-job
+/// scheduler pays off — one job's transfer stall overlaps another's
+/// compute — and, unlike CPU-parallel speedup, it shows up on
+/// single-core CI runners too.
+fn batch_jobs() -> Vec<stitch_sched::StitchJob> {
+    (0..BATCH_JOBS)
+        .map(|i| {
+            stitch_sched::StitchJob::new(
+                format!("quick{i}"),
+                stitch_image::ScanConfig::for_grid(
+                    QUICK.rows,
+                    QUICK.cols,
+                    QUICK.tile_w,
+                    QUICK.tile_h,
+                    0.25,
+                    2014 + i as u64,
+                ),
+            )
+            .variant(stitch_sched::JobVariant::SimpleGpu)
+            .compose(false)
+        })
+        .collect()
+}
+
+/// The gate's shared device: Kepler-style concurrent kernels (no
+/// device-wide FFT serialization, which would defeat cross-job overlap)
+/// and deliberately slow simulated transfers.
+fn batch_device() -> stitch_gpu::Device {
+    stitch_gpu::Device::new(
+        0,
+        stitch_gpu::DeviceConfig {
+            h2d_bytes_per_sec: Some(1.2e6),
+            d2h_bytes_per_sec: Some(1.2e6),
+            ..stitch_gpu::DeviceConfig::kepler_gk110()
+        },
+    )
+}
+
+fn run_batch_with_workers(workers: usize) -> std::time::Duration {
+    let report = stitch_sched::run_batch(
+        batch_jobs(),
+        &stitch_sched::BatchOptions {
+            workers,
+            memory_budget: 256 << 20,
+            device: Some(batch_device()),
+            ..stitch_sched::BatchOptions::default()
+        },
+    );
+    assert!(report.rejected.is_empty(), "gate jobs must all be admitted");
+    for out in &report.outcomes {
+        assert_eq!(
+            out.status,
+            stitch_sched::JobStatus::Completed,
+            "gate job {} did not complete",
+            out.name
+        );
+    }
+    report.elapsed
+}
+
+fn batch_gate() -> Result<f64, String> {
+    eprintln!(
+        "[perfgate] batch gate: {BATCH_JOBS} single-threaded quick jobs, \
+         serial (1 worker) vs concurrent ({BATCH_JOBS} workers)"
+    );
+    // warmup: fault in plan caches, page in the binary
+    let _ = run_batch_with_workers(BATCH_JOBS);
+    let mut best = 0f64;
+    for round in 0..BATCH_ROUNDS {
+        let serial = run_batch_with_workers(1);
+        let concurrent = run_batch_with_workers(BATCH_JOBS);
+        let speedup = serial.as_secs_f64() / concurrent.as_secs_f64();
+        eprintln!(
+            "[perfgate]   round {round}: serial {serial:.2?}, concurrent {concurrent:.2?} \
+             -> x{speedup:.2}"
+        );
+        best = best.max(speedup);
+    }
+    if best >= BATCH_SPEEDUP_FLOOR {
+        Ok(best)
+    } else {
+        Err(format!(
+            "concurrent batch throughput only x{best:.2} of serial \
+             (floor x{BATCH_SPEEDUP_FLOOR})"
+        ))
+    }
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).map(|i| {
         args.get(i + 1)
@@ -423,6 +535,21 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--batch") {
+        match batch_gate() {
+            Ok(speedup) => {
+                eprintln!(
+                    "[perfgate] batch gate OK: x{speedup:.2} \
+                     (floor x{BATCH_SPEEDUP_FLOOR})"
+                );
+                return;
+            }
+            Err(msg) => {
+                eprintln!("[perfgate] batch gate FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let quick_only = args.iter().any(|a| a == "--quick");
     let out_path = arg_value(&args, "--out");
     let before_path = arg_value(&args, "--before");

@@ -11,22 +11,49 @@
 //! allocations (asserted by the counting allocator in the conformance
 //! suite).
 //!
-//! The pool is *elastic*: `acquire` never blocks, it allocates when the
-//! free list is empty. Backpressure is not this layer's job — the
-//! pipelined stitchers already bound in-flight tiles with a semaphore,
-//! so the pool's population converges to that bound after warmup.
+//! Pools come in two flavours:
+//!
+//! * **Elastic** ([`SpectrumPool::new`]): `acquire` never blocks, it
+//!   allocates when the free list is empty. Backpressure is not this
+//!   layer's job — the pipelined stitchers already bound in-flight tiles
+//!   with a semaphore, so the pool's population converges to that bound
+//!   after warmup.
+//! * **Bounded** ([`SpectrumPool::bounded`]): the population (buffers on
+//!   the free list plus buffers on loan) never exceeds a hard cap;
+//!   `acquire` blocks until a lease is returned once the cap is reached.
+//!   This is the enforcement point for the batch scheduler's per-job
+//!   memory quotas — a job simply *cannot* allocate past its lease
+//!   budget, no matter how its stages interleave.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use stitch_fft::C64;
 
+struct PoolState {
+    free: Vec<Vec<C64>>,
+    /// Buffers in existence: free-list entries plus outstanding leases.
+    /// Detaching a buffer with `into_vec` removes it from the population
+    /// (and, in a bounded pool, frees its cap slot).
+    population: usize,
+}
+
 struct PoolShared {
     buf_len: usize,
-    free: Mutex<Vec<Vec<C64>>>,
+    cap: Option<usize>,
+    state: Mutex<PoolState>,
+    returned: Condvar,
     created: AtomicU64,
     reused: AtomicU64,
+}
+
+impl PoolShared {
+    /// Poison-tolerant lock: a worker that panicked while holding the
+    /// pool lock must not cascade into every sibling's buffer drop.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A shareable pool of equal-length `Vec<C64>` spectrum buffers.
@@ -38,12 +65,33 @@ pub struct SpectrumPool {
 }
 
 impl SpectrumPool {
-    /// Creates an empty pool of length-`buf_len` buffers.
+    /// Creates an empty *elastic* pool of length-`buf_len` buffers:
+    /// `acquire` never blocks.
     pub fn new(buf_len: usize) -> SpectrumPool {
+        SpectrumPool::build(buf_len, None)
+    }
+
+    /// Creates an empty *bounded* pool: at most `cap` buffers ever exist
+    /// and [`SpectrumPool::acquire`] blocks once all of them are on loan.
+    ///
+    /// # Panics
+    /// `cap` must be ≥ 1 — a zero-capacity pool would deadlock the first
+    /// acquisition.
+    pub fn bounded(buf_len: usize, cap: usize) -> SpectrumPool {
+        assert!(cap >= 1, "bounded pool needs cap >= 1");
+        SpectrumPool::build(buf_len, Some(cap))
+    }
+
+    fn build(buf_len: usize, cap: Option<usize>) -> SpectrumPool {
         SpectrumPool {
             shared: Arc::new(PoolShared {
                 buf_len,
-                free: Mutex::new(Vec::new()),
+                cap,
+                state: Mutex::new(PoolState {
+                    free: Vec::new(),
+                    population: 0,
+                }),
+                returned: Condvar::new(),
                 created: AtomicU64::new(0),
                 reused: AtomicU64::new(0),
             }),
@@ -55,23 +103,63 @@ impl SpectrumPool {
         self.shared.buf_len
     }
 
+    /// The population cap, or `None` for an elastic pool.
+    pub fn cap(&self) -> Option<usize> {
+        self.shared.cap
+    }
+
     /// Takes a buffer from the free list, or allocates one when the list
-    /// is empty (the pool never blocks). The contents are **unspecified**
+    /// is empty. An elastic pool never blocks; a bounded pool at its cap
+    /// blocks until a lease is returned. The contents are **unspecified**
     /// — producers must overwrite every element, which every
     /// `forward_fft` path does.
     pub fn acquire(&self) -> PooledSpectrum {
-        let recycled = self.shared.free.lock().unwrap().pop();
-        let data = match recycled {
-            Some(buf) => {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(buf) = state.free.pop() {
                 debug_assert_eq!(buf.len(), self.shared.buf_len);
                 self.shared.reused.fetch_add(1, Ordering::Relaxed);
-                buf
+                return self.wrap(buf);
             }
-            None => {
+            match self.shared.cap {
+                Some(cap) if state.population >= cap => {
+                    state = self
+                        .shared
+                        .returned
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => {
+                    state.population += 1;
+                    drop(state);
+                    self.shared.created.fetch_add(1, Ordering::Relaxed);
+                    return self.wrap(vec![C64::ZERO; self.shared.buf_len]);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`SpectrumPool::acquire`]: returns `None` when a
+    /// bounded pool is at its cap with nothing free.
+    pub fn try_acquire(&self) -> Option<PooledSpectrum> {
+        let mut state = self.shared.lock();
+        if let Some(buf) = state.free.pop() {
+            debug_assert_eq!(buf.len(), self.shared.buf_len);
+            self.shared.reused.fetch_add(1, Ordering::Relaxed);
+            return Some(self.wrap(buf));
+        }
+        match self.shared.cap {
+            Some(cap) if state.population >= cap => None,
+            _ => {
+                state.population += 1;
+                drop(state);
                 self.shared.created.fetch_add(1, Ordering::Relaxed);
-                vec![C64::ZERO; self.shared.buf_len]
+                Some(self.wrap(vec![C64::ZERO; self.shared.buf_len]))
             }
-        };
+        }
+    }
+
+    fn wrap(&self, data: Vec<C64>) -> PooledSpectrum {
         PooledSpectrum {
             data,
             pool: Arc::clone(&self.shared),
@@ -79,12 +167,19 @@ impl SpectrumPool {
     }
 
     /// Pre-populates the free list so even the first `n` acquisitions
-    /// come from the pool.
+    /// come from the pool. A bounded pool pre-populates at most up to its
+    /// cap.
     pub fn preallocate(&self, n: usize) {
-        let mut free = self.shared.free.lock().unwrap();
-        while free.len() < n {
+        let mut state = self.shared.lock();
+        let target = match self.shared.cap {
+            Some(cap) => n.min(cap.saturating_sub(state.population - state.free.len())),
+            None => n,
+        };
+        while state.free.len() < target {
             self.shared.created.fetch_add(1, Ordering::Relaxed);
-            free.push(vec![C64::ZERO; self.shared.buf_len]);
+            state.population += 1;
+            let buf = vec![C64::ZERO; self.shared.buf_len];
+            state.free.push(buf);
         }
     }
 
@@ -102,7 +197,21 @@ impl SpectrumPool {
 
     /// Buffers currently sitting on the free list.
     pub fn idle(&self) -> usize {
-        self.shared.free.lock().unwrap().len()
+        self.shared.lock().free.len()
+    }
+
+    /// Buffers currently on loan (acquired and not yet returned or
+    /// detached). The scheduler's cancellation test asserts this drains
+    /// to zero when a job is torn down.
+    pub fn leased(&self) -> usize {
+        let state = self.shared.lock();
+        state.population - state.free.len()
+    }
+
+    /// Buffers currently in existence (free + leased). In a bounded pool
+    /// this never exceeds [`SpectrumPool::cap`].
+    pub fn population(&self) -> usize {
+        self.shared.lock().population
     }
 }
 
@@ -118,7 +227,8 @@ pub struct PooledSpectrum {
 impl PooledSpectrum {
     /// Detaches the buffer from the pool, e.g. to hand it to an owner
     /// with its own storage discipline (`SpillStore::insert`). The pool
-    /// simply never sees this buffer again.
+    /// never sees this buffer again; in a bounded pool its cap slot is
+    /// freed so a replacement can be allocated.
     pub fn into_vec(mut self) -> Vec<C64> {
         std::mem::take(&mut self.data)
     }
@@ -140,12 +250,16 @@ impl DerefMut for PooledSpectrum {
 impl Drop for PooledSpectrum {
     fn drop(&mut self) {
         let data = std::mem::take(&mut self.data);
-        // Empty after into_vec — nothing to return.
+        let mut state = self.pool.lock();
         if data.len() == self.pool.buf_len {
-            if let Ok(mut free) = self.pool.free.lock() {
-                free.push(data);
-            }
+            state.free.push(data);
+        } else {
+            // Detached via into_vec — the buffer leaves the population
+            // so a bounded pool can allocate a replacement.
+            state.population = state.population.saturating_sub(1);
         }
+        drop(state);
+        self.pool.returned.notify_one();
     }
 }
 
@@ -176,9 +290,11 @@ mod tests {
         let b = pool.acquire();
         assert_ne!(a.as_ptr(), b.as_ptr());
         assert_eq!(pool.created(), 2);
+        assert_eq!(pool.leased(), 2);
         drop(a);
         drop(b);
         assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.leased(), 0);
     }
 
     #[test]
@@ -187,6 +303,7 @@ mod tests {
         let v = pool.acquire().into_vec();
         assert_eq!(v.len(), 4);
         assert_eq!(pool.idle(), 0, "detached buffer must not return");
+        assert_eq!(pool.population(), 0, "detached buffer leaves population");
     }
 
     #[test]
@@ -205,5 +322,79 @@ mod tests {
         let clone = pool.clone();
         drop(clone.acquire());
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn bounded_pool_never_exceeds_cap() {
+        let pool = SpectrumPool::bounded(8, 2);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.population(), 2);
+        assert!(pool.try_acquire().is_none(), "cap reached: must not grow");
+        drop(a);
+        let c = pool.try_acquire().expect("freed lease must be reusable");
+        assert_eq!(pool.population(), 2);
+        assert_eq!(pool.created(), 2, "no allocation past the cap");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.leased(), 0);
+    }
+
+    #[test]
+    fn bounded_acquire_blocks_until_return() {
+        let pool = SpectrumPool::bounded(4, 1);
+        let held = pool.acquire();
+        let p2 = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            let b = p2.acquire(); // blocks until `held` drops
+            b.len()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "acquire must block at the cap");
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 4);
+        assert_eq!(pool.created(), 1, "the blocked acquire reused storage");
+    }
+
+    #[test]
+    fn bounded_into_vec_frees_a_cap_slot() {
+        let pool = SpectrumPool::bounded(4, 1);
+        let v = pool.acquire().into_vec();
+        assert_eq!(v.len(), 4);
+        // The cap slot came back even though the storage never will.
+        let _b = pool.try_acquire().expect("detached lease frees its slot");
+        assert_eq!(pool.created(), 2);
+    }
+
+    #[test]
+    fn bounded_preallocate_respects_cap() {
+        let pool = SpectrumPool::bounded(4, 3);
+        pool.preallocate(10);
+        assert_eq!(pool.idle(), 3);
+        assert_eq!(pool.created(), 3);
+    }
+
+    #[test]
+    fn unbounded_burst_regression_elastic_vs_bounded() {
+        // Regression for the scheduler quota fix: a burst of concurrent
+        // acquisitions grows an elastic pool without limit, but a bounded
+        // pool's population stays pinned at the cap.
+        let burst = 16;
+        let elastic = SpectrumPool::new(4);
+        let held: Vec<_> = (0..burst).map(|_| elastic.acquire()).collect();
+        assert_eq!(elastic.population(), burst);
+        drop(held);
+
+        let bounded = SpectrumPool::bounded(4, 5);
+        let mut held = Vec::new();
+        for _ in 0..burst {
+            match bounded.try_acquire() {
+                Some(b) => held.push(b),
+                None => break,
+            }
+        }
+        assert_eq!(held.len(), 5);
+        assert_eq!(bounded.population(), 5, "burst must not grow past cap");
+        assert_eq!(bounded.created(), 5);
     }
 }

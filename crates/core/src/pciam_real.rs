@@ -287,15 +287,23 @@ impl Correlator {
     /// `(w/2+1)·h` for the real path, the 7-smooth padded area for the
     /// padded path.
     pub fn spectrum_pool(kind: TransformKind, width: usize, height: usize) -> SpectrumPool {
-        let buf_len = match kind {
+        SpectrumPool::new(Correlator::spectrum_len(kind, width, height))
+    }
+
+    /// Element count of one spectrum buffer for `kind` over
+    /// `width × height` tiles — the `buf_len` an externally owned
+    /// [`SpectrumPool`] must be built with to be shareable with this
+    /// correlator (the batch scheduler sizes per-job quota pools from
+    /// this).
+    pub fn spectrum_len(kind: TransformKind, width: usize, height: usize) -> usize {
+        match kind {
             TransformKind::Complex => width * height,
             TransformKind::Real => stitch_fft::real::spectrum_len(width) * height,
             TransformKind::PaddedComplex => {
                 let (pw, ph) = PaddedPciamContext::padded_dims_for(width, height);
                 pw * ph
             }
-        };
-        SpectrumPool::new(buf_len)
+        }
     }
 
     /// Forward transform of a tile (full or half spectrum by path). The

@@ -35,7 +35,7 @@ use stitch_trace::TraceHandle;
 
 use crate::fault::{FailurePolicy, FaultTracker, StitchError};
 use crate::grid::Traversal;
-use crate::hostpool::PooledSpectrum;
+use crate::hostpool::{PooledSpectrum, SpectrumPool};
 use crate::opcount::OpCounters;
 use crate::pciam_real::{Correlator, TransformKind};
 use crate::source::TileSource;
@@ -89,6 +89,8 @@ impl PipelinedCpuConfig {
 pub struct PipelinedCpuStitcher {
     config: PipelinedCpuConfig,
     trace: TraceHandle,
+    shared_spectra: Option<SpectrumPool>,
+    shared_planner: Option<Arc<Planner>>,
 }
 
 struct TileData {
@@ -142,7 +144,29 @@ impl PipelinedCpuStitcher {
         PipelinedCpuStitcher {
             config,
             trace: TraceHandle::disabled(),
+            shared_spectra: None,
+            shared_planner: None,
         }
+    }
+
+    /// Runs over an externally owned [`SpectrumPool`] instead of a
+    /// private per-run one. This is the batch scheduler's quota hook: the
+    /// pool may be [`SpectrumPool::bounded`], in which case its cap must
+    /// be at least the transform-pool size (each in-flight tile holds at
+    /// most one spectrum) or the run will stall on acquire. The pool's
+    /// `buf_len` must match this configuration's transform kind and the
+    /// source's tile dims (checked at run time).
+    pub fn with_spectrum_pool(mut self, pool: SpectrumPool) -> PipelinedCpuStitcher {
+        self.shared_spectra = Some(pool);
+        self
+    }
+
+    /// Runs over an externally owned FFT [`Planner`] (plans cached by
+    /// size inside) instead of a private per-run one, so concurrent jobs
+    /// with equal tile dims share plan-construction work.
+    pub fn with_planner(mut self, planner: Arc<Planner>) -> PipelinedCpuStitcher {
+        self.shared_planner = Some(planner);
+        self
     }
 
     /// Records every stage's spans into `trace`: reader tracks
@@ -178,7 +202,10 @@ impl Stitcher for PipelinedCpuStitcher {
         }
         let counters = OpCounters::new_shared();
         let tracker = FaultTracker::new(shape);
-        let planner = Arc::new(Planner::new(self.config.plan_mode));
+        let planner = match &self.shared_planner {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(Planner::new(self.config.plan_mode)),
+        };
         let pool_size = self
             .config
             .pool_size
@@ -186,8 +213,26 @@ impl Stitcher for PipelinedCpuStitcher {
             .max(4);
         let pool = Arc::new(Semaphore::new(pool_size));
         // spectra released by bookkeeping recycle through a pool shared by
-        // all fft/displacement workers
-        let spectra = Correlator::spectrum_pool(self.config.transform, w, h);
+        // all fft/displacement workers (externally owned when the batch
+        // scheduler injected a quota pool)
+        let spectra = match &self.shared_spectra {
+            Some(p) => {
+                assert_eq!(
+                    p.buf_len(),
+                    Correlator::spectrum_len(self.config.transform, w, h),
+                    "shared spectrum pool sized for different tile dims/transform"
+                );
+                if let Some(cap) = p.cap() {
+                    assert!(
+                        cap >= pool_size,
+                        "bounded spectrum pool cap {cap} below transform pool {pool_size}: \
+                         the run would stall on acquire"
+                    );
+                }
+                p.clone()
+            }
+            None => Correlator::spectrum_pool(self.config.transform, w, h),
+        };
         let total_pairs = shape.pairs();
         let total_tiles = shape.tiles();
 

@@ -17,6 +17,7 @@
 //! owned by the device's streams), so results are bit-identical to the CPU
 //! path while the scheduling behaves like hardware.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,6 +50,11 @@ pub struct DeviceConfig {
     /// Deterministic fault injection; `None` (the default) injects
     /// nothing and costs nothing on the command path.
     pub fault: Option<GpuFaultConfig>,
+    /// Maximum concurrently *leased* streams ([`Device::lease_stream`]);
+    /// `None` (the default) leaves leasing unbounded. Plain
+    /// [`Device::create_stream`] is never gated — this only arbitrates
+    /// callers that opt into leasing (the batch scheduler).
+    pub stream_slots: Option<usize>,
 }
 
 impl Default for DeviceConfig {
@@ -61,6 +67,7 @@ impl Default for DeviceConfig {
             d2h_bytes_per_sec: None,
             launch_overhead: Duration::ZERO,
             fault: None,
+            stream_slots: None,
         }
     }
 }
@@ -110,6 +117,9 @@ pub(crate) struct DeviceInner {
     pub(crate) profiler: Profiler,
     pub(crate) planner: Planner,
     pub(crate) fault: Option<GpuFaultState>,
+    pub(crate) stream_slots: Option<Arc<Semaphore>>,
+    pub(crate) active_stream_leases: AtomicU64,
+    pub(crate) total_stream_leases: AtomicU64,
 }
 
 /// Handle to one simulated accelerator. Cheap to clone; all clones refer
@@ -133,6 +143,11 @@ impl Device {
                 profiler: Profiler::new(),
                 planner: Planner::default(),
                 fault: config.fault.map(GpuFaultState::new),
+                stream_slots: config
+                    .stream_slots
+                    .map(|n| Arc::new(Semaphore::new(n.max(1)))),
+                active_stream_leases: AtomicU64::new(0),
+                total_stream_leases: AtomicU64::new(0),
                 config,
             }),
         }
@@ -207,6 +222,43 @@ impl Device {
     /// Creates a named in-order command stream.
     pub fn create_stream(&self, name: &str) -> Stream {
         Stream::spawn(Arc::clone(&self.inner), name)
+    }
+
+    /// Leases a named stream, blocking while all
+    /// [`DeviceConfig::stream_slots`] are taken (unbounded when `None`).
+    /// The returned [`StreamLease`](crate::StreamLease) dereferences to
+    /// the [`Stream`] and releases its slot — and decrements
+    /// [`Device::active_stream_leases`] — on drop, including a drop
+    /// during panic unwinding.
+    pub fn lease_stream(&self, name: &str) -> crate::lease::StreamLease {
+        let permit = self.inner.stream_slots.as_ref().map(|s| s.acquire_owned());
+        crate::lease::StreamLease::grant(self, name, permit)
+    }
+
+    /// Non-blocking [`Device::lease_stream`]: `None` when every slot is
+    /// taken.
+    pub fn try_lease_stream(&self, name: &str) -> Option<crate::lease::StreamLease> {
+        let permit = match &self.inner.stream_slots {
+            Some(s) => Some(s.try_acquire_owned()?),
+            None => None,
+        };
+        Some(crate::lease::StreamLease::grant(self, name, permit))
+    }
+
+    /// Streams currently on lease (created through
+    /// [`Device::lease_stream`] and not yet dropped). The scheduler's
+    /// cancellation tests assert this drains to zero.
+    pub fn active_stream_leases(&self) -> u64 {
+        self.inner
+            .active_stream_leases
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Total leases granted over the device's lifetime.
+    pub fn total_stream_leases(&self) -> u64 {
+        self.inner
+            .total_stream_leases
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Counters of injected device faults (all zero when fault injection

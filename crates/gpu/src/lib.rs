@@ -28,6 +28,7 @@
 pub mod device;
 pub mod fault;
 pub mod kernels;
+pub mod lease;
 pub mod memory;
 pub mod profile;
 pub mod semaphore;
@@ -36,6 +37,7 @@ pub mod stream;
 pub use device::{Device, DeviceConfig};
 pub use fault::{GpuFaultConfig, GpuFaultStats};
 pub use kernels::MaxLoc;
+pub use lease::StreamLease;
 pub use memory::{BufferPool, DeviceBuffer, KernelToken, OutOfDeviceMemory, PooledBuffer};
 pub use profile::{Profiler, Span, SpanKind};
 pub use semaphore::Semaphore;

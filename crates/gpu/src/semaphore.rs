@@ -61,6 +61,20 @@ impl Semaphore {
         }
     }
 
+    /// Non-blocking [`Semaphore::acquire_owned`].
+    pub fn try_acquire_owned(self: &std::sync::Arc<Self>) -> Option<OwnedPermit> {
+        let mut p = self.permits.lock();
+        if *p == 0 {
+            None
+        } else {
+            *p -= 1;
+            drop(p);
+            Some(OwnedPermit {
+                sem: std::sync::Arc::clone(self),
+            })
+        }
+    }
+
     fn release(&self) {
         *self.permits.lock() += 1;
         self.cv.notify_one();

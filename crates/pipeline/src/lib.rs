@@ -28,8 +28,10 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod queue;
 pub mod stage;
 
+pub use pool::{PoolSubmitter, WorkerPool};
 pub use queue::{Queue, QueueMetrics, QueueWriter};
 pub use stage::{Pipeline, PipelineError, StageMetrics, StageReport};

@@ -1,0 +1,329 @@
+//! Shared-resource arbitration: the substrates PR 4 made poolable,
+//! arbitrated across jobs instead of within one run.
+//!
+//! * **Host memory** — a byte budget with RAII [`MemReservation`]s.
+//!   Admission control reserves a job's estimated footprint *before* it
+//!   runs; the observed high-water mark can therefore never exceed the
+//!   budget (asserted by the stress battery). Reservations release on
+//!   drop — including a drop during panic unwinding, which is what keeps
+//!   one crashing job from starving its siblings forever.
+//! * **FFT plans** — one [`Planner`] per [`PlanMode`], shared by every
+//!   job; the planner itself caches plans keyed by size, so concurrent
+//!   jobs with equal tile dims pay plan construction once.
+//! * **Spectrum pools** — bounded [`SpectrumPool`]s handed to jobs as
+//!   lease quotas; the arbiter keeps a registry so tests can assert no
+//!   job leaked a lease.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use stitch_core::SpectrumPool;
+use stitch_fft::{PlanMode, Planner};
+
+/// Why a reservation could not be granted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The request alone exceeds the whole budget — it can *never* be
+    /// admitted, so the caller should reject the job outright.
+    TooLarge {
+        /// Bytes requested.
+        requested: usize,
+        /// The arbiter's total budget.
+        budget: usize,
+    },
+    /// The request fits the budget but not the currently free slice;
+    /// admissible later, once running jobs release their reservations.
+    WouldOvercommit {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently unreserved.
+        free: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::TooLarge { requested, budget } => {
+                write!(f, "job needs {requested} B, budget is {budget} B")
+            }
+            AdmissionError::WouldOvercommit { requested, free } => {
+                write!(f, "job needs {requested} B, only {free} B free")
+            }
+        }
+    }
+}
+
+struct ArbiterState {
+    reserved: usize,
+    high_water: usize,
+}
+
+struct ArbiterInner {
+    budget: usize,
+    state: Mutex<ArbiterState>,
+    freed: Condvar,
+    planners: Mutex<HashMap<u8, Arc<Planner>>>,
+    pools: Mutex<Vec<SpectrumPool>>,
+    active_reservations: AtomicUsize,
+}
+
+/// Shared-resource arbiter; cheap to clone, all clones share state.
+#[derive(Clone)]
+pub struct ResourceArbiter {
+    inner: Arc<ArbiterInner>,
+}
+
+impl ResourceArbiter {
+    /// Creates an arbiter over a host-memory budget of `budget` bytes.
+    pub fn new(budget: usize) -> ResourceArbiter {
+        ResourceArbiter {
+            inner: Arc::new(ArbiterInner {
+                budget,
+                state: Mutex::new(ArbiterState {
+                    reserved: 0,
+                    high_water: 0,
+                }),
+                freed: Condvar::new(),
+                planners: Mutex::new(HashMap::new()),
+                pools: Mutex::new(Vec::new()),
+                active_reservations: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The total byte budget.
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> usize {
+        self.inner.state.lock().reserved
+    }
+
+    /// The maximum `reserved()` ever observed. Invariant:
+    /// `high_water() <= budget()` — admission control refuses any
+    /// reservation that would break it.
+    pub fn high_water(&self) -> usize {
+        self.inner.state.lock().high_water
+    }
+
+    /// Outstanding (undropped) reservations.
+    pub fn active_reservations(&self) -> usize {
+        self.inner.active_reservations.load(Ordering::Acquire)
+    }
+
+    /// Attempts to reserve `bytes` without blocking.
+    pub fn try_reserve(&self, bytes: usize) -> Result<MemReservation, AdmissionError> {
+        if bytes > self.inner.budget {
+            return Err(AdmissionError::TooLarge {
+                requested: bytes,
+                budget: self.inner.budget,
+            });
+        }
+        let mut state = self.inner.state.lock();
+        if state.reserved + bytes > self.inner.budget {
+            return Err(AdmissionError::WouldOvercommit {
+                requested: bytes,
+                free: self.inner.budget - state.reserved,
+            });
+        }
+        state.reserved += bytes;
+        state.high_water = state.high_water.max(state.reserved);
+        drop(state);
+        self.inner
+            .active_reservations
+            .fetch_add(1, Ordering::AcqRel);
+        Ok(MemReservation {
+            arbiter: Arc::clone(&self.inner),
+            bytes,
+        })
+    }
+
+    /// Reserves `bytes`, blocking until enough budget is free. Fails
+    /// fast with [`AdmissionError::TooLarge`] when the request can never
+    /// fit.
+    pub fn reserve_blocking(&self, bytes: usize) -> Result<MemReservation, AdmissionError> {
+        if bytes > self.inner.budget {
+            return Err(AdmissionError::TooLarge {
+                requested: bytes,
+                budget: self.inner.budget,
+            });
+        }
+        let mut state = self.inner.state.lock();
+        while state.reserved + bytes > self.inner.budget {
+            self.inner.freed.wait(&mut state);
+        }
+        state.reserved += bytes;
+        state.high_water = state.high_water.max(state.reserved);
+        drop(state);
+        self.inner
+            .active_reservations
+            .fetch_add(1, Ordering::AcqRel);
+        Ok(MemReservation {
+            arbiter: Arc::clone(&self.inner),
+            bytes,
+        })
+    }
+
+    /// The shared FFT planner for `mode` (created on first use). Plans
+    /// are cached inside the planner keyed by transform size.
+    pub fn planner(&self, mode: PlanMode) -> Arc<Planner> {
+        let key = match mode {
+            PlanMode::Estimate => 0u8,
+            PlanMode::Measure => 1,
+            PlanMode::Patient => 2,
+        };
+        Arc::clone(
+            self.inner
+                .planners
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Planner::new(mode))),
+        )
+    }
+
+    /// A bounded spectrum pool of `cap` buffers of `buf_len` elements —
+    /// a job's lease quota. The pool is registered with the arbiter so
+    /// [`ResourceArbiter::leased_spectra`] can audit for leaks.
+    pub fn quota_pool(&self, buf_len: usize, cap: usize) -> SpectrumPool {
+        let pool = SpectrumPool::bounded(buf_len, cap.max(1));
+        self.inner.pools.lock().push(pool.clone());
+        pool
+    }
+
+    /// Spectrum buffers currently on loan across every pool this arbiter
+    /// has handed out. Zero once all jobs have finished or been torn
+    /// down — the cancellation and panic tests assert exactly that.
+    pub fn leased_spectra(&self) -> usize {
+        self.inner.pools.lock().iter().map(|p| p.leased()).sum()
+    }
+}
+
+/// RAII byte reservation from a [`ResourceArbiter`]; releases (and wakes
+/// blocked reservers) on drop.
+pub struct MemReservation {
+    arbiter: Arc<ArbiterInner>,
+    bytes: usize,
+}
+
+impl MemReservation {
+    /// Reserved byte count.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        let mut state = self.arbiter.state.lock();
+        state.reserved = state.reserved.saturating_sub(self.bytes);
+        drop(state);
+        self.arbiter
+            .active_reservations
+            .fetch_sub(1, Ordering::AcqRel);
+        self.arbiter.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_track_high_water() {
+        let arb = ResourceArbiter::new(100);
+        let a = arb.try_reserve(60).unwrap();
+        assert_eq!(arb.reserved(), 60);
+        let b = arb.try_reserve(40).unwrap();
+        assert_eq!(arb.reserved(), 100);
+        assert_eq!(arb.high_water(), 100);
+        drop(a);
+        assert_eq!(arb.reserved(), 40);
+        drop(b);
+        assert_eq!(arb.reserved(), 0);
+        assert_eq!(arb.high_water(), 100, "high water is sticky");
+        assert_eq!(arb.active_reservations(), 0);
+    }
+
+    #[test]
+    fn overcommit_is_refused_not_granted() {
+        let arb = ResourceArbiter::new(100);
+        let _a = arb.try_reserve(80).unwrap();
+        match arb.try_reserve(30) {
+            Err(AdmissionError::WouldOvercommit { requested, free }) => {
+                assert_eq!((requested, free), (30, 20));
+            }
+            Err(other) => panic!("expected WouldOvercommit, got {other:?}"),
+            Ok(_) => panic!("expected WouldOvercommit, got a reservation"),
+        }
+        assert_eq!(arb.high_water(), 80);
+    }
+
+    #[test]
+    fn too_large_is_permanent() {
+        let arb = ResourceArbiter::new(100);
+        assert!(matches!(
+            arb.try_reserve(101),
+            Err(AdmissionError::TooLarge {
+                requested: 101,
+                budget: 100
+            })
+        ));
+        assert!(matches!(
+            arb.reserve_blocking(101),
+            Err(AdmissionError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn blocking_reserve_wakes_on_release() {
+        let arb = ResourceArbiter::new(100);
+        let held = arb.try_reserve(100).unwrap();
+        let arb2 = arb.clone();
+        let waiter = std::thread::spawn(move || {
+            let r = arb2.reserve_blocking(50).unwrap();
+            r.bytes()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "must block while budget is full");
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 50);
+        assert_eq!(arb.high_water(), 100, "never past the budget");
+    }
+
+    #[test]
+    fn planners_are_shared_per_mode() {
+        let arb = ResourceArbiter::new(0);
+        let a = arb.planner(PlanMode::Estimate);
+        let b = arb.planner(PlanMode::Estimate);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = arb.planner(PlanMode::Measure);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn quota_pools_are_audited() {
+        let arb = ResourceArbiter::new(0);
+        let pool = arb.quota_pool(8, 2);
+        assert_eq!(arb.leased_spectra(), 0);
+        let lease = pool.acquire();
+        assert_eq!(arb.leased_spectra(), 1);
+        drop(lease);
+        assert_eq!(arb.leased_spectra(), 0);
+    }
+
+    #[test]
+    fn reservation_released_on_panic_unwind() {
+        let arb = ResourceArbiter::new(100);
+        let arb2 = arb.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _r = arb2.try_reserve(70).unwrap();
+            panic!("job crashed while holding a reservation");
+        });
+        assert_eq!(arb.reserved(), 0, "unwind must release the bytes");
+    }
+}

@@ -1,0 +1,291 @@
+//! Batch runs: a line-based job-file format and a one-call driver that
+//! submits every job, waits for the batch, and collects per-job
+//! outcomes — the engine behind `stitch serve-batch`.
+//!
+//! ## Job-file format
+//!
+//! One job per line, whitespace-separated `key=value` tokens; `#` starts
+//! a comment and blank lines are ignored:
+//!
+//! ```text
+//! # name       implementation    grid      tile      extras
+//! name=fast    variant=mt-cpu    grid=4x5  tile=64x48  threads=2 priority=4
+//! name=slow    variant=pipelined-cpu grid=6x8 tile=64x48 overlap=0.12 seed=9
+//! name=gpu0    variant=simple-gpu    grid=4x4 tile=48x32 deadline-ms=5000
+//! ```
+//!
+//! | key | meaning | default |
+//! |---|---|---|
+//! | `name=` | unique job name (required) | — |
+//! | `variant=` | implementation token (see [`JobVariant::parse`]) | `simple-cpu` |
+//! | `grid=RxC` | grid rows × cols | `4x5` |
+//! | `tile=WxH` | tile width × height in pixels | `64x48` |
+//! | `overlap=` | overlap fraction | `0.10` |
+//! | `seed=` | synthetic-plate seed | `7` |
+//! | `threads=` | compute threads | `1` |
+//! | `priority=` | stride-scheduling weight ≥ 1 | `1` |
+//! | `deadline-ms=` | max queue wait before the job expires | none |
+//! | `compose=` | `true`/`false`: build the full mosaic | `true` |
+
+use std::time::{Duration, Instant};
+
+use stitch_gpu::{Device, DeviceConfig};
+use stitch_image::ScanConfig;
+use stitch_trace::TraceHandle;
+
+use crate::job::{JobOutcome, StitchJob};
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+
+/// Parses a whole job file; errors carry the offending line number.
+pub fn parse_job_file(text: &str) -> Result<Vec<StitchJob>, String> {
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let job = parse_job_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        jobs.push(job);
+    }
+    if jobs.is_empty() {
+        return Err("job file contains no jobs".into());
+    }
+    let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != jobs.len() {
+        return Err("job names must be unique within a batch".into());
+    }
+    Ok(jobs)
+}
+
+/// Parses one `key=value ...` job line.
+pub fn parse_job_line(line: &str) -> Result<StitchJob, String> {
+    let mut name: Option<String> = None;
+    let mut scan = ScanConfig::for_grid(4, 5, 64, 48, 0.10, 7);
+    let mut job_tmpl = StitchJob::new("", scan.clone());
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{token}'"))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "variant" => job_tmpl.variant = crate::job::JobVariant::parse(value)?,
+            "grid" => {
+                let (r, c) = parse_pair(value, 'x')?;
+                scan.grid_rows = r;
+                scan.grid_cols = c;
+            }
+            "tile" => {
+                let (w, h) = parse_pair(value, 'x')?;
+                scan.tile_width = w;
+                scan.tile_height = h;
+            }
+            "overlap" => {
+                scan.overlap = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad overlap '{value}'"))?;
+            }
+            "seed" => {
+                scan.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed '{value}'"))?;
+            }
+            "threads" => {
+                job_tmpl.threads = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad threads '{value}'"))?
+                    .max(1);
+            }
+            "priority" => {
+                job_tmpl.priority = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad priority '{value}'"))?
+                    .max(1);
+            }
+            "deadline-ms" => {
+                let ms = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad deadline-ms '{value}'"))?;
+                job_tmpl.deadline = Some(Duration::from_millis(ms));
+            }
+            "compose" => {
+                job_tmpl.compose = value
+                    .parse::<bool>()
+                    .map_err(|_| format!("bad compose '{value}' (true/false)"))?;
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+    }
+    let name = name.ok_or("every job needs a name=")?;
+    if name.is_empty() {
+        return Err("job name must be non-empty".into());
+    }
+    job_tmpl.name = name;
+    job_tmpl.scan = scan;
+    Ok(job_tmpl)
+}
+
+fn parse_pair(value: &str, sep: char) -> Result<(usize, usize), String> {
+    let (a, b) = value
+        .split_once(sep)
+        .ok_or_else(|| format!("expected A{sep}B, got '{value}'"))?;
+    let a = a.parse().map_err(|_| format!("bad number '{a}'"))?;
+    let b = b.parse().map_err(|_| format!("bad number '{b}'"))?;
+    Ok((a, b))
+}
+
+/// Scheduler sizing for a batch run.
+#[derive(Clone)]
+pub struct BatchOptions {
+    /// Concurrent job slots.
+    pub workers: usize,
+    /// Host-memory admission budget in bytes.
+    pub memory_budget: usize,
+    /// Shared-device stream-lease bound for GPU jobs; `None` leaves
+    /// leasing unbounded.
+    pub stream_slots: Option<usize>,
+    /// A pre-configured shared device (e.g. with a transfer-time model);
+    /// `None` auto-creates a default device when any job needs one.
+    /// Takes precedence over [`BatchOptions::stream_slots`].
+    pub device: Option<Device>,
+    /// Master trace; per-job lanes are merged into it as `job.<name>/…`.
+    pub trace: TraceHandle,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 2,
+            memory_budget: 256 << 20,
+            stream_slots: None,
+            device: None,
+            trace: TraceHandle::disabled(),
+        }
+    }
+}
+
+/// Everything a batch produced, in submission order.
+pub struct BatchReport {
+    /// Outcomes of admitted jobs.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs refused at submission, with the reason.
+    pub rejected: Vec<(String, SubmitError)>,
+    /// Wall time for the whole batch.
+    pub elapsed: Duration,
+    /// Memory high-water mark observed by the arbiter (≤ budget, always).
+    pub high_water: usize,
+    /// Dispatch order the scheduler chose.
+    pub dispatch_order: Vec<String>,
+}
+
+/// Runs `jobs` to completion on a freshly constructed scheduler (plus a
+/// shared simulated device when any job needs one). Jobs the scheduler
+/// refuses at submission land in [`BatchReport::rejected`]; everything
+/// else gets an outcome.
+pub fn run_batch(jobs: Vec<StitchJob>, opts: &BatchOptions) -> BatchReport {
+    let device = opts.device.clone().or_else(|| {
+        jobs.iter().any(|j| j.variant.needs_device()).then(|| {
+            Device::new(
+                0,
+                DeviceConfig {
+                    stream_slots: opts.stream_slots,
+                    ..DeviceConfig::default()
+                },
+            )
+        })
+    });
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: opts.workers,
+        memory_budget: opts.memory_budget,
+        max_pending: jobs.len().max(1),
+        device,
+        trace: opts.trace.clone(),
+    });
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    let mut rejected = Vec::new();
+    for job in jobs {
+        let name = job.name.clone();
+        match sched.submit(job) {
+            Ok(h) => handles.push(h),
+            Err(e) => rejected.push((name, e)),
+        }
+    }
+    let outcomes: Vec<JobOutcome> = handles.iter().map(|h| h.wait()).collect();
+    let elapsed = t0.elapsed();
+    BatchReport {
+        outcomes,
+        rejected,
+        elapsed,
+        high_water: sched.arbiter().high_water(),
+        dispatch_order: sched.dispatch_order(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobVariant;
+
+    #[test]
+    fn parses_a_full_job_line() {
+        let job = parse_job_line(
+            "name=j1 variant=mt-cpu grid=3x4 tile=32x24 overlap=0.2 seed=11 \
+             threads=3 priority=5 deadline-ms=250 compose=false",
+        )
+        .unwrap();
+        assert_eq!(job.name, "j1");
+        assert_eq!(job.variant, JobVariant::MtCpu);
+        assert_eq!((job.scan.grid_rows, job.scan.grid_cols), (3, 4));
+        assert_eq!((job.scan.tile_width, job.scan.tile_height), (32, 24));
+        assert_eq!(job.scan.overlap, 0.2);
+        assert_eq!(job.scan.seed, 11);
+        assert_eq!(job.threads, 3);
+        assert_eq!(job.priority, 5);
+        assert_eq!(job.deadline, Some(Duration::from_millis(250)));
+        assert!(!job.compose);
+    }
+
+    #[test]
+    fn file_parser_skips_comments_and_rejects_duplicates() {
+        let jobs = parse_job_file(
+            "# batch of two\n\
+             name=a grid=2x2 tile=32x24  # trailing comment\n\
+             \n\
+             name=b grid=2x3 tile=32x24\n",
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].name, "b");
+
+        let err = parse_job_file("name=a\nname=a\n").unwrap_err();
+        assert!(err.contains("unique"), "{err}");
+        let err = parse_job_file("variant=mt-cpu\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_job_file("name=x bogus=1\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn run_batch_completes_and_reports_rejections() {
+        let jobs = vec![
+            StitchJob::new("small", ScanConfig::for_grid(2, 2, 32, 24, 0.25, 3)),
+            StitchJob::new("huge", ScanConfig::for_grid(40, 40, 512, 512, 0.1, 3)),
+        ];
+        let report = run_batch(
+            jobs,
+            &BatchOptions {
+                workers: 2,
+                memory_budget: 8 << 20,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].name, "small");
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, "huge");
+        assert!(matches!(report.rejected[0].1, SubmitError::TooLarge { .. }));
+        assert!(report.high_water <= 8 << 20);
+    }
+}

@@ -1,0 +1,281 @@
+//! Job descriptions, handles, and outcomes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use stitch_core::{AbsolutePositions, StitchResult, TransformKind};
+use stitch_image::{Image, ScanConfig};
+use stitch_trace::RunReport;
+
+/// Which stitcher implementation a job runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobVariant {
+    /// Sequential reference CPU implementation.
+    SimpleCpu,
+    /// Multi-threaded CPU implementation.
+    MtCpu,
+    /// Three-stage pipelined CPU implementation.
+    PipelinedCpu,
+    /// Fiji-style per-pair implementation.
+    FijiStyle,
+    /// Single-stream GPU implementation (needs a shared device).
+    SimpleGpu,
+    /// Pipelined GPU implementation (needs a shared device).
+    PipelinedGpu,
+}
+
+impl JobVariant {
+    /// The CLI/job-file token for this variant.
+    pub fn token(&self) -> &'static str {
+        match self {
+            JobVariant::SimpleCpu => "simple-cpu",
+            JobVariant::MtCpu => "mt-cpu",
+            JobVariant::PipelinedCpu => "pipelined-cpu",
+            JobVariant::FijiStyle => "fiji",
+            JobVariant::SimpleGpu => "simple-gpu",
+            JobVariant::PipelinedGpu => "pipelined-gpu",
+        }
+    }
+
+    /// Parses a job-file token.
+    pub fn parse(s: &str) -> Result<JobVariant, String> {
+        match s {
+            "simple-cpu" => Ok(JobVariant::SimpleCpu),
+            "mt-cpu" => Ok(JobVariant::MtCpu),
+            "pipelined-cpu" => Ok(JobVariant::PipelinedCpu),
+            "fiji" => Ok(JobVariant::FijiStyle),
+            "simple-gpu" => Ok(JobVariant::SimpleGpu),
+            "pipelined-gpu" => Ok(JobVariant::PipelinedGpu),
+            other => Err(format!(
+                "unknown variant '{other}' (expected simple-cpu, mt-cpu, \
+                 pipelined-cpu, fiji, simple-gpu, or pipelined-gpu)"
+            )),
+        }
+    }
+
+    /// Whether this variant runs on the shared simulated device.
+    pub fn needs_device(&self) -> bool {
+        matches!(self, JobVariant::SimpleGpu | JobVariant::PipelinedGpu)
+    }
+}
+
+/// One stitching job submitted to the [`Scheduler`](crate::Scheduler):
+/// a synthetic grid spec plus execution parameters.
+#[derive(Clone, Debug)]
+pub struct StitchJob {
+    /// Unique job name; per-job trace lanes appear as `job.<name>/…`.
+    pub name: String,
+    /// The grid to stitch (the synthetic plate is generated from this,
+    /// so a job is fully described by its spec — no file I/O needed).
+    pub scan: ScanConfig,
+    /// Implementation to run.
+    pub variant: JobVariant,
+    /// Compute threads for the multi-threaded variants.
+    pub threads: usize,
+    /// Scheduling weight, ≥ 1. Under contention a class of weight `2w`
+    /// is dispatched twice as often as a class of weight `w` (stride
+    /// scheduling); equal weights share fairly in submission order.
+    pub priority: u32,
+    /// Queued jobs not *started* within this much time of submission are
+    /// abandoned with [`JobStatus::Expired`]. `None` never expires.
+    pub deadline: Option<Duration>,
+    /// Whether to compose the full mosaic after global optimization.
+    pub compose: bool,
+}
+
+impl StitchJob {
+    /// A single-threaded Simple-CPU job over `scan` with weight 1.
+    pub fn new(name: impl Into<String>, scan: ScanConfig) -> StitchJob {
+        StitchJob {
+            name: name.into(),
+            scan,
+            variant: JobVariant::SimpleCpu,
+            threads: 1,
+            priority: 1,
+            deadline: None,
+            compose: true,
+        }
+    }
+
+    /// Sets the implementation variant.
+    pub fn variant(mut self, variant: JobVariant) -> StitchJob {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the compute thread count.
+    pub fn threads(mut self, threads: usize) -> StitchJob {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the scheduling weight (clamped to ≥ 1).
+    pub fn priority(mut self, priority: u32) -> StitchJob {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// Sets the queue deadline.
+    pub fn deadline(mut self, deadline: Duration) -> StitchJob {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets whether the mosaic is composed.
+    pub fn compose(mut self, compose: bool) -> StitchJob {
+        self.compose = compose;
+        self
+    }
+
+    /// Host-memory bytes the scheduler reserves before running this job:
+    /// the bounded spectrum-pool quota (`quota × buf_len × 16`) plus the
+    /// in-flight tile images the transform pool admits. This is the
+    /// admission-control cost model — intentionally a ceiling, so the
+    /// budget is never over-committed by jobs that allocate less.
+    pub fn estimated_bytes(&self) -> usize {
+        let (w, h) = (self.scan.tile_width, self.scan.tile_height);
+        let buf_len = stitch_core::Correlator::spectrum_len(TransformKind::Complex, w, h);
+        let quota = self.spectrum_quota();
+        let spectra = quota * buf_len * std::mem::size_of::<stitch_fft::C64>();
+        let tiles = quota * w * h * std::mem::size_of::<u16>();
+        spectra + tiles
+    }
+
+    /// Spectrum-pool lease quota for this job: the pipelined transform
+    /// pool bound (`4·min_dim + 8`, the most buffers any variant holds
+    /// live at once) plus one slack buffer per compute thread.
+    pub fn spectrum_quota(&self) -> usize {
+        let min_dim = self.scan.grid_rows.min(self.scan.grid_cols);
+        (4 * min_dim + 8).max(4) + self.threads
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion.
+    Completed,
+    /// Cancelled via [`JobHandle::cancel`] before or between phases.
+    Cancelled,
+    /// Sat in the queue past its deadline and was never started.
+    Expired,
+    /// The stitcher returned an error (or panicked; the panic is
+    /// contained and reported here).
+    Failed(String),
+}
+
+/// Everything a finished job produced.
+#[derive(Clone)]
+pub struct JobOutcome {
+    /// Job name, as submitted.
+    pub name: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Phase-1 result (present when the job got that far).
+    pub result: Option<StitchResult>,
+    /// Phase-2 globally optimized positions.
+    pub positions: Option<AbsolutePositions>,
+    /// Phase-3 mosaic (when `compose` was requested).
+    pub mosaic: Option<Image<u16>>,
+    /// Per-job run report derived from the job's private trace lane
+    /// (present when the scheduler ran with tracing enabled).
+    pub report: Option<RunReport>,
+    /// Wall time from dispatch to finish (zero for never-started jobs).
+    pub elapsed: Duration,
+}
+
+impl JobOutcome {
+    pub(crate) fn unstarted(name: &str, status: JobStatus) -> JobOutcome {
+        JobOutcome {
+            name: name.to_string(),
+            status,
+            result: None,
+            positions: None,
+            mosaic: None,
+            report: None,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+pub(crate) struct JobShared {
+    pub(crate) name: String,
+    pub(crate) cancel: AtomicBool,
+    pub(crate) outcome: Mutex<Option<JobOutcome>>,
+    pub(crate) done: Condvar,
+    /// Pokes the scheduler's dispatcher so a cancelled *queued* job is
+    /// finalized promptly instead of at the next natural wakeup.
+    pub(crate) wake_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+/// Caller-side handle to a submitted job: await or cancel it.
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(name: &str) -> JobHandle {
+        JobHandle {
+            shared: Arc::new(JobShared {
+                name: name.to_string(),
+                cancel: AtomicBool::new(false),
+                outcome: Mutex::new(None),
+                done: Condvar::new(),
+                wake_hook: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Requests cancellation. A queued job is dropped without running; a
+    /// running job stops at its next phase boundary and releases every
+    /// lease it holds. Idempotent; racing a natural completion is fine
+    /// (the job just completes).
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Release);
+        if let Some(hook) = self.shared.wake_hook.lock().as_ref() {
+            hook();
+        }
+    }
+
+    /// True once a terminal outcome is available.
+    pub fn is_done(&self) -> bool {
+        self.shared.outcome.lock().is_some()
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut slot = self.shared.outcome.lock();
+        while slot.is_none() {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.clone().expect("outcome present")
+    }
+
+    pub(crate) fn set_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.shared.wake_hook.lock() = Some(Box::new(hook));
+    }
+
+    pub(crate) fn cancelled(&self) -> bool {
+        self.shared.cancel.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn finish(&self, outcome: JobOutcome) {
+        let mut slot = self.shared.outcome.lock();
+        *slot = Some(outcome);
+        self.shared.done.notify_all();
+    }
+
+    pub(crate) fn clone_internal(&self) -> JobHandle {
+        JobHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! The multi-job scheduler: admission control, fair-share + priority
+//! dispatch, cancellation, and backpressure over shared substrates.
+//!
+//! ## Structure
+//!
+//! ```text
+//! submit ──▶ pending queue ──▶ dispatcher ──▶ WorkerPool (N job slots)
+//!              (bounded)      (stride pick,       │
+//!                              admission)         ├─ shared FFT plan cache
+//!                                                 ├─ bounded SpectrumPool quota
+//!                                                 ├─ shared Device (stream lease)
+//!                                                 └─ per-job TraceHandle lane
+//! ```
+//!
+//! * **Backpressure** — [`Scheduler::submit`] refuses
+//!   ([`SubmitError::Busy`]) once `max_pending` jobs are queued;
+//!   [`Scheduler::submit_blocking`] waits instead. Nothing queues
+//!   unboundedly.
+//! * **Admission control** — a job's [`StitchJob::estimated_bytes`] is
+//!   reserved from the [`ResourceArbiter`] *before* it is dispatched; a
+//!   job that cannot currently fit stays queued, and a job that can
+//!   *never* fit is rejected at submission ([`SubmitError::TooLarge`]).
+//!   The arbiter's high-water mark therefore never exceeds the budget.
+//! * **Fair-share + priority** — stride scheduling across priority
+//!   classes: each class `w` advances a virtual pass by `STRIDE / w` per
+//!   dispatch, and the dispatcher picks the admissible job with the
+//!   lowest pass (ties: higher weight, then submission order). A class
+//!   with twice the weight gets twice the dispatch share under
+//!   contention, and no class starves.
+//! * **Cancellation** — [`JobHandle::cancel`] drops a queued job without
+//!   running it and stops a running job at its next phase boundary;
+//!   either way every lease (memory reservation, pool buffers, stream
+//!   slot) is released by RAII.
+//! * **Panic containment** — jobs run on a
+//!   [`WorkerPool`](stitch_pipeline::WorkerPool) whose workers survive
+//!   task panics, and a drop-guard finalizes the job's outcome and
+//!   releases its reservation during unwinding, so a crashing job cannot
+//!   leak budget or deadlock siblings.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use stitch_core::{
+    Blend, Composer, FailurePolicy, GlobalOptimizer, MtCpuStitcher, PipelinedCpuConfig,
+    PipelinedCpuStitcher, SimpleCpuStitcher, SimpleGpuStitcher, Stitcher, TransformKind,
+};
+use stitch_core::{
+    Correlator, FijiStyleStitcher, PipelinedGpuConfig, PipelinedGpuStitcher, SyntheticSource,
+};
+use stitch_fft::PlanMode;
+use stitch_gpu::Device;
+use stitch_image::SyntheticPlate;
+use stitch_pipeline::{PoolSubmitter, WorkerPool};
+use stitch_trace::{RunReport, TraceHandle};
+
+use crate::arbiter::ResourceArbiter;
+use crate::job::{JobHandle, JobOutcome, JobStatus, JobVariant, StitchJob};
+
+/// Stride-scheduling scale: a class of weight `w` advances its pass by
+/// `STRIDE / w` per dispatch.
+const STRIDE: u64 = 1 << 20;
+
+/// Scheduler construction parameters.
+#[derive(Clone)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently *running* jobs (worker-pool threads).
+    pub workers: usize,
+    /// Host-memory byte budget for admission control.
+    pub memory_budget: usize,
+    /// Maximum *queued* (not yet running) jobs before submissions push
+    /// back.
+    pub max_pending: usize,
+    /// Shared simulated device for GPU-variant jobs; `None` makes GPU
+    /// jobs unsubmittable.
+    pub device: Option<Device>,
+    /// Master trace. When enabled, each job records into a private
+    /// handle that is merged back under a `job.<name>/` lane prefix, and
+    /// per-job [`RunReport`]s are attached to outcomes.
+    pub trace: TraceHandle,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            memory_budget: 256 << 20,
+            max_pending: 64,
+            device: None,
+            trace: TraceHandle::disabled(),
+        }
+    }
+}
+
+/// Why a submission was refused. Refusal is synchronous and leaves the
+/// scheduler unchanged — there is no half-admitted state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at `max_pending` (backpressure). Retry, or
+    /// use [`Scheduler::submit_blocking`].
+    Busy {
+        /// Jobs currently queued.
+        pending: usize,
+        /// The configured bound.
+        max_pending: usize,
+    },
+    /// The job's estimated footprint exceeds the whole memory budget —
+    /// it could never be admitted.
+    TooLarge {
+        /// Estimated bytes for the job.
+        requested: usize,
+        /// The scheduler's total budget.
+        budget: usize,
+    },
+    /// A GPU-variant job was submitted to a scheduler with no device.
+    NeedsDevice(
+        /// The offending variant.
+        JobVariant,
+    ),
+    /// The scheduler is shutting down.
+    ShuttingDown,
+    /// A job with this name is already queued or running.
+    DuplicateName(
+        /// The duplicated name.
+        String,
+    ),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy {
+                pending,
+                max_pending,
+            } => write!(f, "queue full: {pending}/{max_pending} pending"),
+            SubmitError::TooLarge { requested, budget } => {
+                write!(f, "job needs {requested} B, budget is {budget} B")
+            }
+            SubmitError::NeedsDevice(v) => {
+                write!(f, "variant {} needs a shared device", v.token())
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            SubmitError::DuplicateName(n) => write!(f, "job name '{n}' already in flight"),
+        }
+    }
+}
+
+struct PendingJob {
+    job: StitchJob,
+    handle: JobHandle,
+    seq: u64,
+    submitted: Instant,
+}
+
+struct QueueState {
+    pending: Vec<PendingJob>,
+    names_in_flight: Vec<String>,
+    seq: u64,
+    class_pass: HashMap<u32, u64>,
+    running: usize,
+    dispatch_log: Vec<String>,
+}
+
+struct SchedInner {
+    workers: usize,
+    max_pending: usize,
+    device: Option<Device>,
+    trace: TraceHandle,
+    arbiter: ResourceArbiter,
+    queue: Mutex<QueueState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+}
+
+/// The multi-job scheduler. Dropping it drains every queued and running
+/// job (prefer [`Scheduler::join`] to observe completion explicitly).
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler: one dispatcher thread plus a worker pool of
+    /// `config.workers` job slots.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(SchedInner {
+            workers,
+            max_pending: config.max_pending.max(1),
+            device: config.device,
+            trace: config.trace,
+            arbiter: ResourceArbiter::new(config.memory_budget),
+            queue: Mutex::new(QueueState {
+                pending: Vec::new(),
+                names_in_flight: Vec::new(),
+                seq: 0,
+                class_pass: HashMap::new(),
+                running: 0,
+                dispatch_log: Vec::new(),
+            }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+        });
+        let pool = WorkerPool::new(workers);
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            // The dispatcher hands tasks to the pool through a
+            // non-owning submitter; the pool itself stays owned by the
+            // Scheduler so workers are joined last.
+            let submitter = pool.submitter();
+            std::thread::Builder::new()
+                .name("stitch-sched".into())
+                .spawn(move || dispatcher_loop(&inner, &submitter))
+                .expect("spawn dispatcher")
+        };
+        Scheduler {
+            inner,
+            dispatcher: Some(dispatcher),
+            pool: Some(pool),
+        }
+    }
+
+    /// The shared-resource arbiter (budget counters, plan cache, pool
+    /// audit).
+    pub fn arbiter(&self) -> &ResourceArbiter {
+        &self.inner.arbiter
+    }
+
+    /// Jobs queued but not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.inner.queue.lock().pending.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.inner.queue.lock().running
+    }
+
+    /// Names in dispatch order — the order the scheduler *started* jobs
+    /// (stable evidence for fairness tests).
+    pub fn dispatch_order(&self) -> Vec<String> {
+        self.inner.queue.lock().dispatch_log.clone()
+    }
+
+    /// Stops dispatching new jobs until [`Scheduler::resume`]; queued
+    /// jobs wait, running jobs continue. Lets tests submit a batch
+    /// atomically before any dispatch order is decided.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Release);
+    }
+
+    /// Resumes dispatching after [`Scheduler::pause`].
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::Release);
+        self.inner.wake.notify_all();
+    }
+
+    /// Submits a job without blocking; see [`SubmitError`] for the
+    /// refusal cases.
+    pub fn submit(&self, job: StitchJob) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(job, false)
+    }
+
+    /// Like [`Scheduler::submit`], but waits for queue space instead of
+    /// returning [`SubmitError::Busy`].
+    pub fn submit_blocking(&self, job: StitchJob) -> Result<JobHandle, SubmitError> {
+        self.submit_inner(job, true)
+    }
+
+    fn submit_inner(&self, job: StitchJob, block: bool) -> Result<JobHandle, SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if job.variant.needs_device() && self.inner.device.is_none() {
+            return Err(SubmitError::NeedsDevice(job.variant));
+        }
+        let bytes = job.estimated_bytes();
+        if bytes > self.inner.arbiter.budget() {
+            return Err(SubmitError::TooLarge {
+                requested: bytes,
+                budget: self.inner.arbiter.budget(),
+            });
+        }
+        let mut q = self.inner.queue.lock();
+        while q.pending.len() >= self.inner.max_pending {
+            if !block {
+                return Err(SubmitError::Busy {
+                    pending: q.pending.len(),
+                    max_pending: self.inner.max_pending,
+                });
+            }
+            self.inner.wake.wait(&mut q);
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(SubmitError::ShuttingDown);
+            }
+        }
+        if q.names_in_flight.iter().any(|n| n == &job.name) {
+            return Err(SubmitError::DuplicateName(job.name.clone()));
+        }
+        let handle = JobHandle::new(&job.name);
+        {
+            let inner = Arc::clone(&self.inner);
+            handle.set_wake_hook(move || inner.wake.notify_all());
+        }
+        q.names_in_flight.push(job.name.clone());
+        q.seq += 1;
+        let seq = q.seq;
+        q.pending.push(PendingJob {
+            job,
+            handle: handle.clone_internal(),
+            seq,
+            submitted: Instant::now(),
+        });
+        drop(q);
+        self.inner.wake.notify_all();
+        Ok(handle)
+    }
+
+    /// Blocks until every queued and running job has reached a terminal
+    /// state. New submissions remain possible afterwards.
+    pub fn join(&self) {
+        let mut q = self.inner.queue.lock();
+        while !q.pending.is_empty() || q.running > 0 {
+            self.inner.wake.wait(&mut q);
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // Drain: the dispatcher keeps dispatching until the queue is
+        // empty, then exits; dropping the pool joins the running jobs.
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.paused.store(false, Ordering::Release);
+        self.inner.wake.notify_all();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        self.pool.take();
+    }
+}
+
+fn dispatcher_loop(inner: &Arc<SchedInner>, pool: &PoolSubmitter) {
+    loop {
+        let mut q = inner.queue.lock();
+        // Finalize cancelled / expired queued jobs first: they hold no
+        // resources, they just need terminal outcomes.
+        let mut i = 0;
+        while i < q.pending.len() {
+            let p = &q.pending[i];
+            let verdict = if p.handle.cancelled() {
+                Some(JobStatus::Cancelled)
+            } else if p.job.deadline.is_some_and(|d| p.submitted.elapsed() >= d) {
+                Some(JobStatus::Expired)
+            } else {
+                None
+            };
+            match verdict {
+                Some(status) => {
+                    let p = q.pending.remove(i);
+                    q.names_in_flight.retain(|n| n != &p.job.name);
+                    p.handle.finish(JobOutcome::unstarted(&p.job.name, status));
+                    inner.wake.notify_all();
+                }
+                None => i += 1,
+            }
+        }
+
+        if inner.shutdown.load(Ordering::Acquire) && q.pending.is_empty() {
+            return;
+        }
+
+        let mut dispatched = false;
+        if !inner.paused.load(Ordering::Acquire) && q.running < inner.workers {
+            // Stride pick: lowest class pass wins; ties prefer heavier
+            // weight, then submission order. Skip jobs whose reservation
+            // does not currently fit (they stay queued).
+            let mut order: Vec<usize> = (0..q.pending.len()).collect();
+            let passes = &q.class_pass;
+            order.sort_by_key(|&i| {
+                let p = &q.pending[i];
+                (
+                    *passes.get(&p.job.priority).unwrap_or(&0),
+                    u64::from(u32::MAX - p.job.priority),
+                    p.seq,
+                )
+            });
+            for idx in order {
+                let bytes = q.pending[idx].job.estimated_bytes();
+                if let Ok(reservation) = inner.arbiter.try_reserve(bytes) {
+                    let p = q.pending.remove(idx);
+                    let weight = p.job.priority.max(1);
+                    let pass = q.class_pass.entry(weight).or_insert(0);
+                    *pass += STRIDE / u64::from(weight);
+                    q.running += 1;
+                    q.dispatch_log.push(p.job.name.clone());
+                    let guard = JobGuard {
+                        inner: Arc::clone(inner),
+                        name: p.job.name.clone(),
+                        handle: p.handle.clone_internal(),
+                        _reservation: Some(reservation),
+                    };
+                    let task_inner = Arc::clone(inner);
+                    let accepted = pool.execute(move || {
+                        run_job(&task_inner, p.job, p.handle, guard);
+                    });
+                    debug_assert!(accepted, "pool outlives the dispatcher");
+                    // Queue space just freed: wake submit_blocking waiters.
+                    inner.wake.notify_all();
+                    dispatched = true;
+                    break;
+                }
+            }
+        }
+
+        if !dispatched {
+            // Nothing admissible right now: sleep until a submit,
+            // cancel, resume, job completion, or shutdown pokes us.
+            inner.wake.wait(&mut q);
+        }
+    }
+}
+
+/// Drop-guard owning a running job's scheduler-side leases. Runs on
+/// every exit path — normal completion, cancellation, *and* panic
+/// unwinding — so a crashed job still releases its memory reservation,
+/// decrements the running count, finalizes its outcome (waiters never
+/// hang), and wakes the dispatcher.
+struct JobGuard {
+    inner: Arc<SchedInner>,
+    name: String,
+    handle: JobHandle,
+    _reservation: Option<crate::arbiter::MemReservation>,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self._reservation.take(); // release bytes before waking anyone
+        if !self.handle.is_done() {
+            // Reached only when run_job unwound before finishing.
+            self.handle.finish(JobOutcome::unstarted(
+                &self.name,
+                JobStatus::Failed("job panicked".into()),
+            ));
+        }
+        let mut q = self.inner.queue.lock();
+        q.running = q.running.saturating_sub(1);
+        q.names_in_flight.retain(|n| n != &self.name);
+        drop(q);
+        self.inner.wake.notify_all();
+    }
+}
+
+fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: JobGuard) {
+    let _guard = guard;
+    let t0 = Instant::now();
+    if handle.cancelled() {
+        handle.finish(JobOutcome::unstarted(&job.name, JobStatus::Cancelled));
+        return;
+    }
+    let job_trace = if inner.trace.is_enabled() {
+        TraceHandle::new()
+    } else {
+        TraceHandle::disabled()
+    };
+    // GPU jobs check a stream out of the shared device for their whole
+    // run: the lease gates concurrent GPU jobs when `stream_slots` is
+    // configured and its counters let tests assert lease hygiene.
+    let _stream_lease = match (&inner.device, job.variant.needs_device()) {
+        (Some(device), true) => Some(device.lease_stream(&format!("job.{}", job.name))),
+        _ => None,
+    };
+
+    let plate = SyntheticPlate::generate(job.scan.clone());
+    let source = SyntheticSource::new(plate);
+    let stitcher = build_stitcher(inner, &job, &job_trace);
+
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        stitcher.try_compute_displacements(&source, &FailurePolicy::default())
+    }));
+    let mut out = JobOutcome::unstarted(&job.name, JobStatus::Completed);
+    match outcome {
+        Err(_) => out.status = JobStatus::Failed("stitcher panicked".into()),
+        Ok(Err(e)) => out.status = JobStatus::Failed(e.to_string()),
+        Ok(Ok(result)) => {
+            if handle.cancelled() {
+                out.status = JobStatus::Cancelled;
+                out.result = Some(result);
+            } else {
+                let positions = GlobalOptimizer::default().solve(&result);
+                if handle.cancelled() {
+                    out.status = JobStatus::Cancelled;
+                } else if job.compose {
+                    let mosaic = Composer::new(positions.clone(), Blend::Overlay).compose(&source);
+                    out.mosaic = Some(mosaic);
+                }
+                out.result = Some(result);
+                out.positions = Some(positions);
+            }
+        }
+    }
+    if job_trace.is_enabled() {
+        out.report = Some(RunReport::from_trace(&job_trace));
+        inner
+            .trace
+            .merge_from(&job_trace, &format!("job.{}", job.name));
+    }
+    out.elapsed = t0.elapsed();
+    handle.finish(out);
+}
+
+fn build_stitcher(
+    inner: &Arc<SchedInner>,
+    job: &StitchJob,
+    trace: &TraceHandle,
+) -> Box<dyn Stitcher> {
+    match job.variant {
+        JobVariant::SimpleCpu => Box::new(
+            SimpleCpuStitcher::default()
+                .with_transform(TransformKind::Complex)
+                .with_trace(trace.clone()),
+        ),
+        JobVariant::MtCpu => Box::new(MtCpuStitcher::new(job.threads).with_trace(trace.clone())),
+        JobVariant::PipelinedCpu => {
+            // The arbitrated substrates: a bounded per-job pool quota and
+            // the shared FFT plan cache.
+            let buf_len = Correlator::spectrum_len(
+                TransformKind::Complex,
+                job.scan.tile_width,
+                job.scan.tile_height,
+            );
+            let pool = inner.arbiter.quota_pool(buf_len, job.spectrum_quota());
+            let planner = inner.arbiter.planner(PlanMode::Estimate);
+            Box::new(
+                PipelinedCpuStitcher::with_config(PipelinedCpuConfig::with_threads(job.threads))
+                    .with_spectrum_pool(pool)
+                    .with_planner(planner)
+                    .with_trace(trace.clone()),
+            )
+        }
+        JobVariant::FijiStyle => {
+            Box::new(FijiStyleStitcher::new(job.threads).with_trace(trace.clone()))
+        }
+        JobVariant::SimpleGpu => {
+            let device = inner.device.clone().expect("checked at submit");
+            Box::new(SimpleGpuStitcher::new(device).with_trace(trace.clone()))
+        }
+        JobVariant::PipelinedGpu => {
+            let device = inner.device.clone().expect("checked at submit");
+            Box::new(
+                PipelinedGpuStitcher::new(
+                    vec![device],
+                    PipelinedGpuConfig {
+                        ccf_threads: job.threads.max(1),
+                        ..Default::default()
+                    },
+                )
+                .with_trace(trace.clone()),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use std::time::Duration;
+    use stitch_image::ScanConfig;
+
+    fn tiny(name: &str) -> StitchJob {
+        StitchJob::new(name, ScanConfig::for_grid(2, 2, 32, 24, 0.25, 3)).compose(false)
+    }
+
+    #[test]
+    fn single_job_completes_end_to_end() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        let h = sched.submit(tiny("solo").compose(true)).expect("submit");
+        let out = h.wait();
+        assert_eq!(out.status, JobStatus::Completed);
+        assert!(out.result.is_some());
+        assert!(out.positions.is_some());
+        assert!(out.mosaic.is_some());
+        sched.join();
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+        assert_eq!(sched.arbiter().leased_spectra(), 0);
+    }
+
+    #[test]
+    fn submit_refuses_too_large_duplicates_and_deviceless_gpu() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            memory_budget: 1024, // far below any job's footprint
+            device: None,
+            ..SchedulerConfig::default()
+        });
+        assert!(matches!(
+            sched.submit(tiny("a")),
+            Err(SubmitError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            sched.submit(tiny("g").variant(JobVariant::SimpleGpu)),
+            Err(SubmitError::NeedsDevice(JobVariant::SimpleGpu))
+        ));
+
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause();
+        let _h = sched.submit(tiny("dup")).unwrap();
+        assert!(matches!(
+            sched.submit(tiny("dup")),
+            Err(SubmitError::DuplicateName(n)) if n == "dup"
+        ));
+        sched.resume();
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            max_pending: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause(); // nothing dispatches, so the queue must fill
+        let _h1 = sched.submit(tiny("q1")).unwrap();
+        assert!(matches!(
+            sched.submit(tiny("q2")),
+            Err(SubmitError::Busy {
+                pending: 1,
+                max_pending: 1
+            })
+        ));
+        // A blocking submit parks until the dispatcher drains the queue.
+        let sched = std::sync::Arc::new(sched);
+        let s2 = std::sync::Arc::clone(&sched);
+        let blocked = std::thread::spawn(move || s2.submit_blocking(tiny("q2")).map(|h| h.wait()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!blocked.is_finished(), "must wait for queue space");
+        sched.resume();
+        let out = blocked.join().unwrap().expect("admitted after drain");
+        assert_eq!(out.status, JobStatus::Completed);
+        sched.join();
+    }
+
+    #[test]
+    fn stride_scheduling_favors_heavier_classes_two_to_one() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause(); // queue the whole batch before any pick happens
+        let mut handles = Vec::new();
+        for name in ["a1", "a2", "a3", "a4"] {
+            handles.push(sched.submit(tiny(name).priority(2)).unwrap());
+        }
+        for name in ["b1", "b2"] {
+            handles.push(sched.submit(tiny(name).priority(1)).unwrap());
+        }
+        sched.resume();
+        for h in &handles {
+            assert_eq!(h.wait().status, JobStatus::Completed);
+        }
+        // Stride simulation with class passes (2: +1/2, 1: +1, heavier
+        // wins ties): a1 b1 a2 a3 b2 a4.
+        assert_eq!(
+            sched.dispatch_order(),
+            vec!["a1", "b1", "a2", "a3", "b2", "a4"]
+        );
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_never_runs_it() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause();
+        let h = sched.submit(tiny("doomed")).unwrap();
+        h.cancel(); // wake hook pokes the paused dispatcher
+        let out = h.wait();
+        assert_eq!(out.status, JobStatus::Cancelled);
+        assert!(out.result.is_none(), "must never have started");
+        assert!(sched.dispatch_order().is_empty());
+        sched.resume();
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+    }
+
+    #[test]
+    fn queued_past_deadline_expires_without_running() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause();
+        let h = sched
+            .submit(tiny("late").deadline(Duration::from_millis(1)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        sched.resume();
+        let out = h.wait();
+        assert_eq!(out.status, JobStatus::Expired);
+        assert!(sched.dispatch_order().is_empty());
+    }
+}

@@ -31,8 +31,12 @@ pub mod alloc;
 pub mod cases;
 pub mod metamorphic;
 pub mod oracle;
+pub mod sched_stress;
 pub mod stress;
 
 pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
 pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
+pub use sched_stress::{
+    run_job_solo, run_sched_stress, solo_digests, JobDigest, SchedStressConfig, SchedStressOutcome,
+};
 pub use stress::{run_stress, StressConfig, StressOutcome};

@@ -247,6 +247,72 @@ impl TraceHandle {
         }
     }
 
+    /// Copies everything `other` has recorded into this trace, rebasing
+    /// `other`'s epoch-relative timestamps onto this trace's epoch so the
+    /// merged rows align on one wall clock, and prefixing every track,
+    /// counter, gauge, stage, and queue name with `prefix` (joined by
+    /// `/`). This is how the batch scheduler folds per-job traces into a
+    /// master timeline: each job records into its own handle, then lands
+    /// under a `job.<name>/` lane group next to the shared device's rows.
+    ///
+    /// A disabled handle on either side makes this a no-op. `other` is
+    /// only snapshotted — it remains usable (e.g. for a per-job
+    /// [`RunReport`]).
+    pub fn merge_from(&self, other: &TraceHandle, prefix: &str) {
+        let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        // Offset taking a timestamp on `other`'s clock onto ours. Spans
+        // that would land before our epoch clamp to it.
+        let offset: i128 = if src.epoch >= dst.epoch {
+            src.epoch.duration_since(dst.epoch).as_nanos() as i128
+        } else {
+            -(dst.epoch.duration_since(src.epoch).as_nanos() as i128)
+        };
+        let rebase = |ns: u64| -> u64 { (ns as i128 + offset).max(0) as u64 };
+        let label = |name: &str| -> String {
+            if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}/{name}")
+            }
+        };
+
+        let spans = src.spans.lock().clone();
+        {
+            let mut out = dst.spans.lock();
+            out.reserve(spans.len());
+            for s in spans {
+                out.push(TraceSpan {
+                    track: label(&s.track),
+                    cat: s.cat,
+                    name: s.name,
+                    start_ns: rebase(s.start_ns),
+                    end_ns: rebase(s.end_ns),
+                });
+            }
+        }
+        for (name, value) in src.counters.lock().iter() {
+            *dst.counters.lock().entry(label(name)).or_insert(0) += value;
+        }
+        for (name, value) in src.gauges.lock().iter() {
+            dst.gauges.lock().insert(label(name), *value);
+        }
+        for stat in src.stages.lock().iter() {
+            let mut stat = stat.clone();
+            stat.name = label(&stat.name);
+            dst.stages.lock().push(stat);
+        }
+        for stat in src.queues.lock().iter() {
+            let mut stat = stat.clone();
+            stat.name = label(&stat.name);
+            dst.queues.lock().push(stat);
+        }
+    }
+
     /// Serializes the merged timeline as Chrome trace-event JSON
     /// (`chrome://tracing` / Perfetto "JSON" format). One `pid` holds every
     /// track; each track becomes a named `tid` row (alphabetical order, so
@@ -446,5 +512,61 @@ mod tests {
     fn chrome_json_empty_trace_is_valid() {
         let t = TraceHandle::new();
         json::validate(&t.to_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn merge_from_prefixes_and_rebases() {
+        let master = TraceHandle::new();
+        thread::sleep(Duration::from_millis(2));
+        let job = TraceHandle::new(); // later epoch than master
+        job.record("fft.0", "compute", "t", 0, 100);
+        job.add_counter("tiles", 4);
+        job.set_gauge("overlap", 0.25);
+        job.record_stage(StageStat {
+            name: "fft".into(),
+            threads: 1,
+            items: 4,
+            busy_ns: 100,
+            wait_ns: 0,
+        });
+        job.record_queue(QueueStat {
+            name: "fft.in".into(),
+            capacity: 4,
+            pushed: 4,
+            popped: 4,
+            high_water: 2,
+            producer_block_ns: 0,
+            consumer_block_ns: 0,
+        });
+
+        master.merge_from(&job, "job.a");
+        let spans = master.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].track, "job.a/fft.0");
+        assert!(
+            spans[0].start_ns >= 1_000_000,
+            "job epoch is ~2ms after master's; got {}",
+            spans[0].start_ns
+        );
+        assert_eq!(spans[0].end_ns - spans[0].start_ns, 100);
+        assert_eq!(master.counters()["job.a/tiles"], 4);
+        assert_eq!(master.gauges()["job.a/overlap"], 0.25);
+        assert_eq!(master.stages()[0].name, "job.a/fft");
+        assert_eq!(master.queues()[0].name, "job.a/fft.in");
+        // the job handle is still intact for a per-job report
+        assert_eq!(job.spans().len(), 1);
+        json::validate(&master.to_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn merge_from_disabled_or_self_is_noop() {
+        let t = TraceHandle::new();
+        t.record("a", "stage", "x", 0, 1);
+        t.merge_from(&TraceHandle::disabled(), "j");
+        t.merge_from(&t.clone(), "j");
+        assert_eq!(t.spans().len(), 1);
+        let d = TraceHandle::disabled();
+        d.merge_from(&t, "j");
+        assert!(d.spans().is_empty());
     }
 }

@@ -60,6 +60,22 @@ pub enum Command {
         /// stats, kernel density, copy/compute overlap) as JSON.
         report_out: Option<PathBuf>,
     },
+    /// Run a batch of stitching jobs on the shared scheduler.
+    ServeBatch {
+        /// Job file (one `key=value ...` job per line; see
+        /// [`stitch_sched::parse_job_file`]).
+        jobs: PathBuf,
+        /// Concurrent job slots.
+        workers: usize,
+        /// Host-memory admission budget in MB.
+        budget_mb: usize,
+        /// Stream-lease bound on the shared device (GPU jobs).
+        stream_slots: Option<usize>,
+        /// Where to write the merged multi-job Chrome trace.
+        trace_out: Option<PathBuf>,
+        /// Directory for per-job run reports (`report-<name>.json`).
+        reports_dir: Option<PathBuf>,
+    },
     /// Print dataset information.
     Info {
         /// Dataset directory.
@@ -125,9 +141,16 @@ USAGE:
                 [--retries N] [--retry-backoff-ms N] [--allow-partial]
                 [--fault-spec SPEC] [--health-json out.json]
                 [--trace-json trace.json] [--run-report report.json]
+  stitch serve-batch --jobs FILE [--workers N] [--budget-mb N]
+                     [--stream-slots N] [--trace-json trace.json]
+                     [--reports-dir DIR]
   stitch info --dataset DIR
   stitch simulate [--machine testbed|laptop] [--rows N] [--cols N]
   stitch help
+
+JOB FILE (serve-batch; one job per line, `#` comments):
+  name=a variant=pipelined-cpu grid=6x8 tile=64x48 overlap=0.1 seed=5
+         threads=2 priority=2 deadline-ms=5000 compose=false
 
 IMPLEMENTATIONS: simple-cpu, mt-cpu, pipelined-cpu (default), simple-gpu,
                  pipelined-gpu, fiji
@@ -239,6 +262,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             trace_out: flags.get("trace-json").map(PathBuf::from),
             report_out: flags.get("run-report").map(PathBuf::from),
         }),
+        "serve-batch" => Ok(Command::ServeBatch {
+            jobs: flags
+                .get("jobs")
+                .ok_or("serve-batch requires --jobs FILE")?
+                .into(),
+            workers: get_num(&flags, "workers", 2)?,
+            budget_mb: get_num(&flags, "budget-mb", 256)?,
+            stream_slots: flags
+                .get("stream-slots")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad value for --stream-slots: {v:?}"))
+                })
+                .transpose()?,
+            trace_out: flags.get("trace-json").map(PathBuf::from),
+            reports_dir: flags.get("reports-dir").map(PathBuf::from),
+        }),
         "info" => Ok(Command::Info {
             dataset: flags
                 .get("dataset")
@@ -344,6 +384,94 @@ pub fn run(cmd: Command) -> i32 {
                 );
             }
             0
+        }
+        Command::ServeBatch {
+            jobs,
+            workers,
+            budget_mb,
+            stream_slots,
+            trace_out,
+            reports_dir,
+        } => {
+            let text = match std::fs::read_to_string(&jobs) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read job file {}: {e}", jobs.display());
+                    return 1;
+                }
+            };
+            let parsed = match stitch_sched::parse_job_file(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", jobs.display());
+                    return 1;
+                }
+            };
+            let want_observability = trace_out.is_some() || reports_dir.is_some();
+            let trace = if want_observability {
+                stitch_trace::TraceHandle::new()
+            } else {
+                stitch_trace::TraceHandle::disabled()
+            };
+            let n_jobs = parsed.len();
+            println!("serve-batch: {n_jobs} job(s), {workers} worker(s), {budget_mb} MB budget");
+            let report = stitch_sched::run_batch(
+                parsed,
+                &stitch_sched::BatchOptions {
+                    workers,
+                    memory_budget: budget_mb << 20,
+                    stream_slots,
+                    device: None,
+                    trace: trace.clone(),
+                },
+            );
+            for (name, why) in &report.rejected {
+                println!("  {name:<16} rejected: {why}");
+            }
+            let mut all_ok = report.rejected.is_empty();
+            for out in &report.outcomes {
+                let status = match &out.status {
+                    stitch_sched::JobStatus::Completed => "completed".to_string(),
+                    other => {
+                        all_ok = false;
+                        format!("{other:?}")
+                    }
+                };
+                println!("  {:<16} {status:<12} {:>8.2?}", out.name, out.elapsed);
+            }
+            println!(
+                "batch done in {:.2?}; memory high water {:.1} MB of {budget_mb} MB",
+                report.elapsed,
+                report.high_water as f64 / (1 << 20) as f64
+            );
+            if let Some(dir) = reports_dir {
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("error creating {}: {e}", dir.display());
+                    return 1;
+                }
+                for out in &report.outcomes {
+                    if let Some(r) = &out.report {
+                        let path = dir.join(format!("report-{}.json", out.name));
+                        if let Err(e) = std::fs::write(&path, r.to_json()) {
+                            eprintln!("error writing {}: {e}", path.display());
+                            return 1;
+                        }
+                    }
+                }
+                println!("per-job run reports -> {}", dir.display());
+            }
+            if let Some(path) = trace_out {
+                if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                    eprintln!("error writing trace: {e}");
+                    return 1;
+                }
+                println!("merged trace -> {}", path.display());
+            }
+            if all_ok {
+                0
+            } else {
+                2
+            }
         }
         Command::Stitch {
             dataset,
@@ -681,6 +809,47 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_batch_flags() {
+        let cmd = parse(&argv(
+            "serve-batch --jobs batch.txt --workers 4 --budget-mb 128 \
+             --stream-slots 1 --trace-json t.json --reports-dir out",
+        ))
+        .unwrap();
+        match cmd {
+            Command::ServeBatch {
+                jobs,
+                workers,
+                budget_mb,
+                stream_slots,
+                trace_out,
+                reports_dir,
+            } => {
+                assert_eq!(jobs, PathBuf::from("batch.txt"));
+                assert_eq!(workers, 4);
+                assert_eq!(budget_mb, 128);
+                assert_eq!(stream_slots, Some(1));
+                assert_eq!(trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(reports_dir, Some(PathBuf::from("out")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve-batch --jobs batch.txt")).unwrap() {
+            Command::ServeBatch {
+                workers,
+                budget_mb,
+                stream_slots,
+                ..
+            } => {
+                assert_eq!((workers, budget_mb), (2, 256));
+                assert_eq!(stream_slots, None, "leasing unbounded by default");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve-batch")).is_err(), "missing --jobs");
+        assert!(parse(&argv("serve-batch --jobs f --stream-slots x")).is_err());
     }
 
     #[test]

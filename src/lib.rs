@@ -12,6 +12,7 @@
 //! | [`pipeline`] | general-purpose bounded-queue pipeline framework (§VI-A's "general purpose API") |
 //! | [`gpu`] | simulated accelerator: device memory, streams, events, kernels, profiler |
 //! | [`core`] | the stitching system: PCIAM, six implementation variants, global optimization, composition |
+//! | [`sched`] | multi-job scheduler: shared-resource arbitration, fair-share dispatch, admission control |
 //! | [`sim`] | virtual-time discrete-event simulator for the paper's scaling experiments |
 //! | [`trace`] | unified run observability: merged CPU+GPU span timeline, Chrome-trace export, run reports |
 //!
@@ -49,6 +50,7 @@ pub use stitch_fft as fft;
 pub use stitch_gpu as gpu;
 pub use stitch_image as image;
 pub use stitch_pipeline as pipeline;
+pub use stitch_sched as sched;
 pub use stitch_sim as sim;
 pub use stitch_trace as trace;
 

@@ -1,0 +1,271 @@
+//! Concurrency battery for the multi-job scheduler.
+//!
+//! The contract under test: a scheduler may interleave, reorder, and
+//! arbitrate shared substrates (FFT plan cache, bounded spectrum pool,
+//! device stream slots, memory budget) however it likes, but
+//!
+//! 1. every admitted job's result is **bit-identical** to the same job
+//!    run solo with nothing shared (differential oracle),
+//! 2. cancellation and panics free every lease (memory reservation,
+//!    pool buffers, stream slots) — nothing leaks, siblings never
+//!    deadlock,
+//! 3. admission control never over-commits the memory budget, under any
+//!    randomized job storm, and
+//! 4. `run_sched_stress(seed)` is deterministic in its seed.
+
+use std::time::Duration;
+
+use stitch_testkit::{run_sched_stress, solo_digests};
+use stitching::gpu::{Device, DeviceConfig};
+use stitching::image::ScanConfig;
+use stitching::sched::{JobStatus, JobVariant, Scheduler, SchedulerConfig, StitchJob, SubmitError};
+
+/// Differential oracle: for every stress seed, each job that completed
+/// under the scheduler — sharing the plan cache, pool quotas, device
+/// streams, and memory budget with its siblings — must produce the exact
+/// displacements, positions, and mosaic hash as a solo run with fully
+/// private resources.
+#[test]
+fn admitted_jobs_are_bit_identical_to_solo_runs() {
+    for seed in [1u64, 7, 42] {
+        let out = run_sched_stress(seed);
+        assert!(out.resources_clean(), "seed {seed}: dirty resources");
+        let solo = solo_digests(&out.config);
+        let mut compared = 0;
+        for digest in &out.digests {
+            assert_eq!(
+                digest.status,
+                JobStatus::Completed,
+                "seed {seed}: job {} did not complete",
+                digest.name
+            );
+            let baseline = &solo[&digest.name];
+            assert_eq!(
+                digest, baseline,
+                "seed {seed}: job {} diverged from its solo run",
+                digest.name
+            );
+            compared += 1;
+        }
+        assert!(compared > 0, "seed {seed}: no job was admitted");
+    }
+}
+
+/// Determinism: equal seeds give equal digests and equal rejection sets,
+/// regardless of thread interleaving; resources always come back clean.
+#[test]
+fn stress_is_pure_in_its_seed_and_never_overcommits() {
+    for seed in 0..6u64 {
+        let a = run_sched_stress(seed);
+        let b = run_sched_stress(seed);
+        assert_eq!(a, b, "seed {seed}: reruns diverged");
+        for out in [&a, &b] {
+            assert!(
+                out.high_water <= out.config.memory_budget,
+                "seed {seed}: high water {} exceeded budget {}",
+                out.high_water,
+                out.config.memory_budget
+            );
+            assert_eq!(
+                out.reservations_after, 0,
+                "seed {seed}: leaked reservations"
+            );
+            assert_eq!(out.leases_after, 0, "seed {seed}: leaked pool leases");
+        }
+    }
+}
+
+/// Cancelling jobs mid-flight releases every lease class: memory
+/// reservations, spectrum-pool buffers, and device stream slots all
+/// return to zero, and the remaining jobs still complete.
+#[test]
+fn cancellation_frees_every_lease_class() {
+    let device = Device::new(
+        0,
+        DeviceConfig {
+            stream_slots: Some(1),
+            ..DeviceConfig::small(256 << 20)
+        },
+    );
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        device: Some(device.clone()),
+        ..SchedulerConfig::default()
+    });
+    let scan = ScanConfig::for_grid(4, 4, 64, 48, 0.25, 11);
+    // One pool-leasing CPU job, one stream-leasing GPU job, one survivor.
+    let doomed_cpu = sched
+        .submit(
+            StitchJob::new("doomed-cpu", scan.clone())
+                .variant(JobVariant::PipelinedCpu)
+                .threads(2)
+                .compose(false),
+        )
+        .unwrap();
+    let doomed_gpu = sched
+        .submit(
+            StitchJob::new("doomed-gpu", scan.clone())
+                .variant(JobVariant::SimpleGpu)
+                .compose(false),
+        )
+        .unwrap();
+    let survivor = sched
+        .submit(
+            StitchJob::new("survivor", ScanConfig::for_grid(2, 2, 32, 24, 0.25, 3)).compose(false),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(15));
+    doomed_cpu.cancel();
+    doomed_gpu.cancel();
+    // Cancellation is best-effort: a job that already crossed its last
+    // phase boundary completes. Either way, no lease survives.
+    for h in [&doomed_cpu, &doomed_gpu] {
+        let out = h.wait();
+        assert!(
+            matches!(out.status, JobStatus::Cancelled | JobStatus::Completed),
+            "{}: unexpected status {:?}",
+            out.name,
+            out.status
+        );
+    }
+    assert_eq!(survivor.wait().status, JobStatus::Completed);
+    sched.join();
+    assert_eq!(sched.arbiter().active_reservations(), 0, "memory leaked");
+    assert_eq!(sched.arbiter().leased_spectra(), 0, "pool leases leaked");
+    assert_eq!(device.active_stream_leases(), 0, "stream leases leaked");
+}
+
+/// Panic containment: a job whose stitcher panics is reported as
+/// `Failed`, its leases are released by the drop-guard, and sibling jobs
+/// sharing the same pool, budget, and device are unaffected.
+#[test]
+fn panicking_job_is_contained_and_siblings_complete() {
+    let device = Device::new(
+        0,
+        DeviceConfig {
+            stream_slots: Some(1),
+            ..DeviceConfig::small(256 << 20)
+        },
+    );
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        device: Some(device.clone()),
+        ..SchedulerConfig::default()
+    });
+    // Zero-size tiles make the FFT planner assert inside the stitcher —
+    // a genuine panic on a worker thread, not an error return.
+    let bomb = sched
+        .submit(StitchJob::new("bomb", ScanConfig::for_grid(2, 2, 0, 0, 0.25, 3)).compose(false))
+        .unwrap();
+    let mut siblings = Vec::new();
+    for (i, variant) in [
+        JobVariant::SimpleCpu,
+        JobVariant::PipelinedCpu,
+        JobVariant::SimpleGpu,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        siblings.push(
+            sched
+                .submit(
+                    StitchJob::new(
+                        format!("sib{i}"),
+                        ScanConfig::for_grid(2, 2, 32, 24, 0.25, 5),
+                    )
+                    .variant(variant)
+                    .compose(false),
+                )
+                .unwrap(),
+        );
+    }
+    let out = bomb.wait();
+    assert!(
+        matches!(out.status, JobStatus::Failed(_)),
+        "bomb should fail, got {:?}",
+        out.status
+    );
+    for h in &siblings {
+        let out = h.wait();
+        assert_eq!(
+            out.status,
+            JobStatus::Completed,
+            "sibling {} must survive the panic",
+            out.name
+        );
+        assert!(out.result.is_some());
+    }
+    sched.join();
+    assert_eq!(
+        sched.arbiter().active_reservations(),
+        0,
+        "panic leaked memory"
+    );
+    assert_eq!(
+        sched.arbiter().leased_spectra(),
+        0,
+        "panic leaked pool leases"
+    );
+    assert_eq!(
+        device.active_stream_leases(),
+        0,
+        "panic leaked stream leases"
+    );
+
+    // The pool survived: the same scheduler still runs new jobs.
+    let after = sched
+        .submit(StitchJob::new("after", ScanConfig::for_grid(2, 2, 32, 24, 0.25, 9)).compose(false))
+        .unwrap();
+    assert_eq!(after.wait().status, JobStatus::Completed);
+}
+
+/// Randomized job storm against a deliberately tight budget: admissions
+/// may queue and interleave arbitrarily, but the arbiter's high-water
+/// mark never exceeds the budget, and only impossible jobs are rejected.
+#[test]
+fn job_storm_never_overcommits_the_budget() {
+    let probe = StitchJob::new("probe", ScanConfig::for_grid(2, 2, 48, 40, 0.25, 1));
+    // Budget fits roughly two mid-size jobs at once.
+    let budget = probe.estimated_bytes() * 2 + 1024;
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 3,
+        memory_budget: budget,
+        max_pending: 4,
+        ..SchedulerConfig::default()
+    });
+    let mut handles = Vec::new();
+    let mut rejected = 0;
+    for i in 0..12 {
+        let (rows, cols) = [(2, 2), (2, 3), (3, 3), (8, 8)][i % 4];
+        let job = StitchJob::new(
+            format!("storm{i}"),
+            ScanConfig::for_grid(rows, cols, 48, 40, 0.25, i as u64),
+        )
+        .priority((i % 3 + 1) as u32)
+        .compose(false);
+        let too_large = job.estimated_bytes() > budget;
+        match sched.submit_blocking(job) {
+            Ok(h) => {
+                assert!(!too_large, "storm{i} should have been rejected");
+                handles.push(h);
+            }
+            Err(SubmitError::TooLarge { .. }) => {
+                assert!(too_large, "storm{i} fits but was rejected");
+                rejected += 1;
+            }
+            Err(e) => panic!("storm{i}: unexpected refusal {e}"),
+        }
+    }
+    assert_eq!(rejected, 3, "every 8x8 job exceeds the two-job budget");
+    for h in &handles {
+        assert_eq!(h.wait().status, JobStatus::Completed);
+    }
+    sched.join();
+    assert!(
+        sched.arbiter().high_water() <= budget,
+        "over-committed: {} > {}",
+        sched.arbiter().high_water(),
+        budget
+    );
+    assert_eq!(sched.arbiter().active_reservations(), 0);
+}

@@ -140,3 +140,68 @@ fn cli_writes_trace_and_report() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Cross-job device contention: two GPU jobs submitted to the scheduler
+/// share one device with a single stream slot. They must serialize their
+/// kernels (never deadlock), release every lease, and produce a merged
+/// per-job-lane timeline that passes the strict trace checker.
+#[test]
+fn two_gpu_jobs_on_one_stream_serialize_without_deadlock() {
+    use stitching::gpu::SpanKind;
+    use stitching::sched::{JobStatus, JobVariant, Scheduler, SchedulerConfig, StitchJob};
+
+    let device = Device::new(
+        0,
+        DeviceConfig {
+            stream_slots: Some(1),
+            ..DeviceConfig::with_transfer_model()
+        },
+    );
+    let trace = TraceHandle::new();
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2, // both jobs get a worker; only the stream slot gates
+        device: Some(device.clone()),
+        trace: trace.clone(),
+        ..SchedulerConfig::default()
+    });
+    let scan = |seed| ScanConfig::for_grid(3, 3, 64, 48, 0.25, seed);
+    let a = sched
+        .submit(
+            StitchJob::new("a", scan(1))
+                .variant(JobVariant::SimpleGpu)
+                .compose(false),
+        )
+        .unwrap();
+    let b = sched
+        .submit(
+            StitchJob::new("b", scan(2))
+                .variant(JobVariant::SimpleGpu)
+                .compose(false),
+        )
+        .unwrap();
+    assert_eq!(a.wait().status, JobStatus::Completed, "job a must finish");
+    assert_eq!(b.wait().status, JobStatus::Completed, "job b must finish");
+    sched.join();
+    assert_eq!(device.active_stream_leases(), 0, "stream leases returned");
+
+    // One stream slot means whole-job serialization on the device: at no
+    // instant were two kernels in flight.
+    assert_eq!(
+        device.profiler().peak_concurrency(SpanKind::Kernel),
+        1,
+        "kernels overlapped on a one-stream device"
+    );
+
+    // The merged timeline carries one lane family per job, device rows
+    // included, and survives the strict Chrome-trace checker.
+    let spans = trace.spans();
+    assert!(spans.iter().any(|s| s.track.starts_with("job.a/")));
+    assert!(spans.iter().any(|s| s.track.starts_with("job.b/")));
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.track.starts_with("job.a/gpu0/") && s.cat == "kernel"),
+        "per-job device kernel rows present"
+    );
+    json::validate(&trace.to_chrome_json()).expect("well-formed merged trace");
+}
