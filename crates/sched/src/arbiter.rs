@@ -41,6 +41,17 @@ pub enum AdmissionError {
         /// Bytes currently unreserved.
         free: usize,
     },
+    /// The request fits the global budget but would push its scope
+    /// (tenant) past that scope's configured cap; admissible later,
+    /// once the scope's other reservations release.
+    ScopeOvercommit {
+        /// Bytes requested.
+        requested: usize,
+        /// The scope's cap.
+        cap: usize,
+        /// Bytes the scope currently has reserved.
+        used: usize,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -52,6 +63,16 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::WouldOvercommit { requested, free } => {
                 write!(f, "job needs {requested} B, only {free} B free")
             }
+            AdmissionError::ScopeOvercommit {
+                requested,
+                cap,
+                used,
+            } => {
+                write!(
+                    f,
+                    "scope needs {requested} B more, cap is {cap} B ({used} B used)"
+                )
+            }
         }
     }
 }
@@ -59,10 +80,16 @@ impl std::fmt::Display for AdmissionError {
 struct ArbiterState {
     reserved: usize,
     high_water: usize,
+    /// Bytes reserved per scope (tenant). Entries are kept at zero
+    /// rather than removed so `scoped_reserved` is cheap and stable.
+    scoped: HashMap<String, usize>,
 }
 
 struct ArbiterInner {
     budget: usize,
+    /// Per-scope byte caps (tenant quotas); scopes without an entry are
+    /// bounded only by the global budget.
+    caps: Mutex<HashMap<String, usize>>,
     state: Mutex<ArbiterState>,
     freed: Condvar,
     planners: Mutex<HashMap<u8, Arc<Planner>>>,
@@ -82,9 +109,11 @@ impl ResourceArbiter {
         ResourceArbiter {
             inner: Arc::new(ArbiterInner {
                 budget,
+                caps: Mutex::new(HashMap::new()),
                 state: Mutex::new(ArbiterState {
                     reserved: 0,
                     high_water: 0,
+                    scoped: HashMap::new(),
                 }),
                 freed: Condvar::new(),
                 planners: Mutex::new(HashMap::new()),
@@ -118,6 +147,20 @@ impl ResourceArbiter {
 
     /// Attempts to reserve `bytes` without blocking.
     pub fn try_reserve(&self, bytes: usize) -> Result<MemReservation, AdmissionError> {
+        self.try_reserve_scoped(None, bytes)
+    }
+
+    /// Attempts to reserve `bytes` charged against `scope` (in addition
+    /// to the global budget). A scope with a configured cap
+    /// ([`ResourceArbiter::set_scope_cap`]) is refused with
+    /// [`AdmissionError::ScopeOvercommit`] once the cap is reached; a
+    /// scope without a cap behaves like an unscoped reservation but its
+    /// usage is still accounted ([`ResourceArbiter::scoped_reserved`]).
+    pub fn try_reserve_scoped(
+        &self,
+        scope: Option<&str>,
+        bytes: usize,
+    ) -> Result<MemReservation, AdmissionError> {
         if bytes > self.inner.budget {
             return Err(AdmissionError::TooLarge {
                 requested: bytes,
@@ -131,6 +174,19 @@ impl ResourceArbiter {
                 free: self.inner.budget - state.reserved,
             });
         }
+        if let Some(scope) = scope {
+            let used = state.scoped.get(scope).copied().unwrap_or(0);
+            if let Some(cap) = self.inner.caps.lock().get(scope).copied() {
+                if used + bytes > cap {
+                    return Err(AdmissionError::ScopeOvercommit {
+                        requested: bytes,
+                        cap,
+                        used,
+                    });
+                }
+            }
+            *state.scoped.entry(scope.to_string()).or_insert(0) = used + bytes;
+        }
         state.reserved += bytes;
         state.high_water = state.high_water.max(state.reserved);
         drop(state);
@@ -139,8 +195,31 @@ impl ResourceArbiter {
             .fetch_add(1, Ordering::AcqRel);
         Ok(MemReservation {
             arbiter: Arc::clone(&self.inner),
+            scope: scope.map(str::to_string),
             bytes,
         })
+    }
+
+    /// Caps `scope`'s concurrent reservations at `cap` bytes. Existing
+    /// reservations are unaffected; new ones past the cap are refused.
+    pub fn set_scope_cap(&self, scope: &str, cap: usize) {
+        self.inner.caps.lock().insert(scope.to_string(), cap);
+    }
+
+    /// The configured cap for `scope`, if any.
+    pub fn scope_cap(&self, scope: &str) -> Option<usize> {
+        self.inner.caps.lock().get(scope).copied()
+    }
+
+    /// Bytes currently reserved under `scope`.
+    pub fn scoped_reserved(&self, scope: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .scoped
+            .get(scope)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Reserves `bytes`, blocking until enough budget is free. Fails
@@ -165,6 +244,7 @@ impl ResourceArbiter {
             .fetch_add(1, Ordering::AcqRel);
         Ok(MemReservation {
             arbiter: Arc::clone(&self.inner),
+            scope: None,
             bytes,
         })
     }
@@ -207,6 +287,7 @@ impl ResourceArbiter {
 /// blocked reservers) on drop.
 pub struct MemReservation {
     arbiter: Arc<ArbiterInner>,
+    scope: Option<String>,
     bytes: usize,
 }
 
@@ -221,6 +302,11 @@ impl Drop for MemReservation {
     fn drop(&mut self) {
         let mut state = self.arbiter.state.lock();
         state.reserved = state.reserved.saturating_sub(self.bytes);
+        if let Some(scope) = &self.scope {
+            if let Some(used) = state.scoped.get_mut(scope) {
+                *used = used.saturating_sub(self.bytes);
+            }
+        }
         drop(state);
         self.arbiter
             .active_reservations
@@ -314,6 +400,33 @@ mod tests {
         assert_eq!(arb.leased_spectra(), 1);
         drop(lease);
         assert_eq!(arb.leased_spectra(), 0);
+    }
+
+    #[test]
+    fn scope_caps_bound_tenants_without_touching_the_global_budget() {
+        let arb = ResourceArbiter::new(100);
+        arb.set_scope_cap("acme", 50);
+        assert_eq!(arb.scope_cap("acme"), Some(50));
+
+        let a = arb.try_reserve_scoped(Some("acme"), 40).unwrap();
+        assert_eq!(arb.scoped_reserved("acme"), 40);
+        match arb.try_reserve_scoped(Some("acme"), 20) {
+            Err(AdmissionError::ScopeOvercommit {
+                requested,
+                cap,
+                used,
+            }) => assert_eq!((requested, cap, used), (20, 50, 40)),
+            Err(other) => panic!("expected ScopeOvercommit, got {other:?}"),
+            Ok(_) => panic!("expected ScopeOvercommit, got a reservation"),
+        }
+        // another scope (and the uncapped path) still has global room
+        let b = arb.try_reserve_scoped(Some("beta"), 50).unwrap();
+        assert_eq!(arb.scoped_reserved("beta"), 50);
+        drop(a);
+        assert_eq!(arb.scoped_reserved("acme"), 0);
+        let _c = arb.try_reserve_scoped(Some("acme"), 50).unwrap();
+        drop(b);
+        assert_eq!(arb.scoped_reserved("beta"), 0);
     }
 
     #[test]

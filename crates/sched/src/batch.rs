@@ -25,7 +25,15 @@
 //! | `threads=` | compute threads | `1` |
 //! | `priority=` | stride-scheduling weight ≥ 1 | `1` |
 //! | `deadline-ms=` | max queue wait before the job expires | none |
+//! | `watchdog-ms=` | max *run* time before the watchdog cancels the job | none |
+//! | `tenant=` | owning tenant (quota-accounting scope) | none |
 //! | `compose=` | `true`/`false`: build the full mosaic | `true` |
+//! | `hang-ms=` | chaos hook: cancellable hang before doing work | none |
+//! | `panic=` | chaos hook: `true` panics at start (contained) | `false` |
+//!
+//! The same line grammar is the `stitch serve` daemon's submission
+//! payload (`submit <job-line>`), so batch files and daemon clients
+//! share one parser and one failure surface.
 
 use std::time::{Duration, Instant};
 
@@ -36,27 +44,61 @@ use stitch_trace::TraceHandle;
 use crate::job::{JobOutcome, StitchJob};
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
 
+/// A parse failure pinned to its job-file line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number in the job file.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
 /// Parses a whole job file; errors carry the offending line number.
 pub fn parse_job_file(text: &str) -> Result<Vec<StitchJob>, String> {
-    let mut jobs = Vec::new();
+    let (jobs, errors) = parse_job_file_lenient(text);
+    if let Some(e) = errors.first() {
+        return Err(e.to_string());
+    }
+    if jobs.is_empty() {
+        return Err("job file contains no jobs".into());
+    }
+    Ok(jobs)
+}
+
+/// Parses a whole job file, containing malformed lines instead of
+/// failing: every parseable job is returned, and every bad line becomes
+/// a structured [`LineError`]. A duplicated job name is reported as an
+/// error on the *later* line; the first occurrence keeps its job. This
+/// is the shared submission parser behind `serve-batch` and the
+/// `stitch serve` daemon — a bad line never takes down the batch or
+/// the daemon.
+pub fn parse_job_file_lenient(text: &str) -> (Vec<StitchJob>, Vec<LineError>) {
+    let mut jobs: Vec<StitchJob> = Vec::new();
+    let mut errors = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let job = parse_job_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
-        jobs.push(job);
+        match parse_job_line(line) {
+            Ok(job) if jobs.iter().any(|j| j.name == job.name) => errors.push(LineError {
+                line: idx + 1,
+                message: format!("duplicate job name '{}'", job.name),
+            }),
+            Ok(job) => jobs.push(job),
+            Err(message) => errors.push(LineError {
+                line: idx + 1,
+                message,
+            }),
+        }
     }
-    if jobs.is_empty() {
-        return Err("job file contains no jobs".into());
-    }
-    let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
-    names.sort_unstable();
-    names.dedup();
-    if names.len() != jobs.len() {
-        return Err("job names must be unique within a batch".into());
-    }
-    Ok(jobs)
+    (jobs, errors)
 }
 
 /// Parses one `key=value ...` job line.
@@ -108,6 +150,30 @@ pub fn parse_job_line(line: &str) -> Result<StitchJob, String> {
                     .parse::<u64>()
                     .map_err(|_| format!("bad deadline-ms '{value}'"))?;
                 job_tmpl.deadline = Some(Duration::from_millis(ms));
+            }
+            "watchdog-ms" => {
+                let ms = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad watchdog-ms '{value}'"))?;
+                job_tmpl.watchdog = Some(Duration::from_millis(ms));
+            }
+            "tenant" => {
+                if value.is_empty() {
+                    return Err("tenant must be non-empty".into());
+                }
+                job_tmpl.tenant = Some(value.to_string());
+            }
+            "hang-ms" => {
+                job_tmpl.chaos.hang_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad hang-ms '{value}'"))?,
+                );
+            }
+            "panic" => {
+                job_tmpl.chaos.panic_at_start = value
+                    .parse::<bool>()
+                    .map_err(|_| format!("bad panic '{value}' (true/false)"))?;
             }
             "compose" => {
                 job_tmpl.compose = value
@@ -167,6 +233,9 @@ impl Default for BatchOptions {
 
 /// Everything a batch produced, in submission order.
 pub struct BatchReport {
+    /// Malformed job-file lines, reported per line instead of aborting
+    /// the batch (populated by [`run_batch_text`]).
+    pub parse_errors: Vec<LineError>,
     /// Outcomes of admitted jobs.
     pub outcomes: Vec<JobOutcome>,
     /// Jobs refused at submission, with the reason.
@@ -215,12 +284,30 @@ pub fn run_batch(jobs: Vec<StitchJob>, opts: &BatchOptions) -> BatchReport {
     let outcomes: Vec<JobOutcome> = handles.iter().map(|h| h.wait()).collect();
     let elapsed = t0.elapsed();
     BatchReport {
+        parse_errors: Vec::new(),
         outcomes,
         rejected,
         elapsed,
         high_water: sched.arbiter().high_water(),
         dispatch_order: sched.dispatch_order(),
     }
+}
+
+/// Like [`run_batch`], but starting from raw job-file text: malformed
+/// lines are contained as [`BatchReport::parse_errors`] and every
+/// well-formed job still runs. Returns an error only when *no* line
+/// parses to a job.
+pub fn run_batch_text(text: &str, opts: &BatchOptions) -> Result<BatchReport, String> {
+    let (jobs, parse_errors) = parse_job_file_lenient(text);
+    if jobs.is_empty() {
+        return Err(match parse_errors.first() {
+            Some(e) => format!("no parseable jobs ({e})"),
+            None => "job file contains no jobs".into(),
+        });
+    }
+    let mut report = run_batch(jobs, opts);
+    report.parse_errors = parse_errors;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -260,11 +347,62 @@ mod tests {
         assert_eq!(jobs[1].name, "b");
 
         let err = parse_job_file("name=a\nname=a\n").unwrap_err();
-        assert!(err.contains("unique"), "{err}");
+        assert!(err.contains("duplicate"), "{err}");
         let err = parse_job_file("variant=mt-cpu\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
         let err = parse_job_file("name=x bogus=1\n").unwrap_err();
         assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_extensions() {
+        let job = parse_job_line(
+            "name=w tenant=acme watchdog-ms=75 hang-ms=500 panic=true grid=2x2 tile=32x24",
+        )
+        .unwrap();
+        assert_eq!(job.tenant.as_deref(), Some("acme"));
+        assert_eq!(job.watchdog, Some(Duration::from_millis(75)));
+        assert_eq!(job.chaos.hang_ms, Some(500));
+        assert!(job.chaos.panic_at_start);
+        assert!(parse_job_line("name=x tenant=").is_err());
+        assert!(parse_job_line("name=x watchdog-ms=abc").is_err());
+        assert!(parse_job_line("name=x panic=maybe").is_err());
+    }
+
+    #[test]
+    fn lenient_parse_contains_bad_lines_and_keeps_good_ones() {
+        let (jobs, errors) = parse_job_file_lenient(
+            "name=a grid=2x2 tile=32x24\n\
+             this is not a job\n\
+             name=b bogus=1\n\
+             name=a grid=2x3 tile=32x24\n\
+             name=c grid=2x2 tile=32x24\n",
+        );
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "a");
+        assert_eq!(jobs[1].name, "c");
+        assert_eq!(errors.len(), 3);
+        assert_eq!(errors[0].line, 2);
+        assert!(errors[1].message.contains("unknown key"), "{}", errors[1]);
+        assert_eq!(errors[2].line, 4);
+        assert!(errors[2].message.contains("duplicate"), "{}", errors[2]);
+    }
+
+    #[test]
+    fn run_batch_text_runs_good_jobs_despite_bad_lines() {
+        let report = run_batch_text(
+            "name=ok grid=2x2 tile=32x24 compose=false\nbroken line here\n",
+            &BatchOptions {
+                workers: 1,
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].name, "ok");
+        assert_eq!(report.parse_errors.len(), 1);
+        assert_eq!(report.parse_errors[0].line, 2);
+        assert!(run_batch_text("only garbage\n", &BatchOptions::default()).is_err());
     }
 
     #[test]

@@ -61,12 +61,41 @@ impl JobVariant {
     }
 }
 
+/// Fault-injection hooks carried by a job — the scheduler-level sibling
+/// of the tile/GPU fault specs from the fault-tolerance layer. Both
+/// hooks run *inside* the job's contained execution, so they exercise
+/// the watchdog and panic-containment paths without touching real work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosHooks {
+    /// Before doing any work, the job spins in a cancellable sleep for
+    /// this many milliseconds — a stand-in for a hung job. The sleep
+    /// checks for cancellation every millisecond, so a watchdog cancel
+    /// (or an explicit [`JobHandle::cancel`]) reclaims the worker slot
+    /// promptly; `u64::MAX` hangs until cancelled.
+    pub hang_ms: Option<u64>,
+    /// Panic at the start of execution (after the hang, if both are
+    /// set). The panic is contained; the job fails, siblings continue.
+    pub panic_at_start: bool,
+}
+
+impl ChaosHooks {
+    /// True when no hook is armed.
+    pub fn is_noop(&self) -> bool {
+        self.hang_ms.is_none() && !self.panic_at_start
+    }
+}
+
 /// One stitching job submitted to the [`Scheduler`](crate::Scheduler):
 /// a synthetic grid spec plus execution parameters.
 #[derive(Clone, Debug)]
 pub struct StitchJob {
     /// Unique job name; per-job trace lanes appear as `job.<name>/…`.
     pub name: String,
+    /// Owning tenant for quota accounting; `None` jobs are unscoped.
+    /// When set, the job's memory reservation is charged against the
+    /// tenant's [`ResourceArbiter`](crate::ResourceArbiter) scope cap
+    /// (if one is configured) in addition to the global budget.
+    pub tenant: Option<String>,
     /// The grid to stitch (the synthetic plate is generated from this,
     /// so a job is fully described by its spec — no file I/O needed).
     pub scan: ScanConfig,
@@ -81,8 +110,15 @@ pub struct StitchJob {
     /// Queued jobs not *started* within this much time of submission are
     /// abandoned with [`JobStatus::Expired`]. `None` never expires.
     pub deadline: Option<Duration>,
+    /// Watchdog: a *running* job that has not finished within this much
+    /// time of dispatch is cancelled by the scheduler and finishes as
+    /// [`JobStatus::TimedOut`], releasing every lease it held. `None`
+    /// runs unwatched.
+    pub watchdog: Option<Duration>,
     /// Whether to compose the full mosaic after global optimization.
     pub compose: bool,
+    /// Fault-injection hooks (hang / panic), for chaos testing.
+    pub chaos: ChaosHooks,
 }
 
 impl StitchJob {
@@ -90,13 +126,34 @@ impl StitchJob {
     pub fn new(name: impl Into<String>, scan: ScanConfig) -> StitchJob {
         StitchJob {
             name: name.into(),
+            tenant: None,
             scan,
             variant: JobVariant::SimpleCpu,
             threads: 1,
             priority: 1,
             deadline: None,
+            watchdog: None,
             compose: true,
+            chaos: ChaosHooks::default(),
         }
+    }
+
+    /// Sets the owning tenant (quota-accounting scope).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> StitchJob {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the running-time watchdog.
+    pub fn watchdog(mut self, watchdog: Duration) -> StitchJob {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Sets the chaos hooks.
+    pub fn chaos(mut self, chaos: ChaosHooks) -> StitchJob {
+        self.chaos = chaos;
+        self
     }
 
     /// Sets the implementation variant.
@@ -161,6 +218,9 @@ pub enum JobStatus {
     Cancelled,
     /// Sat in the queue past its deadline and was never started.
     Expired,
+    /// Ran past its [`StitchJob::watchdog`] deadline and was cancelled
+    /// by the scheduler's watchdog; every lease was reclaimed.
+    TimedOut,
     /// The stitcher returned an error (or panicked; the panic is
     /// contained and reported here).
     Failed(String),
@@ -203,6 +263,10 @@ impl JobOutcome {
 pub(crate) struct JobShared {
     pub(crate) name: String,
     pub(crate) cancel: AtomicBool,
+    /// Set (together with `cancel`) when the cancellation came from the
+    /// scheduler's watchdog, so the outcome reads `TimedOut` rather
+    /// than `Cancelled`.
+    pub(crate) timed_out: AtomicBool,
     pub(crate) outcome: Mutex<Option<JobOutcome>>,
     pub(crate) done: Condvar,
     /// Pokes the scheduler's dispatcher so a cancelled *queued* job is
@@ -221,6 +285,7 @@ impl JobHandle {
             shared: Arc::new(JobShared {
                 name: name.to_string(),
                 cancel: AtomicBool::new(false),
+                timed_out: AtomicBool::new(false),
                 outcome: Mutex::new(None),
                 done: Condvar::new(),
                 wake_hook: Mutex::new(None),
@@ -265,6 +330,23 @@ impl JobHandle {
 
     pub(crate) fn cancelled(&self) -> bool {
         self.shared.cancel.load(Ordering::Acquire)
+    }
+
+    /// Watchdog-flavored cancellation: like [`JobHandle::cancel`], but
+    /// the terminal status becomes [`JobStatus::TimedOut`].
+    pub(crate) fn cancel_timeout(&self) {
+        self.shared.timed_out.store(true, Ordering::Release);
+        self.cancel();
+    }
+
+    /// The status a cancellation should resolve to: `TimedOut` when the
+    /// cancel came from the watchdog, `Cancelled` otherwise.
+    pub(crate) fn cancel_status(&self) -> JobStatus {
+        if self.shared.timed_out.load(Ordering::Acquire) {
+            JobStatus::TimedOut
+        } else {
+            JobStatus::Cancelled
+        }
     }
 
     pub(crate) fn finish(&self, outcome: JobOutcome) {

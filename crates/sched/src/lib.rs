@@ -51,6 +51,9 @@ pub mod job;
 pub mod scheduler;
 
 pub use arbiter::{AdmissionError, MemReservation, ResourceArbiter};
-pub use batch::{parse_job_file, parse_job_line, run_batch, BatchOptions, BatchReport};
-pub use job::{JobHandle, JobOutcome, JobStatus, JobVariant, StitchJob};
-pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};
+pub use batch::{
+    parse_job_file, parse_job_file_lenient, parse_job_line, run_batch, run_batch_text,
+    BatchOptions, BatchReport, LineError,
+};
+pub use job::{ChaosHooks, JobHandle, JobOutcome, JobStatus, JobVariant, StitchJob};
+pub use scheduler::{DrainPolicy, DrainReport, Scheduler, SchedulerConfig, SubmitError};

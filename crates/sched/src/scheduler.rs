@@ -41,7 +41,7 @@ use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use stitch_core::{
@@ -122,6 +122,9 @@ pub enum SubmitError {
     ),
     /// The scheduler is shutting down.
     ShuttingDown,
+    /// The scheduler is draining ([`Scheduler::drain`]): in-flight jobs
+    /// finish (or are cancelled, by policy) but nothing new is admitted.
+    Draining,
     /// A job with this name is already queued or running.
     DuplicateName(
         /// The duplicated name.
@@ -143,9 +146,34 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "variant {} needs a shared device", v.token())
             }
             SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            SubmitError::Draining => write!(f, "scheduler is draining"),
             SubmitError::DuplicateName(n) => write!(f, "job name '{n}' already in flight"),
         }
     }
+}
+
+/// What happens to in-flight jobs when a [`Scheduler::drain`] begins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Queued jobs still run; everything in flight finishes naturally
+    /// (watchdogs keep firing, so a hung-but-watched job still ends).
+    Finish,
+    /// Queued jobs are cancelled without running; running jobs finish.
+    CancelPending,
+    /// Queued jobs are cancelled and running jobs are asked to stop at
+    /// their next phase boundary.
+    CancelAll,
+}
+
+/// What a completed [`Scheduler::drain`] observed.
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// Queued jobs cancelled by the drain policy.
+    pub cancelled_queued: usize,
+    /// Running jobs signalled to cancel by the drain policy.
+    pub signalled_running: usize,
+    /// Wall time from drain start until the scheduler was empty.
+    pub elapsed: Duration,
 }
 
 struct PendingJob {
@@ -155,12 +183,22 @@ struct PendingJob {
     submitted: Instant,
 }
 
+/// Scheduler-side record of a dispatched job, kept until its guard
+/// drops: the watchdog scans these for overdue runs.
+struct RunningJob {
+    name: String,
+    handle: JobHandle,
+    started: Instant,
+    watchdog: Option<Duration>,
+}
+
 struct QueueState {
     pending: Vec<PendingJob>,
     names_in_flight: Vec<String>,
     seq: u64,
     class_pass: HashMap<u32, u64>,
     running: usize,
+    running_jobs: Vec<RunningJob>,
     dispatch_log: Vec<String>,
 }
 
@@ -173,6 +211,7 @@ struct SchedInner {
     queue: Mutex<QueueState>,
     wake: Condvar,
     shutdown: AtomicBool,
+    draining: AtomicBool,
     paused: AtomicBool,
 }
 
@@ -201,10 +240,12 @@ impl Scheduler {
                 seq: 0,
                 class_pass: HashMap::new(),
                 running: 0,
+                running_jobs: Vec::new(),
                 dispatch_log: Vec::new(),
             }),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             paused: AtomicBool::new(false),
         });
         let pool = WorkerPool::new(workers);
@@ -277,14 +318,26 @@ impl Scheduler {
         if self.inner.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
+        if self.inner.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::Draining);
+        }
         if job.variant.needs_device() && self.inner.device.is_none() {
             return Err(SubmitError::NeedsDevice(job.variant));
         }
         let bytes = job.estimated_bytes();
-        if bytes > self.inner.arbiter.budget() {
+        // A job that can never fit — the global budget, or its own
+        // tenant's cap — is rejected outright rather than queued forever.
+        let hard_cap = job
+            .tenant
+            .as_deref()
+            .and_then(|t| self.inner.arbiter.scope_cap(t))
+            .map_or(self.inner.arbiter.budget(), |cap| {
+                cap.min(self.inner.arbiter.budget())
+            });
+        if bytes > hard_cap {
             return Err(SubmitError::TooLarge {
                 requested: bytes,
-                budget: self.inner.arbiter.budget(),
+                budget: hard_cap,
             });
         }
         let mut q = self.inner.queue.lock();
@@ -298,6 +351,9 @@ impl Scheduler {
             self.inner.wake.wait(&mut q);
             if self.inner.shutdown.load(Ordering::Acquire) {
                 return Err(SubmitError::ShuttingDown);
+            }
+            if self.inner.draining.load(Ordering::Acquire) {
+                return Err(SubmitError::Draining);
             }
         }
         if q.names_in_flight.iter().any(|n| n == &job.name) {
@@ -330,6 +386,50 @@ impl Scheduler {
             self.inner.wake.wait(&mut q);
         }
     }
+
+    /// True once a [`Scheduler::drain`] has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
+    }
+
+    /// Drains the scheduler: admission stops immediately (subsequent
+    /// submissions fail with [`SubmitError::Draining`]), in-flight jobs
+    /// are finished or cancelled per `policy`, and the call blocks until
+    /// every job has reached a terminal state and released its leases.
+    /// Idempotent; concurrent drains all block until the queue is empty.
+    pub fn drain(&self, policy: DrainPolicy) -> DrainReport {
+        let t0 = Instant::now();
+        self.inner.draining.store(true, Ordering::Release);
+        let mut cancelled_queued = 0;
+        let mut signalled_running = 0;
+        {
+            let q = self.inner.queue.lock();
+            if matches!(policy, DrainPolicy::CancelPending | DrainPolicy::CancelAll) {
+                for p in &q.pending {
+                    p.handle.cancel();
+                    cancelled_queued += 1;
+                }
+            }
+            if matches!(policy, DrainPolicy::CancelAll) {
+                for r in &q.running_jobs {
+                    r.handle.cancel();
+                    signalled_running += 1;
+                }
+            }
+        }
+        // Wake blocked submitters (they must observe Draining) and the
+        // dispatcher (it finalizes the cancelled queued jobs).
+        self.inner.wake.notify_all();
+        let mut q = self.inner.queue.lock();
+        while !q.pending.is_empty() || q.running > 0 {
+            self.inner.wake.wait(&mut q);
+        }
+        DrainReport {
+            cancelled_queued,
+            signalled_running,
+            elapsed: t0.elapsed(),
+        }
+    }
 }
 
 impl Drop for Scheduler {
@@ -355,7 +455,7 @@ fn dispatcher_loop(inner: &Arc<SchedInner>, pool: &PoolSubmitter) {
         while i < q.pending.len() {
             let p = &q.pending[i];
             let verdict = if p.handle.cancelled() {
-                Some(JobStatus::Cancelled)
+                Some(p.handle.cancel_status())
             } else if p.job.deadline.is_some_and(|d| p.submitted.elapsed() >= d) {
                 Some(JobStatus::Expired)
             } else {
@@ -372,7 +472,22 @@ fn dispatcher_loop(inner: &Arc<SchedInner>, pool: &PoolSubmitter) {
             }
         }
 
-        if inner.shutdown.load(Ordering::Acquire) && q.pending.is_empty() {
+        // Watchdog: cancel running jobs past their run deadline. The
+        // cancel is idempotent, so rescanning an already-signalled job
+        // is harmless; the entry leaves the list when its guard drops.
+        for r in &q.running_jobs {
+            if r.watchdog.is_some_and(|wd| r.started.elapsed() >= wd) {
+                r.handle.cancel_timeout();
+            }
+        }
+
+        // On shutdown the dispatcher stays alive while any *watched*
+        // job is still running: a hung job needs the watchdog to fire
+        // before the worker pool can ever be joined.
+        if inner.shutdown.load(Ordering::Acquire)
+            && q.pending.is_empty()
+            && q.running_jobs.iter().all(|r| r.watchdog.is_none())
+        {
             return;
         }
 
@@ -393,12 +508,19 @@ fn dispatcher_loop(inner: &Arc<SchedInner>, pool: &PoolSubmitter) {
             });
             for idx in order {
                 let bytes = q.pending[idx].job.estimated_bytes();
-                if let Ok(reservation) = inner.arbiter.try_reserve(bytes) {
+                let scope = q.pending[idx].job.tenant.clone();
+                if let Ok(reservation) = inner.arbiter.try_reserve_scoped(scope.as_deref(), bytes) {
                     let p = q.pending.remove(idx);
                     let weight = p.job.priority.max(1);
                     let pass = q.class_pass.entry(weight).or_insert(0);
                     *pass += STRIDE / u64::from(weight);
                     q.running += 1;
+                    q.running_jobs.push(RunningJob {
+                        name: p.job.name.clone(),
+                        handle: p.handle.clone_internal(),
+                        started: Instant::now(),
+                        watchdog: p.job.watchdog,
+                    });
                     q.dispatch_log.push(p.job.name.clone());
                     let guard = JobGuard {
                         inner: Arc::clone(inner),
@@ -421,8 +543,23 @@ fn dispatcher_loop(inner: &Arc<SchedInner>, pool: &PoolSubmitter) {
 
         if !dispatched {
             // Nothing admissible right now: sleep until a submit,
-            // cancel, resume, job completion, or shutdown pokes us.
-            inner.wake.wait(&mut q);
+            // cancel, resume, job completion, or shutdown pokes us — or
+            // until the next watchdog deadline needs a scan.
+            let next_watchdog = q
+                .running_jobs
+                .iter()
+                .filter_map(|r| {
+                    let wd = r.watchdog?;
+                    Some(wd.saturating_sub(r.started.elapsed()))
+                })
+                .min();
+            match next_watchdog {
+                // +1ms so the deadline has actually passed when we scan.
+                Some(dur) => {
+                    let _ = inner.wake.wait_for(&mut q, dur + Duration::from_millis(1));
+                }
+                None => inner.wake.wait(&mut q),
+            }
         }
     }
 }
@@ -451,6 +588,7 @@ impl Drop for JobGuard {
         }
         let mut q = self.inner.queue.lock();
         q.running = q.running.saturating_sub(1);
+        q.running_jobs.retain(|r| r.name != self.name);
         q.names_in_flight.retain(|n| n != &self.name);
         drop(q);
         self.inner.wake.notify_all();
@@ -461,8 +599,23 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
     let _guard = guard;
     let t0 = Instant::now();
     if handle.cancelled() {
-        handle.finish(JobOutcome::unstarted(&job.name, JobStatus::Cancelled));
+        handle.finish(JobOutcome::unstarted(&job.name, handle.cancel_status()));
         return;
+    }
+    // Chaos hang hook: a cancellable stand-in for a hung job. Sleeping
+    // in 1 ms slices keeps the worker reclaimable — a watchdog cancel
+    // (or an explicit one) ends the hang at the next slice.
+    if let Some(ms) = job.chaos.hang_ms {
+        let hang = Duration::from_millis(ms.min(u64::MAX / 2));
+        while t0.elapsed() < hang && !handle.cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if handle.cancelled() {
+            let mut out = JobOutcome::unstarted(&job.name, handle.cancel_status());
+            out.elapsed = t0.elapsed();
+            handle.finish(out);
+            return;
+        }
     }
     let job_trace = if inner.trace.is_enabled() {
         TraceHandle::new()
@@ -482,6 +635,9 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
     let stitcher = build_stitcher(inner, &job, &job_trace);
 
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if job.chaos.panic_at_start {
+            panic!("chaos: injected job panic");
+        }
         stitcher.try_compute_displacements(&source, &FailurePolicy::default())
     }));
     let mut out = JobOutcome::unstarted(&job.name, JobStatus::Completed);
@@ -490,12 +646,12 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
         Ok(Err(e)) => out.status = JobStatus::Failed(e.to_string()),
         Ok(Ok(result)) => {
             if handle.cancelled() {
-                out.status = JobStatus::Cancelled;
+                out.status = handle.cancel_status();
                 out.result = Some(result);
             } else {
                 let positions = GlobalOptimizer::default().solve(&result);
                 if handle.cancelled() {
-                    out.status = JobStatus::Cancelled;
+                    out.status = handle.cancel_status();
                 } else if job.compose {
                     let mosaic = Composer::new(positions.clone(), Blend::Overlay).compose(&source);
                     out.mosaic = Some(mosaic);
@@ -694,6 +850,106 @@ mod tests {
         assert!(sched.dispatch_order().is_empty());
         sched.resume();
         assert_eq!(sched.arbiter().active_reservations(), 0);
+    }
+
+    #[test]
+    fn watchdog_times_out_a_hung_job_and_frees_its_leases() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        });
+        // Hangs "forever"; only the 40 ms watchdog can end it.
+        let hung = sched
+            .submit(tiny("hung").watchdog(Duration::from_millis(40)).chaos(
+                crate::job::ChaosHooks {
+                    hang_ms: Some(u64::MAX),
+                    panic_at_start: false,
+                },
+            ))
+            .unwrap();
+        let healthy = sched.submit(tiny("healthy")).unwrap();
+        assert_eq!(hung.wait().status, JobStatus::TimedOut);
+        assert_eq!(healthy.wait().status, JobStatus::Completed);
+        sched.join();
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+        assert_eq!(sched.arbiter().leased_spectra(), 0);
+    }
+
+    #[test]
+    fn drain_stops_admission_and_cancels_pending_by_policy() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause(); // queue everything before the drain begins
+        let queued: Vec<_> = ["d1", "d2", "d3"]
+            .iter()
+            .map(|n| sched.submit(tiny(n)).unwrap())
+            .collect();
+        sched.resume();
+        let report = sched.drain(DrainPolicy::CancelPending);
+        // No new admissions once the drain has begun.
+        assert!(matches!(
+            sched.submit(tiny("late")),
+            Err(SubmitError::Draining)
+        ));
+        assert!(sched.is_draining());
+        // Every queued job reached a terminal state (the dispatcher may
+        // have started some before the drain landed).
+        let mut cancelled = 0;
+        for h in &queued {
+            match h.wait().status {
+                JobStatus::Cancelled => cancelled += 1,
+                JobStatus::Completed => {}
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(report.cancelled_queued, cancelled);
+        assert_eq!(sched.pending(), 0);
+        assert_eq!(sched.running(), 0);
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+        assert_eq!(sched.arbiter().leased_spectra(), 0);
+    }
+
+    #[test]
+    fn drain_finish_runs_queued_jobs_to_completion() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        sched.pause();
+        let a = sched.submit(tiny("fa")).unwrap();
+        let b = sched.submit(tiny("fb")).unwrap();
+        sched.resume();
+        let report = sched.drain(DrainPolicy::Finish);
+        assert_eq!(report.cancelled_queued, 0);
+        assert_eq!(a.wait().status, JobStatus::Completed);
+        assert_eq!(b.wait().status, JobStatus::Completed);
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+    }
+
+    #[test]
+    fn tenant_scope_cap_queues_within_quota_and_rejects_impossible_jobs() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        });
+        let bytes = tiny("probe").estimated_bytes();
+        // Cap the tenant at 1.5 jobs' footprint: two jobs never run
+        // concurrently, but both complete.
+        sched.arbiter().set_scope_cap("acme", bytes + bytes / 2);
+        let a = sched.submit(tiny("t1").tenant("acme")).unwrap();
+        let b = sched.submit(tiny("t2").tenant("acme")).unwrap();
+        assert_eq!(a.wait().status, JobStatus::Completed);
+        assert_eq!(b.wait().status, JobStatus::Completed);
+        // A job bigger than its tenant's cap is rejected outright.
+        sched.arbiter().set_scope_cap("tiny", bytes / 2);
+        assert!(matches!(
+            sched.submit(tiny("t3").tenant("tiny")),
+            Err(SubmitError::TooLarge { .. })
+        ));
+        sched.join();
+        assert_eq!(sched.arbiter().scoped_reserved("acme"), 0);
     }
 
     #[test]

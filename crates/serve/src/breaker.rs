@@ -1,0 +1,197 @@
+//! Load-shed circuit breaker: after repeated queue-full overloads the
+//! daemon stops knocking on the scheduler and rejects fast for a
+//! cooldown, then probes with a single submission (half-open) before
+//! closing again.
+//!
+//! Like [`TokenBucket`](crate::tenant::TokenBucket), every transition
+//! takes `now` explicitly so tests drive it with a manual clock.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning. `threshold == 0` disables the breaker entirely.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Overloads within `window` that trip the breaker open. Zero
+    /// disables tripping.
+    pub threshold: usize,
+    /// Sliding window over which overloads are counted.
+    pub window: Duration,
+    /// How long the breaker stays open before probing (half-open).
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 8,
+            window: Duration::from_millis(250),
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// The breaker itself. Overloads (scheduler queue-full) feed
+/// [`CircuitBreaker::on_overload`]; accepted submissions feed
+/// [`CircuitBreaker::on_accept`]; [`CircuitBreaker::admit`] gates
+/// every submission before the scheduler is consulted.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+    overloads: Vec<Instant>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: State::Closed,
+            overloads: Vec::new(),
+            trips: 0,
+        }
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// True when the breaker is open (rejecting fast).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// May a submission proceed to the scheduler right now? An open
+    /// breaker whose cooldown has elapsed moves to half-open and lets
+    /// exactly this caller through as the probe.
+    pub fn admit(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed | State::HalfOpen => true,
+            State::Open { since } => {
+                if now.saturating_duration_since(since) >= self.config.cooldown {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The scheduler pushed back (queue full). In the sliding window,
+    /// `threshold` overloads trip the breaker open; an overloaded
+    /// half-open probe reopens immediately.
+    pub fn on_overload(&mut self, now: Instant) {
+        if self.config.threshold == 0 {
+            return;
+        }
+        if self.state == State::HalfOpen {
+            self.trips += 1;
+            self.state = State::Open { since: now };
+            self.overloads.clear();
+            return;
+        }
+        let horizon = self.config.window;
+        self.overloads
+            .retain(|t| now.saturating_duration_since(*t) < horizon);
+        self.overloads.push(now);
+        if matches!(self.state, State::Closed) && self.overloads.len() >= self.config.threshold {
+            self.trips += 1;
+            self.state = State::Open { since: now };
+            self.overloads.clear();
+        }
+    }
+
+    /// A submission was accepted: a successful half-open probe closes
+    /// the breaker.
+    pub fn on_accept(&mut self, _now: Instant) {
+        if self.state == State::HalfOpen {
+            self.state = State::Closed;
+            self.overloads.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            window: Duration::from_millis(100),
+            cooldown: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_overloads_and_probes_after_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(b.admit(t0));
+        b.on_overload(t0);
+        b.on_overload(t0);
+        assert!(b.admit(t0), "below threshold: still closed");
+        b.on_overload(t0);
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        assert!(!b.admit(t0 + Duration::from_millis(10)), "cooling down");
+        // Cooldown elapsed: one probe goes through (half-open).
+        let t1 = t0 + Duration::from_millis(60);
+        assert!(b.admit(t1));
+        // The probe succeeds: breaker closes.
+        b.on_accept(t1);
+        assert!(!b.is_open());
+        assert!(b.admit(t1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_overload(t0);
+        }
+        let t1 = t0 + Duration::from_millis(60);
+        assert!(b.admit(t1), "probe admitted");
+        b.on_overload(t1); // probe hit queue-full again
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 2);
+        assert!(!b.admit(t1 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn stale_overloads_age_out_of_the_window() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_overload(t0);
+        b.on_overload(t0);
+        // 150 ms later the first two are outside the 100 ms window.
+        let t1 = t0 + Duration::from_millis(150);
+        b.on_overload(t1);
+        assert!(!b.is_open(), "only one overload in window");
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            threshold: 0,
+            ..cfg()
+        });
+        for _ in 0..100 {
+            b.on_overload(t0);
+        }
+        assert!(b.admit(t0));
+        assert_eq!(b.trips(), 0);
+    }
+}

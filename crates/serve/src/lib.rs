@@ -1,0 +1,36 @@
+//! `stitch-serve`: a chaos-hardened long-running job daemon over the
+//! multi-job [`Scheduler`](stitch_sched::Scheduler).
+//!
+//! The daemon speaks a line-delimited protocol (stdin/stdout or a Unix
+//! socket — the transport is the CLI's concern; this crate is pure
+//! logic): clients `submit` jobs for named tenants and receive a stream
+//! of lifecycle events (`queued → running → done`). It survives the
+//! abuse a long-running service actually sees:
+//!
+//! * **Watchdogs** — a running job past its deadline is cancelled by
+//!   the scheduler, finishes as `TimedOut`, and every lease (memory
+//!   reservation, pool buffers, stream slot) is reclaimed.
+//! * **Overload shedding** — per-tenant in-flight quotas and token-
+//!   bucket rate limits sit in front of the scheduler's bounded queue;
+//!   repeated queue-full pushback trips a circuit breaker that rejects
+//!   fast until a cooldown probe succeeds. See [`tenant`] and
+//!   [`breaker`].
+//! * **Graceful drain** — [`ServeDaemon::drain`] closes admission,
+//!   applies a [`DrainPolicy`](stitch_sched::DrainPolicy) to in-flight
+//!   work, and flushes every job's events and run report before
+//!   reporting `drained`.
+//! * **Malformed-input containment** — a bad line is one `event=error`,
+//!   never a crash; a disconnected subscriber is pruned, never blocked
+//!   on. See [`protocol`].
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod daemon;
+pub mod protocol;
+pub mod tenant;
+
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use daemon::{DrainSummary, ServeConfig, ServeDaemon, ServeStats, DEFAULT_TENANT};
+pub use protocol::{parse_request, Event, Request, ShedReason};
+pub use tenant::{RateLimit, TenantPolicy, TokenBucket};

@@ -16,6 +16,10 @@
 //! * [`metamorphic`] — metamorphic properties of PCIAM/subpixel:
 //!   translation consistency, flip symmetry, intensity-scale invariance
 //!   of the peak location;
+//! * [`serve_chaos`] — a seeded chaos/soak harness for the
+//!   `stitch serve` daemon: tenant storms, hung and panicking jobs,
+//!   mid-run cancels, malformed lines, and client disconnects, with a
+//!   deterministic fate digest and lease/queue-depth audits;
 //! * [`stress`] — a seeded stress runner that drives the pipelined
 //!   variants under randomized-but-seeded queue capacities, worker
 //!   counts, transfer-model latencies, and fault specs; the same seed
@@ -32,11 +36,15 @@ pub mod cases;
 pub mod metamorphic;
 pub mod oracle;
 pub mod sched_stress;
+pub mod serve_chaos;
 pub mod stress;
 
 pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
 pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
 pub use sched_stress::{
     run_job_solo, run_sched_stress, solo_digests, JobDigest, SchedStressConfig, SchedStressOutcome,
+};
+pub use serve_chaos::{
+    run_serve_chaos, run_serve_soak, JobFate, ServeChaosConfig, ServeChaosOutcome, ServeSoakOutcome,
 };
 pub use stress::{run_stress, StressConfig, StressOutcome};

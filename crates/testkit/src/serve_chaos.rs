@@ -1,0 +1,488 @@
+//! Seeded chaos and soak harness for the `stitch serve` daemon — the
+//! service-level sibling of [`run_sched_stress`](crate::run_sched_stress).
+//!
+//! ## Chaos: `run_serve_chaos(seed)`
+//!
+//! From one seed it derives a full abuse script — tenant storms across
+//! several named tenants, healthy jobs, panicking jobs, hung jobs that a
+//! watchdog must kill, hung jobs a client cancels mid-run, malformed
+//! protocol lines, and a subscriber that disconnects partway — then
+//! drives a real [`ServeDaemon`] through it and drains.
+//!
+//! Contract, mirroring the other seeded harnesses:
+//!
+//! * **Pure in `seed` for its deterministic parts.** The script is built
+//!   so every job's fate is forced, not raced: healthy jobs complete,
+//!   `panic=true` jobs fail, hung jobs *with* a watchdog time out (the
+//!   hang is ~4 orders of magnitude longer than the watchdog), and hung
+//!   jobs *without* one are explicitly cancelled by the script (so a
+//!   `Finish` drain cannot wedge). `PartialEq` on [`ServeChaosOutcome`]
+//!   compares exactly the deterministic parts: per-job fates, contained
+//!   parse errors, sheds, and rejections.
+//! * **Invariant audits are separate.** Lease/reservation hygiene, the
+//!   bounded queue depth, and event accounting are timing-independent
+//!   facts checked via [`ServeChaosOutcome::clean`].
+//!
+//! ## Soak: `run_serve_soak(seed, jobs)`
+//!
+//! Pushes `jobs` submissions (≥3 tenants, a sprinkle of panics and
+//! watchdog timeouts) through a *small* daemon — tight pending queue,
+//! real rate limits — with a backpressure-aware client that retries
+//! sheds. Not deterministic; [`ServeSoakOutcome::clean`] audits what
+//! must hold regardless of timing: zero leaked reservations/leases,
+//! pending depth bounded by `max_pending`, every accepted job accounted
+//! for by a terminal status, and one flushed report file per job that
+//! ran.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+use stitch_sched::DrainPolicy;
+use stitch_serve::protocol::status_token;
+use stitch_serve::{Event, RateLimit, ServeConfig, ServeDaemon};
+
+/// What the script intends for one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFate {
+    /// Healthy job; must complete.
+    Complete,
+    /// `panic=true`; must fail (contained).
+    Panic,
+    /// Hangs ~10 min with a ~25 ms watchdog; must time out.
+    HangWatchdog,
+    /// Hangs with no watchdog; the script cancels it; must be
+    /// cancelled.
+    HangCancel,
+}
+
+impl JobFate {
+    /// The `event=done` status token this fate must produce.
+    pub fn expected_token(&self) -> &'static str {
+        match self {
+            JobFate::Complete => "completed",
+            JobFate::Panic => "failed",
+            JobFate::HangWatchdog => "timeout",
+            JobFate::HangCancel => "cancelled",
+        }
+    }
+}
+
+/// One scripted job: tenant, name, and forced fate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedJob {
+    /// Owning tenant (`t0`, `t1`, …).
+    pub tenant: String,
+    /// Tenant-local job name.
+    pub name: String,
+    /// The forced fate.
+    pub fate: JobFate,
+    /// The full `submit …` protocol line.
+    pub line: String,
+}
+
+/// The abuse script derived from one seed.
+#[derive(Clone, Debug)]
+pub struct ServeChaosConfig {
+    /// The driving seed.
+    pub seed: u64,
+    /// Named tenants in the storm.
+    pub tenants: usize,
+    /// Worker slots.
+    pub workers: usize,
+    /// Scripted jobs, in submission order.
+    pub jobs: Vec<ScriptedJob>,
+    /// Malformed lines interleaved with the submissions, as
+    /// `(position in submission order, line)`.
+    pub bad_lines: Vec<(usize, String)>,
+}
+
+impl ServeChaosConfig {
+    /// Derives a full chaos script from a seed.
+    pub fn derive(seed: u64) -> ServeChaosConfig {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e7ec4a05);
+        let tenants = rng.gen_range(3usize..=4);
+        let n_jobs = rng.gen_range(12usize..=20);
+        let mut jobs = Vec::with_capacity(n_jobs);
+        for i in 0..n_jobs {
+            let tenant = format!("t{}", rng.gen_range(0usize..tenants));
+            let name = format!("j{i}");
+            let fate = match rng.gen_range(0u32..10) {
+                0..=4 => JobFate::Complete,
+                5 | 6 => JobFate::Panic,
+                7 | 8 => JobFate::HangWatchdog,
+                _ => JobFate::HangCancel,
+            };
+            let (rows, cols) = [(2, 2), (2, 3)][rng.gen_range(0usize..2)];
+            let (tw, th) = [(32, 24), (40, 32)][rng.gen_range(0usize..2)];
+            let mut line = format!(
+                "submit name={name} tenant={tenant} grid={rows}x{cols} tile={tw}x{th} \
+                 seed={} compose=false",
+                seed ^ (0xc4a05 + i as u64)
+            );
+            match fate {
+                JobFate::Complete => {}
+                JobFate::Panic => line.push_str(" panic=true"),
+                JobFate::HangWatchdog => line.push_str(" hang-ms=600000 watchdog-ms=25"),
+                JobFate::HangCancel => line.push_str(" hang-ms=600000"),
+            }
+            jobs.push(ScriptedJob {
+                tenant,
+                name,
+                fate,
+                line,
+            });
+        }
+        const BAD_POOL: [&str; 6] = [
+            "frobnicate the mosaic",
+            "submit name=bad grdi=2x2",
+            "submit tile=32x24",
+            "cancel tenant=ghost",
+            "drain policy=sideways",
+            "submit name=bad variant=quantum grid=2x2 tile=32x24",
+        ];
+        let n_bad = rng.gen_range(2usize..=4);
+        let mut bad_lines = Vec::with_capacity(n_bad);
+        for _ in 0..n_bad {
+            let pos = rng.gen_range(0usize..=n_jobs);
+            let line = BAD_POOL[rng.gen_range(0usize..BAD_POOL.len())];
+            bad_lines.push((pos, line.to_string()));
+        }
+        bad_lines.sort_by_key(|(pos, _)| *pos);
+        ServeChaosConfig {
+            seed,
+            tenants,
+            workers: rng.gen_range(2usize..=3),
+            jobs,
+            bad_lines,
+        }
+    }
+}
+
+/// Everything one chaos run observed. `PartialEq` covers only the
+/// deterministic parts (fates, errors, sheds, rejections); audits are
+/// checked through [`ServeChaosOutcome::clean`].
+#[derive(Clone, Debug)]
+pub struct ServeChaosOutcome {
+    /// The derived script.
+    pub config: ServeChaosConfig,
+    /// `(tenant/job, status token)` for every finished job, sorted.
+    pub fates: Vec<(String, String)>,
+    /// Malformed lines contained as `event=error`.
+    pub errors: u64,
+    /// Overload sheds (the chaos regime is provisioned so none occur).
+    pub shed: u64,
+    /// Outright rejections (likewise none).
+    pub rejected: u64,
+    /// Arbiter reservations outstanding after the drain (must be 0).
+    pub reservations_after: usize,
+    /// Spectrum-pool leases outstanding after the drain (must be 0).
+    pub leases_after: usize,
+    /// Highest pending-queue depth the daemon saw.
+    pub pending_high_water: u64,
+    /// Jobs still tracked after the drain (must be 0).
+    pub inflight_after: u64,
+    /// `done` events a survivor subscriber (connected from the start)
+    /// received — must equal the job count even though a sibling
+    /// subscriber disconnected mid-storm.
+    pub survivor_done_events: usize,
+}
+
+impl PartialEq for ServeChaosOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.config.seed == other.config.seed
+            && self.fates == other.fates
+            && self.errors == other.errors
+            && self.shed == other.shed
+            && self.rejected == other.rejected
+    }
+}
+
+impl ServeChaosOutcome {
+    /// All service-level invariants in one check.
+    pub fn clean(&self) -> bool {
+        self.reservations_after == 0
+            && self.leases_after == 0
+            && self.inflight_after == 0
+            && self.pending_high_water <= self.config.jobs.len() as u64
+            && self.survivor_done_events == self.config.jobs.len()
+            && self.shed == 0
+            && self.rejected == 0
+    }
+
+    /// The fates the script forced, in the same sorted shape as
+    /// [`ServeChaosOutcome::fates`].
+    pub fn expected_fates(&self) -> Vec<(String, String)> {
+        let mut expected: Vec<(String, String)> = self
+            .config
+            .jobs
+            .iter()
+            .map(|j| {
+                (
+                    format!("{}/{}", j.tenant, j.name),
+                    j.fate.expected_token().to_string(),
+                )
+            })
+            .collect();
+        expected.sort();
+        expected
+    }
+}
+
+/// Runs one seeded chaos iteration. Deterministic parts are pure in
+/// `seed`; see the module docs for the contract.
+pub fn run_serve_chaos(seed: u64) -> ServeChaosOutcome {
+    let config = ServeChaosConfig::derive(seed);
+    let n_jobs = config.jobs.len();
+    let daemon = ServeDaemon::new(ServeConfig {
+        workers: config.workers,
+        // Provisioned so overload protection never bites: the chaos
+        // digest must be timing-free. (Shedding is exercised by the
+        // soak runner and the unit batteries instead.)
+        max_pending: n_jobs,
+        tenant_policy: stitch_serve::TenantPolicy {
+            max_in_flight: n_jobs,
+            rate: None,
+            mem_cap: None,
+        },
+        ..ServeConfig::default()
+    });
+    let survivor = daemon.subscribe();
+    let quitter = daemon.subscribe();
+    let mut quitter = Some(quitter);
+
+    // The storm: submissions with malformed lines spliced in; halfway
+    // through, one subscriber walks away.
+    let mut bad = config.bad_lines.iter().peekable();
+    for (i, job) in config.jobs.iter().enumerate() {
+        while bad.next_if(|(pos, _)| *pos <= i).map(|(_, line)| {
+            daemon.handle_line(line);
+        }) == Some(())
+        {}
+        if i == n_jobs / 2 {
+            quitter.take(); // client disconnect, mid-storm
+        }
+        daemon.handle_line(&job.line);
+    }
+    for (_, line) in bad {
+        daemon.handle_line(line);
+    }
+    // Cancel every unwatched hung job — scripted, so a Finish drain
+    // cannot wedge and the fate is forced.
+    for job in &config.jobs {
+        if job.fate == JobFate::HangCancel {
+            daemon.handle_line(&format!("cancel tenant={} name={}", job.tenant, job.name));
+        }
+    }
+
+    daemon.drain(DrainPolicy::Finish);
+    let stats = daemon.stats();
+
+    let mut fates = Vec::with_capacity(n_jobs);
+    let mut survivor_done_events = 0usize;
+    for event in survivor.try_iter() {
+        if let Event::Done {
+            tenant,
+            job,
+            status,
+            ..
+        } = event
+        {
+            survivor_done_events += 1;
+            fates.push((format!("{tenant}/{job}"), status_token(&status).to_string()));
+        }
+    }
+    fates.sort();
+
+    ServeChaosOutcome {
+        fates,
+        errors: stats.errors,
+        shed: stats.shed,
+        rejected: stats.rejected,
+        reservations_after: daemon.scheduler().arbiter().active_reservations(),
+        leases_after: daemon.scheduler().arbiter().leased_spectra(),
+        pending_high_water: stats.pending_high_water,
+        inflight_after: stats.in_flight,
+        survivor_done_events,
+        config,
+    }
+}
+
+/// What one soak run observed; audit via [`ServeSoakOutcome::clean`].
+#[derive(Clone, Debug)]
+pub struct ServeSoakOutcome {
+    /// Submissions attempted.
+    pub submitted: usize,
+    /// Submissions the daemon accepted.
+    pub accepted: u64,
+    /// Accepted jobs that completed.
+    pub completed: u64,
+    /// Accepted jobs that failed (injected panics).
+    pub failed: u64,
+    /// Accepted jobs the watchdog timed out.
+    pub timed_out: u64,
+    /// Accepted jobs cancelled (none are scripted; drain is `Finish`).
+    pub cancelled: u64,
+    /// Shed events observed across all retries (overload is expected).
+    pub shed_events: u64,
+    /// Submissions dropped after exhausting their retry budget.
+    pub dropped: usize,
+    /// The daemon's pending-queue bound.
+    pub max_pending: usize,
+    /// Highest pending depth observed (must stay ≤ `max_pending`).
+    pub pending_high_water: u64,
+    /// Arbiter reservations outstanding after the drain (must be 0).
+    pub reservations_after: usize,
+    /// Spectrum-pool leases outstanding after the drain (must be 0).
+    pub leases_after: usize,
+    /// Jobs still tracked after the drain (must be 0).
+    pub inflight_after: u64,
+    /// Report files flushed by the drain.
+    pub report_files: usize,
+    /// Jobs that ran far enough to produce a report (completed+failed).
+    pub report_eligible: u64,
+}
+
+impl ServeSoakOutcome {
+    /// Every invariant the soak must uphold regardless of timing.
+    pub fn clean(&self) -> bool {
+        self.reservations_after == 0
+            && self.leases_after == 0
+            && self.inflight_after == 0
+            && self.pending_high_water <= self.max_pending as u64
+            && self.accepted == self.completed + self.failed + self.timed_out + self.cancelled
+            && self.accepted as usize + self.dropped == self.submitted
+            && self.report_files == self.report_eligible as usize
+    }
+}
+
+/// Soaks a small daemon with `jobs` submissions across three tenants
+/// through a backpressure-aware client (sheds are retried, briefly).
+/// Panics and watchdog timeouts are injected throughout; the run ends
+/// with a graceful `Finish` drain and a flushed-report audit.
+pub fn run_serve_soak(seed: u64, jobs: usize) -> ServeSoakOutcome {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50a4);
+    let max_pending = 32;
+    let reports_dir =
+        std::env::temp_dir().join(format!("stitch-serve-soak-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&reports_dir);
+    let daemon = ServeDaemon::new(ServeConfig {
+        workers: 3,
+        max_pending,
+        trace: stitch_trace::TraceHandle::new(),
+        tenant_policy: stitch_serve::TenantPolicy {
+            max_in_flight: 24,
+            rate: Some(RateLimit {
+                burst: 64,
+                per_sec: 20_000.0,
+            }),
+            mem_cap: None,
+        },
+        reports_dir: Some(reports_dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    let mut shed_events = 0u64;
+    let mut dropped = 0usize;
+    for i in 0..jobs {
+        let tenant = format!("t{}", i % 3);
+        let mut line = format!(
+            "submit name=s{i} tenant={tenant} grid=2x2 tile=32x24 seed={} compose=false",
+            seed ^ i as u64
+        );
+        match rng.gen_range(0u32..20) {
+            0 => line.push_str(" panic=true"),
+            1 => line.push_str(" hang-ms=600000 watchdog-ms=20"),
+            _ => {}
+        }
+        // Backpressure-aware client: a shed is retried for a while
+        // (the daemon is tiny on purpose — overload is the test).
+        let mut accepted = false;
+        for _attempt in 0..500 {
+            let events = daemon.handle_line(&line);
+            match events.last() {
+                Some(Event::Queued { .. }) => {
+                    accepted = true;
+                    break;
+                }
+                Some(Event::Shed { .. }) => {
+                    shed_events += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("soak submission produced {other:?}"),
+            }
+        }
+        if !accepted {
+            dropped += 1;
+        }
+    }
+
+    daemon.drain(DrainPolicy::Finish);
+    let stats = daemon.stats();
+    let report_files = std::fs::read_dir(&reports_dir)
+        .map(|dir| dir.count())
+        .unwrap_or(0);
+    let outcome = ServeSoakOutcome {
+        submitted: jobs,
+        accepted: stats.accepted,
+        completed: stats.completed,
+        failed: stats.failed,
+        timed_out: stats.timed_out,
+        cancelled: stats.cancelled,
+        shed_events,
+        dropped,
+        max_pending,
+        pending_high_water: stats.pending_high_water,
+        reservations_after: daemon.scheduler().arbiter().active_reservations(),
+        leases_after: daemon.scheduler().arbiter().leased_spectra(),
+        inflight_after: stats.in_flight,
+        report_files,
+        report_eligible: stats.completed + stats.failed,
+    };
+    let _ = std::fs::remove_dir_all(&reports_dir);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_script_derivation_is_deterministic_and_in_envelope() {
+        for seed in 0..32u64 {
+            let a = ServeChaosConfig::derive(seed);
+            let b = ServeChaosConfig::derive(seed);
+            assert_eq!(a.jobs, b.jobs);
+            assert_eq!(a.bad_lines, b.bad_lines);
+            assert_eq!((a.tenants, a.workers), (b.tenants, b.workers));
+            assert!((12..=20).contains(&a.jobs.len()));
+            assert!((3..=4).contains(&a.tenants));
+            assert!((2..=4).contains(&a.bad_lines.len()));
+            // Unique names: the fate map must be collision-free.
+            let mut keys: Vec<_> = a
+                .jobs
+                .iter()
+                .map(|j| format!("{}/{}", j.tenant, j.name))
+                .collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), a.jobs.len());
+        }
+    }
+
+    #[test]
+    fn scripts_cover_every_fate_across_a_few_seeds() {
+        let mut seen = [false; 4];
+        for seed in 0..8u64 {
+            for job in ServeChaosConfig::derive(seed).jobs {
+                seen[match job.fate {
+                    JobFate::Complete => 0,
+                    JobFate::Panic => 1,
+                    JobFate::HangWatchdog => 2,
+                    JobFate::HangCancel => 3,
+                }] = true;
+            }
+        }
+        assert_eq!(seen, [true; 4], "fate mix degenerated");
+    }
+}

@@ -193,6 +193,19 @@ impl TraceHandle {
         }
     }
 
+    /// Raises the named gauge to `value` if `value` exceeds its current
+    /// reading — a high-water-mark gauge (e.g. peak queue depth over a
+    /// daemon's lifetime).
+    pub fn set_gauge_max(&self, name: &str, value: f64) {
+        if let Some(i) = &self.inner {
+            let mut gauges = i.gauges.lock();
+            let slot = gauges.entry(name.to_string()).or_insert(value);
+            if value > *slot {
+                *slot = value;
+            }
+        }
+    }
+
     /// Pushes a pipeline stage statistic (busy/wait attribution).
     pub fn record_stage(&self, stat: StageStat) {
         if let Some(i) = &self.inner {
@@ -437,6 +450,18 @@ mod tests {
         assert!(t.spans().is_empty());
         assert!(t.counters().is_empty());
         assert!(t.gauges().is_empty());
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let t = TraceHandle::new();
+        t.set_gauge_max("depth", 3.0);
+        t.set_gauge_max("depth", 7.0);
+        t.set_gauge_max("depth", 5.0);
+        assert_eq!(t.gauges()["depth"], 7.0);
+        let d = TraceHandle::disabled();
+        d.set_gauge_max("depth", 1.0);
+        assert!(d.gauges().is_empty());
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! Command-line interface plumbing for the `stitch` binary.
 //!
-//! A small hand-rolled parser (no external dependency) covering the four
-//! subcommands: `generate`, `stitch`, `info`, and `simulate`. Parsing is
-//! pure so it is unit-testable; execution lives in [`run`].
+//! A small hand-rolled parser (no external dependency) covering the
+//! subcommands: `generate`, `stitch`, `serve`, `serve-batch`, `info`,
+//! and `simulate`. Parsing is pure so it is unit-testable; execution
+//! lives in [`run`], and the daemon's line-protocol session loop in the
+//! testable [`serve_session`].
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use stitch_core::pciam_real::TransformKind;
 use stitch_core::prelude::*;
 use stitch_gpu::{Device, DeviceConfig, GpuFaultConfig};
 use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
+use stitch_sched::DrainPolicy;
+use stitch_serve::{BreakerConfig, RateLimit, ServeConfig, ServeDaemon, TenantPolicy};
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
@@ -59,6 +66,37 @@ pub enum Command {
         /// Where to write the run report (per-stage busy/wait, queue
         /// stats, kernel density, copy/compute overlap) as JSON.
         report_out: Option<PathBuf>,
+    },
+    /// Run the long-lived job daemon on stdin/stdout (and optionally a
+    /// Unix socket), speaking the line protocol of [`stitch_serve`].
+    Serve {
+        /// Worker slots (concurrently running jobs).
+        workers: usize,
+        /// Host-memory admission budget in MB.
+        budget_mb: usize,
+        /// Bound on the pending queue; submissions past it shed.
+        max_pending: usize,
+        /// Default watchdog deadline for jobs that don't set one.
+        watchdog_ms: Option<u64>,
+        /// Per-tenant cap on jobs in flight (queued + running).
+        tenant_jobs: usize,
+        /// Per-tenant token-bucket burst; `None` disables rate limiting.
+        rate_burst: Option<u32>,
+        /// Token-bucket refill rate (tokens/second).
+        rate_per_sec: f64,
+        /// Per-tenant memory cap in MB (arbiter scope cap).
+        tenant_cap_mb: Option<usize>,
+        /// Queue-full overloads within the window that open the breaker
+        /// (0 disables it).
+        breaker_threshold: usize,
+        /// What happens to in-flight jobs when stdin reaches EOF.
+        drain: DrainPolicy,
+        /// Also listen on this Unix socket (one session per client).
+        socket: Option<PathBuf>,
+        /// Where to write the merged multi-job Chrome trace on exit.
+        trace_out: Option<PathBuf>,
+        /// Directory for per-job run reports (`<tenant>__<job>.report.json`).
+        reports_dir: Option<PathBuf>,
     },
     /// Run a batch of stitching jobs on the shared scheduler.
     ServeBatch {
@@ -141,6 +179,11 @@ USAGE:
                 [--retries N] [--retry-backoff-ms N] [--allow-partial]
                 [--fault-spec SPEC] [--health-json out.json]
                 [--trace-json trace.json] [--run-report report.json]
+  stitch serve [--workers N] [--budget-mb N] [--max-pending N]
+               [--watchdog-ms N] [--tenant-jobs N] [--rate-burst N]
+               [--rate-per-sec F] [--tenant-cap-mb N]
+               [--breaker-threshold N] [--drain finish|cancel-pending|cancel-all]
+               [--socket PATH] [--trace-json trace.json] [--reports-dir DIR]
   stitch serve-batch --jobs FILE [--workers N] [--budget-mb N]
                      [--stream-slots N] [--trace-json trace.json]
                      [--reports-dir DIR]
@@ -151,6 +194,14 @@ USAGE:
 JOB FILE (serve-batch; one job per line, `#` comments):
   name=a variant=pipelined-cpu grid=6x8 tile=64x48 overlap=0.1 seed=5
          threads=2 priority=2 deadline-ms=5000 compose=false
+  (malformed lines are reported per line; the rest of the batch runs)
+
+SERVE PROTOCOL (one request per line on stdin or the socket; responses
+and job lifecycle stream back as `event=... key=value` lines):
+  submit name=a tenant=acme grid=6x8 tile=64x48 [watchdog-ms=N] ...
+  cancel name=a [tenant=acme]
+  stats | ping | drain [policy=finish|cancel-pending|cancel-all]
+  EOF on stdin drains the daemon (--drain policy) and exits.
 
 IMPLEMENTATIONS: simple-cpu, mt-cpu, pipelined-cpu (default), simple-gpu,
                  pipelined-gpu, fiji
@@ -262,6 +313,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             trace_out: flags.get("trace-json").map(PathBuf::from),
             report_out: flags.get("run-report").map(PathBuf::from),
         }),
+        "serve" => Ok(Command::Serve {
+            workers: get_num(&flags, "workers", 2)?,
+            budget_mb: get_num(&flags, "budget-mb", 256)?,
+            max_pending: get_num(&flags, "max-pending", 64)?,
+            watchdog_ms: flags
+                .get("watchdog-ms")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad value for --watchdog-ms: {v:?}"))
+                })
+                .transpose()?,
+            tenant_jobs: get_num(&flags, "tenant-jobs", 8)?,
+            rate_burst: flags
+                .get("rate-burst")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad value for --rate-burst: {v:?}"))
+                })
+                .transpose()?,
+            rate_per_sec: get_num(&flags, "rate-per-sec", 100.0)?,
+            tenant_cap_mb: flags
+                .get("tenant-cap-mb")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad value for --tenant-cap-mb: {v:?}"))
+                })
+                .transpose()?,
+            breaker_threshold: get_num(&flags, "breaker-threshold", 8)?,
+            drain: match flags.get("drain").map(String::as_str) {
+                None | Some("finish") => DrainPolicy::Finish,
+                Some("cancel-pending") => DrainPolicy::CancelPending,
+                Some("cancel-all") => DrainPolicy::CancelAll,
+                Some(other) => return Err(format!("bad --drain {other:?}")),
+            },
+            socket: flags.get("socket").map(PathBuf::from),
+            trace_out: flags.get("trace-json").map(PathBuf::from),
+            reports_dir: flags.get("reports-dir").map(PathBuf::from),
+        }),
         "serve-batch" => Ok(Command::ServeBatch {
             jobs: flags
                 .get("jobs")
@@ -295,6 +384,63 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }),
         other => Err(format!("unknown command {other:?}; try `stitch help`")),
     }
+}
+
+/// Drives one daemon session: requests are read line-by-line from
+/// `input` and handed to the daemon; every broadcast event (this
+/// session's responses *and* all job lifecycle events) streams to
+/// `out` as `event=... key=value` lines. On EOF, `drain_on_eof`
+/// (set for the primary stdin session, `None` for socket clients)
+/// gracefully drains the daemon before returning.
+///
+/// Pure in its endpoints, so tests drive it with in-memory buffers.
+pub fn serve_session<R, W>(
+    daemon: &ServeDaemon,
+    input: R,
+    out: W,
+    drain_on_eof: Option<DrainPolicy>,
+) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let rx = daemon.subscribe();
+    let done = AtomicBool::new(false);
+    let done = &done;
+    std::thread::scope(|s| {
+        let pump = s.spawn(move || -> std::io::Result<()> {
+            let mut out = out;
+            loop {
+                match rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(e) => {
+                        writeln!(out, "{}", e.to_line())?;
+                        out.flush()?;
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        if done.load(Ordering::Acquire) {
+                            // the input side has finished (and drained);
+                            // everything left is already in the channel
+                            for e in rx.try_iter() {
+                                writeln!(out, "{}", e.to_line())?;
+                            }
+                            out.flush()?;
+                            return Ok(());
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                }
+            }
+        });
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            daemon.handle_line(&line);
+        }
+        if let Some(policy) = drain_on_eof {
+            daemon.drain(policy);
+        }
+        done.store(true, Ordering::Release);
+        pump.join().unwrap_or(Ok(()))
+    })
 }
 
 /// Executes a parsed command. Returns a process exit code.
@@ -385,6 +531,102 @@ pub fn run(cmd: Command) -> i32 {
             }
             0
         }
+        Command::Serve {
+            workers,
+            budget_mb,
+            max_pending,
+            watchdog_ms,
+            tenant_jobs,
+            rate_burst,
+            rate_per_sec,
+            tenant_cap_mb,
+            breaker_threshold,
+            drain,
+            socket,
+            trace_out,
+            reports_dir,
+        } => {
+            let trace = if trace_out.is_some() || reports_dir.is_some() {
+                stitch_trace::TraceHandle::new()
+            } else {
+                stitch_trace::TraceHandle::disabled()
+            };
+            let daemon = Arc::new(ServeDaemon::new(ServeConfig {
+                workers,
+                memory_budget: budget_mb << 20,
+                max_pending,
+                device: None,
+                trace: trace.clone(),
+                default_watchdog: watchdog_ms.map(Duration::from_millis),
+                tenant_policy: TenantPolicy {
+                    max_in_flight: tenant_jobs,
+                    rate: rate_burst.map(|burst| RateLimit {
+                        burst,
+                        per_sec: rate_per_sec,
+                    }),
+                    mem_cap: tenant_cap_mb.map(|mb| mb << 20),
+                },
+                breaker: BreakerConfig {
+                    threshold: breaker_threshold,
+                    ..BreakerConfig::default()
+                },
+                reports_dir: reports_dir.clone(),
+            }));
+            if let Some(path) = &socket {
+                let _ = std::fs::remove_file(path);
+                let listener = match std::os::unix::net::UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("error: cannot bind {}: {e}", path.display());
+                        return 1;
+                    }
+                };
+                eprintln!("serve: listening on {}", path.display());
+                let d = Arc::clone(&daemon);
+                std::thread::spawn(move || {
+                    for stream in listener.incoming() {
+                        let Ok(stream) = stream else { continue };
+                        let d = Arc::clone(&d);
+                        std::thread::spawn(move || {
+                            let Ok(reader) = stream.try_clone() else {
+                                return;
+                            };
+                            // socket clients never drain the daemon;
+                            // only stdin EOF shuts it down
+                            let _ = serve_session(&d, BufReader::new(reader), stream, None);
+                        });
+                    }
+                });
+            }
+            eprintln!(
+                "serve: {workers} worker(s), {budget_mb} MB budget, {max_pending} pending max; \
+                 EOF drains ({drain:?})"
+            );
+            let stdin = std::io::stdin();
+            let code = match serve_session(
+                &daemon,
+                BufReader::new(stdin),
+                std::io::stdout(),
+                Some(drain),
+            ) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("error: serve session: {e}");
+                    1
+                }
+            };
+            if let Some(path) = trace_out {
+                if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+                    eprintln!("error writing trace: {e}");
+                    return 1;
+                }
+                eprintln!("merged trace -> {}", path.display());
+            }
+            if let Some(path) = socket {
+                let _ = std::fs::remove_file(&path);
+            }
+            code
+        }
         Command::ServeBatch {
             jobs,
             workers,
@@ -400,23 +642,18 @@ pub fn run(cmd: Command) -> i32 {
                     return 1;
                 }
             };
-            let parsed = match stitch_sched::parse_job_file(&text) {
-                Ok(j) => j,
-                Err(e) => {
-                    eprintln!("error: {}: {e}", jobs.display());
-                    return 1;
-                }
-            };
             let want_observability = trace_out.is_some() || reports_dir.is_some();
             let trace = if want_observability {
                 stitch_trace::TraceHandle::new()
             } else {
                 stitch_trace::TraceHandle::disabled()
             };
-            let n_jobs = parsed.len();
-            println!("serve-batch: {n_jobs} job(s), {workers} worker(s), {budget_mb} MB budget");
-            let report = stitch_sched::run_batch(
-                parsed,
+            println!("serve-batch: {workers} worker(s), {budget_mb} MB budget");
+            // lenient parse (shared with the serve daemon's wire parser):
+            // a malformed line becomes a per-line error in the report and
+            // the rest of the batch still runs
+            let report = match stitch_sched::run_batch_text(
+                &text,
                 &stitch_sched::BatchOptions {
                     workers,
                     memory_budget: budget_mb << 20,
@@ -424,11 +661,20 @@ pub fn run(cmd: Command) -> i32 {
                     device: None,
                     trace: trace.clone(),
                 },
-            );
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", jobs.display());
+                    return 1;
+                }
+            };
+            for err in &report.parse_errors {
+                println!("  {}: {err}", jobs.display());
+            }
             for (name, why) in &report.rejected {
                 println!("  {name:<16} rejected: {why}");
             }
-            let mut all_ok = report.rejected.is_empty();
+            let mut all_ok = report.rejected.is_empty() && report.parse_errors.is_empty();
             for out in &report.outcomes {
                 let status = match &out.status {
                     stitch_sched::JobStatus::Completed => "completed".to_string(),
@@ -850,6 +1096,101 @@ mod tests {
         }
         assert!(parse(&argv("serve-batch")).is_err(), "missing --jobs");
         assert!(parse(&argv("serve-batch --jobs f --stream-slots x")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse(&argv(
+            "serve --workers 3 --max-pending 16 --watchdog-ms 5000 --tenant-jobs 4 \
+             --rate-burst 10 --rate-per-sec 2.5 --tenant-cap-mb 64 \
+             --breaker-threshold 3 --drain cancel-all --socket /tmp/s.sock",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                workers,
+                max_pending,
+                watchdog_ms,
+                tenant_jobs,
+                rate_burst,
+                rate_per_sec,
+                tenant_cap_mb,
+                breaker_threshold,
+                drain,
+                socket,
+                ..
+            } => {
+                assert_eq!(workers, 3);
+                assert_eq!(max_pending, 16);
+                assert_eq!(watchdog_ms, Some(5000));
+                assert_eq!(tenant_jobs, 4);
+                assert_eq!(rate_burst, Some(10));
+                assert_eq!(rate_per_sec, 2.5);
+                assert_eq!(tenant_cap_mb, Some(64));
+                assert_eq!(breaker_threshold, 3);
+                assert_eq!(drain, DrainPolicy::CancelAll);
+                assert_eq!(socket, Some(PathBuf::from("/tmp/s.sock")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                workers,
+                watchdog_ms,
+                rate_burst,
+                drain,
+                socket,
+                ..
+            } => {
+                assert_eq!(workers, 2);
+                assert_eq!(watchdog_ms, None, "no default watchdog");
+                assert_eq!(rate_burst, None, "rate limiting is opt-in");
+                assert_eq!(drain, DrainPolicy::Finish);
+                assert_eq!(socket, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --drain nope")).is_err());
+        assert!(parse(&argv("serve --watchdog-ms x")).is_err());
+    }
+
+    /// In-memory `Write + Send` sink for driving [`serve_session`].
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_session_streams_events_and_drains_on_eof() {
+        let daemon = ServeDaemon::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let input: &[u8] = b"submit name=a grid=2x2 tile=32x24 compose=false\n\
+                             this is not a request\n\
+                             ping\n";
+        let buf = SharedBuf::default();
+        serve_session(&daemon, input, buf.clone(), Some(DrainPolicy::Finish)).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("event=queued tenant=default job=a"), "{text}");
+        assert!(
+            text.contains("event=error"),
+            "malformed line contained: {text}"
+        );
+        assert!(text.contains("event=pong"), "{text}");
+        assert!(
+            text.contains("event=done tenant=default job=a status=completed"),
+            "{text}"
+        );
+        assert!(text.contains("event=drained"), "EOF must drain: {text}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`gpu`] | simulated accelerator: device memory, streams, events, kernels, profiler |
 //! | [`core`] | the stitching system: PCIAM, six implementation variants, global optimization, composition |
 //! | [`sched`] | multi-job scheduler: shared-resource arbitration, fair-share dispatch, admission control |
+//! | [`serve`] | long-running job daemon: line protocol, tenant quotas, watchdogs, load shedding, graceful drain |
 //! | [`sim`] | virtual-time discrete-event simulator for the paper's scaling experiments |
 //! | [`trace`] | unified run observability: merged CPU+GPU span timeline, Chrome-trace export, run reports |
 //!
@@ -51,6 +52,7 @@ pub use stitch_gpu as gpu;
 pub use stitch_image as image;
 pub use stitch_pipeline as pipeline;
 pub use stitch_sched as sched;
+pub use stitch_serve as serve;
 pub use stitch_sim as sim;
 pub use stitch_trace as trace;
 
