@@ -41,8 +41,11 @@ use std::time::Instant;
 
 use stitch_bench::{fmt_ns, scaled_scan, synthetic_source};
 use stitch_core::prelude::*;
-use stitch_core::OpCounts;
+use stitch_core::{Correlator, OpCounters, OpCounts, TransformKind};
+use stitch_fft::backend;
+use stitch_fft::{BackendChoice, PlanMode, Planner};
 use stitch_gpu::{Device, DeviceConfig};
+use stitch_image::{Scene, SceneParams};
 use stitch_testkit::alloc::CountingAllocator;
 
 #[global_allocator]
@@ -69,6 +72,36 @@ const BATCH_SPEEDUP_FLOOR: f64 = 1.3;
 
 /// Measurement rounds for the `--batch` gate.
 const BATCH_ROUNDS: usize = 3;
+
+/// Tile size for the per-backend pair bench. Deliberately larger than
+/// the quick preset's 64×48 tiles: down there the per-call cost of the
+/// backend boundary (dyn dispatch, feature re-check) is a visible
+/// fraction of each kernel invocation and the bench would measure the
+/// boundary, not the kernels. 256×192 keeps a full run under a few
+/// seconds while approaching the regime of the paper's 1392×1040
+/// tiles, where the hot loops dominate.
+const PAIR_TILE_W: usize = 256;
+const PAIR_TILE_H: usize = 192;
+
+/// Phase-1 pair computations per measured repeat of the per-backend
+/// bench (two forward FFTs + NCC + inverse FFT + peaks + CCF each).
+const PAIR_BATCH: usize = 4;
+
+/// Warmup and measured rounds for the per-backend bench. Each round
+/// times every backend back-to-back (round-robin) so slow drift on a
+/// time-shared runner — frequency scaling, steal time — lands on all
+/// backends equally instead of biasing whichever ran last.
+const PAIR_WARMUP: usize = 1;
+const PAIR_REPEATS: usize = 7;
+
+/// The per-backend gate fails unless the `auto` backend completes the
+/// pair bench at least this much faster than the `scalar` reference.
+/// The ratio is min-over-min: both run in the same process on the same
+/// data, and on a time-shared runner interference is strictly additive,
+/// so each backend's minimum round is the tightest estimate of its true
+/// cost. The target is 2×; the committed floor leaves headroom for
+/// throttled CI runners.
+const BACKEND_SPEEDUP_FLOOR: f64 = 1.5;
 
 struct Preset {
     name: &'static str,
@@ -211,6 +244,145 @@ fn run_preset(preset: &'static Preset) -> PresetReport {
     PresetReport { preset, variants }
 }
 
+struct BackendStats {
+    /// The `--backend` choice name measured.
+    choice: &'static str,
+    /// What that choice resolves to on this host.
+    resolved: &'static str,
+    median_ns: u64,
+    mad_ns: u64,
+    min_ns: u64,
+    allocs: u64,
+}
+
+/// Times the phase-1 pair computation (two forward FFTs + NCC + inverse
+/// FFT + peak extraction + CCF disambiguation) under every compute
+/// backend. Same pixels, same process, interleaved rounds — the only
+/// variable is the selected backend, so the scalar/auto ratio is a
+/// direct measure of the SIMD kernels.
+fn run_backend_bench() -> Vec<BackendStats> {
+    const CHOICES: [BackendChoice; 4] = [
+        BackendChoice::Scalar,
+        BackendChoice::Portable,
+        BackendChoice::Simd,
+        BackendChoice::Auto,
+    ];
+    let (w, h) = (PAIR_TILE_W, PAIR_TILE_H);
+    eprintln!(
+        "[perfgate] backend bench: {PAIR_BATCH} pair computes x {PAIR_REPEATS} interleaved \
+         rounds per backend on {w}x{h} tiles"
+    );
+    let scene = Scene::generate(
+        w as f64 * 3.0,
+        h as f64 * 3.0,
+        SceneParams {
+            colony_count: 20,
+            seed: 99,
+            ..SceneParams::default()
+        },
+    );
+    let a = scene.render_region(w as f64, h as f64, w, h, 0.02, 30.0, 1);
+    let b = scene.render_region(w as f64 * 1.75, h as f64 + 2.0, w, h, 0.02, 30.0, 2);
+    let planner = Planner::new(PlanMode::Estimate);
+
+    // One long-lived context per choice, allocated before any timing so
+    // the measured loops stay allocation-free.
+    let mut ctxs: Vec<Correlator> = CHOICES
+        .iter()
+        .map(|_| {
+            Correlator::new(
+                TransformKind::Complex,
+                &planner,
+                w,
+                h,
+                OpCounters::new_shared(),
+            )
+        })
+        .collect();
+    let mut walls = vec![Vec::with_capacity(PAIR_REPEATS); CHOICES.len()];
+    let mut allocs = vec![Vec::with_capacity(PAIR_REPEATS); CHOICES.len()];
+    let mut results = vec![Vec::with_capacity(PAIR_WARMUP + PAIR_REPEATS); CHOICES.len()];
+    for rep in 0..PAIR_WARMUP + PAIR_REPEATS {
+        for (ci, &choice) in CHOICES.iter().enumerate() {
+            backend::select(choice);
+            let ctx = &mut ctxs[ci];
+            let a0 = CountingAllocator::allocations();
+            let t0 = Instant::now();
+            let mut last = None;
+            for _ in 0..PAIR_BATCH {
+                let fa = ctx.forward_fft(&a);
+                let fb = ctx.forward_fft(&b);
+                last = Some(ctx.displacement_oriented(&fa, &fb, &a, &b, Some(PairKind::West)));
+            }
+            let wall = t0.elapsed().as_nanos() as u64;
+            results[ci].push(last.expect("PAIR_BATCH > 0"));
+            if rep >= PAIR_WARMUP {
+                walls[ci].push(wall);
+                allocs[ci].push(CountingAllocator::allocations() - a0);
+            }
+        }
+    }
+
+    let mut stats = Vec::new();
+    for (ci, choice) in CHOICES.into_iter().enumerate() {
+        assert!(
+            results[ci].windows(2).all(|p| p[0] == p[1]),
+            "backend {}: unstable pair result",
+            backend::resolved_name(choice)
+        );
+        let med = median(&mut walls[ci]);
+        let s = BackendStats {
+            choice: match choice {
+                BackendChoice::Auto => "auto",
+                BackendChoice::Scalar => "scalar",
+                BackendChoice::Portable => "portable",
+                BackendChoice::Simd => "simd",
+            },
+            resolved: backend::resolved_name(choice),
+            median_ns: med,
+            mad_ns: mad(&walls[ci], med),
+            min_ns: walls[ci].iter().copied().min().unwrap_or(0),
+            allocs: median(&mut allocs[ci]),
+        };
+        eprintln!(
+            "[perfgate]   backend {:<8} (-> {:<8}) median {:>8}  mad {:>7}  min {:>8}  allocs {:>6}",
+            s.choice,
+            s.resolved,
+            fmt_ns(s.median_ns),
+            fmt_ns(s.mad_ns),
+            fmt_ns(s.min_ns),
+            s.allocs
+        );
+        stats.push(s);
+    }
+    backend::select(BackendChoice::Auto);
+    stats
+}
+
+/// The committed perf claim: `auto` at least [`BACKEND_SPEEDUP_FLOOR`]×
+/// faster than `scalar` on the pair bench (min over min — see the
+/// constant's doc for why the minimum round is the right statistic on a
+/// time-shared runner).
+fn backend_gate(stats: &[BackendStats]) -> Result<f64, String> {
+    let best = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.choice == name)
+            .map(|s| s.min_ns)
+            .filter(|&m| m > 0)
+            .ok_or_else(|| format!("backend bench missing {name:?}"))
+    };
+    let speedup = best("scalar")? as f64 / best("auto")? as f64;
+    if speedup >= BACKEND_SPEEDUP_FLOOR {
+        Ok(speedup)
+    } else {
+        Err(format!(
+            "auto backend only x{speedup:.2} over scalar on the pair bench \
+             (floor x{BACKEND_SPEEDUP_FLOOR})"
+        ))
+    }
+}
+
 /// A fixed single-thread stitch whose median time normalizes this
 /// machine's speed: `--check` compares `median/calibration` ratios, so
 /// a uniformly slower runner does not trip the gate.
@@ -235,6 +407,7 @@ fn emit_report(
     pr: &str,
     calibration_ns: u64,
     presets: &[PresetReport],
+    backends: &[BackendStats],
     before_section: Option<&str>,
 ) -> String {
     let mut out = String::new();
@@ -248,16 +421,45 @@ fn emit_report(
     let _ = writeln!(
         out,
         "  \"after\": {}",
-        after_section(calibration_ns, presets)
+        after_section(calibration_ns, presets, backends)
     );
     out.push_str("}\n");
     out
 }
 
-fn after_section(calibration_ns: u64, presets: &[PresetReport]) -> String {
+fn backends_section(backends: &[BackendStats]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "      \"workload\": {{\"tile_width\": {}, \"tile_height\": {}, \
+         \"pairs_per_repeat\": {PAIR_BATCH}, \"warmup\": {PAIR_WARMUP}, \
+         \"repeats\": {PAIR_REPEATS}}},",
+        PAIR_TILE_W, PAIR_TILE_H
+    );
+    let _ = writeln!(s, "      \"speedup_floor\": {BACKEND_SPEEDUP_FLOOR},");
+    for (i, b) in backends.iter().enumerate() {
+        let comma = if i + 1 < backends.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      \"{}\": {{\"resolved\": \"{}\", \"median_ns\": {}, \"mad_ns\": {}, \
+             \"min_ns\": {}, \"allocs\": {}}}{comma}",
+            b.choice, b.resolved, b.median_ns, b.mad_ns, b.min_ns, b.allocs
+        );
+    }
+    s.push_str("    }");
+    s
+}
+
+fn after_section(
+    calibration_ns: u64,
+    presets: &[PresetReport],
+    backends: &[BackendStats],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "    \"calibration_ns\": {calibration_ns},");
+    let _ = writeln!(s, "    \"backends\": {},", backends_section(backends));
     s.push_str("    \"presets\": {\n");
     for (pi, p) in presets.iter().enumerate() {
         let w = p.preset;
@@ -375,6 +577,7 @@ fn check_against(
     baseline: &str,
     calibration_ns: u64,
     presets: &[PresetReport],
+    backends: &[BackendStats],
 ) -> Result<(), String> {
     if !baseline.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("baseline missing schema marker {SCHEMA:?}"));
@@ -386,6 +589,37 @@ fn check_against(
     let base_presets = extract_object(after, "presets").ok_or("baseline has no presets")?;
 
     let mut failures = Vec::new();
+    // Per-backend columns: compare normalized pair-bench medians when the
+    // baseline has them (pre-backend baselines simply skip this block).
+    if let Some(base_backends) = extract_object(after, "backends") {
+        for b in backends {
+            let Some(bb) = extract_object(base_backends, b.choice) else {
+                continue;
+            };
+            let Some(base_med) = extract_u64(bb, "median_ns").filter(|&m| m > 0) else {
+                continue;
+            };
+            let base_norm = base_med as f64 / base_cal as f64;
+            let cur_norm = b.median_ns as f64 / calibration_ns as f64;
+            let ratio = cur_norm / base_norm;
+            eprintln!(
+                "[perfgate] check backends/{:<8} {:>8} vs baseline {:>8}  normalized x{:.2}",
+                b.choice,
+                fmt_ns(b.median_ns),
+                fmt_ns(base_med),
+                ratio
+            );
+            if ratio > TOLERANCE {
+                failures.push(format!(
+                    "backends/{}: normalized pair-bench median regressed x{ratio:.2} \
+                     (> x{TOLERANCE}): {} now vs {} at baseline",
+                    b.choice,
+                    fmt_ns(b.median_ns),
+                    fmt_ns(base_med),
+                ));
+            }
+        }
+    }
     for p in presets {
         let bp = extract_object(base_presets, p.preset.name)
             .ok_or_else(|| format!("baseline lacks preset {:?}", p.preset.name))?;
@@ -566,12 +800,19 @@ fn main() {
     let calibration_ns = calibrate();
     eprintln!("[perfgate] calibration: {}", fmt_ns(calibration_ns));
 
+    let backends = run_backend_bench();
     let mut presets = vec![run_preset(&QUICK)];
     if !quick_only {
         presets.push(run_preset(&STANDARD));
     }
 
-    let report = emit_report("PR4", calibration_ns, &presets, before_section.as_deref());
+    let report = emit_report(
+        "PR7",
+        calibration_ns,
+        &presets,
+        &backends,
+        before_section.as_deref(),
+    );
     match &out_path {
         Some(p) => {
             std::fs::write(p, &report).unwrap_or_else(|e| panic!("write {p}: {e}"));
@@ -580,9 +821,22 @@ fn main() {
         None => println!("{report}"),
     }
 
+    // Self-checking speedup ratchet: runs on every invocation — it needs
+    // no baseline, only this process's own scalar/auto ratio.
+    match backend_gate(&backends) {
+        Ok(speedup) => eprintln!(
+            "[perfgate] backend gate OK: auto x{speedup:.2} over scalar \
+             (floor x{BACKEND_SPEEDUP_FLOOR})"
+        ),
+        Err(msg) => {
+            eprintln!("[perfgate] backend gate FAILED: {msg}");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(p) = check_path {
         let baseline = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
-        match check_against(&baseline, calibration_ns, &presets) {
+        match check_against(&baseline, calibration_ns, &presets, &backends) {
             Ok(()) => eprintln!("[perfgate] check vs {p}: OK (tolerance x{TOLERANCE})"),
             Err(msg) => {
                 eprintln!("[perfgate] check vs {p} FAILED:\n{msg}");

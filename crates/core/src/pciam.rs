@@ -160,12 +160,14 @@ impl PciamContext {
         assert_eq!(fa.len(), n);
         assert_eq!(fb.len(), n);
         assert!(k >= 1);
-        // NCC: element-wise normalized conjugate multiply (the paper's
-        // first hand-vectorized kernel, §IV-A)
-        stitch_fft::vectorops::ncc_vectorized(fa, fb, &mut self.work);
+        // NCC (the paper's first hand-vectorized kernel, §IV-A) fused with
+        // the inverse transform's row pass: each row is normalized and
+        // row-transformed while cache-hot, through the process-wide
+        // compute backend. Unscaled — scaling does not move the argmax.
+        let backend = stitch_fft::backend::active();
+        self.inverse
+            .process_ncc_fused(backend, fa, fb, &mut self.work, &mut self.scratch);
         self.counters.count_elementwise();
-        // Inverse transform (unscaled — scaling does not move the argmax).
-        self.inverse.process(&mut self.work, &mut self.scratch);
         self.counters.count_inverse_fft();
         top_peaks_into(
             &self.work,
@@ -545,6 +547,12 @@ pub fn ccf_at_centered(
     if ow <= 0 || oh <= 0 || ow * oh < MIN_OVERLAP_PIXELS {
         return None;
     }
+    // Per-row co-moments through the compute backend (the dominant cost
+    // of the disambiguation stage — a five-accumulator reduction the
+    // compiler cannot auto-vectorize from the sequential form). Rows are
+    // summed in order, so the only backend-dependent rounding is the
+    // within-row lane association.
+    let backend = stitch_fft::backend::active();
     let mut sum_a = 0.0;
     let mut sum_b = 0.0;
     let mut sum_ab = 0.0;
@@ -554,15 +562,12 @@ pub fn ccf_at_centered(
         let yb = (ya - dy) as usize;
         let row_a = &img_a.row(ya as usize)[ax0 as usize..ax1 as usize];
         let row_b = &img_b.row(yb)[(ax0 - dx) as usize..(ax1 - dx) as usize];
-        for (&pa, &pb) in row_a.iter().zip(row_b) {
-            let va = pa as f64 - center_a;
-            let vb = pb as f64 - center_b;
-            sum_a += va;
-            sum_b += vb;
-            sum_ab += va * vb;
-            sum_aa += va * va;
-            sum_bb += vb * vb;
-        }
+        let [ra, rb, rab, raa, rbb] = backend.comoment_u16(row_a, row_b, center_a, center_b);
+        sum_a += ra;
+        sum_b += rb;
+        sum_ab += rab;
+        sum_aa += raa;
+        sum_bb += rbb;
     }
     let n = (ow * oh) as f64;
     let num = sum_ab - sum_a * sum_b / n;

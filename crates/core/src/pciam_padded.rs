@@ -131,9 +131,12 @@ impl PaddedPciamContext {
         let n = self.padded_w * self.padded_h;
         assert_eq!(fa.len(), n);
         assert_eq!(fb.len(), n);
-        stitch_fft::vectorops::ncc_vectorized(fa, fb, &mut self.work);
+        // Fused NCC → row-FFT pass through the process-wide backend, as
+        // in the unpadded context.
+        let backend = stitch_fft::backend::active();
+        self.inverse
+            .process_ncc_fused(backend, fa, fb, &mut self.work, &mut self.scratch);
         self.counters.count_elementwise();
-        self.inverse.process(&mut self.work, &mut self.scratch);
         self.counters.count_inverse_fft();
         top_peaks_into(
             &self.work,

@@ -125,7 +125,11 @@ impl RealPciamContext {
         let sl = self.spectrum_len();
         assert_eq!(fa.len(), sl);
         assert_eq!(fb.len(), sl);
-        stitch_fft::vectorops::ncc_vectorized(fa, fb, &mut self.work);
+        // Unfused: the real path's column transform gathers/scatters
+        // through the half-spectrum layout, so there is no cache-hot row
+        // pass to fuse into. The NCC itself still goes through the
+        // process-wide backend.
+        stitch_fft::backend::active().ncc(fa, fb, &mut self.work);
         self.counters.count_elementwise();
         self.fft.inverse(&self.work, &mut self.surface);
         self.counters.count_inverse_fft();

@@ -54,7 +54,18 @@ pub fn refine_subpixel(
     img_b: &Image<u16>,
     d: Displacement,
 ) -> SubpixelDisplacement {
-    let c = ccf_at(img_a, img_b, d.x, d.y).unwrap_or(d.correlation);
+    // No usable CCF at the center means no parabola to fit: `d.correlation`
+    // is an NCC peak magnitude, not a CCF-surface sample, and anchoring the
+    // fit on it while the neighbors come from the CCF surface mixes two
+    // incompatible scales — the vertex can swing a full half-pixel on
+    // garbage. Return the integer displacement unchanged instead.
+    let Some(c) = ccf_at(img_a, img_b, d.x, d.y) else {
+        return SubpixelDisplacement {
+            x: d.x as f64,
+            y: d.y as f64,
+            correlation: d.correlation,
+        };
+    };
     let dx = match (
         ccf_at(img_a, img_b, d.x - 1, d.y),
         ccf_at(img_a, img_b, d.x + 1, d.y),
@@ -199,6 +210,23 @@ mod tests {
         let s = refine_subpixel(&a, &b, d);
         assert!((s.x - 45.0).abs() < 0.2, "{}", s.x);
         assert!(s.y.abs() < 0.2, "{}", s.y);
+    }
+
+    #[test]
+    fn center_without_overlap_returns_integer_displacement() {
+        // a (7, 7) displacement on 8×8 tiles leaves a single overlapping
+        // pixel — below MIN_OVERLAP_PIXELS, so the center CCF sample is
+        // unavailable. The refinement must return the integer displacement
+        // verbatim (no parabola anchored on the NCC peak magnitude, which
+        // lives on a different scale than CCF-surface samples) and pass
+        // the peak correlation through untouched.
+        let a = Image::from_fn(8, 8, |x, y| ((x * 13 + y * 7) % 50) as u16);
+        let b = a.clone();
+        let d = Displacement::new(7, 7, 0.5);
+        assert!(ccf_at(&a, &b, d.x, d.y).is_none(), "center must be missing");
+        let s = refine_subpixel(&a, &b, d);
+        assert_eq!((s.x, s.y), (7.0, 7.0));
+        assert_eq!(s.correlation, 0.5);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * explicitly vector-shaped element-wise kernels ([`vectorops`]) — the
 //!   NCC multiply and max reduction the paper hand-coded with SSE
 //!   intrinsics (§IV-A);
+//! * runtime-selected compute backends ([`backend`]) — scalar reference,
+//!   lane-unrolled portable, and explicit AVX2 implementations of the
+//!   phase-1 hot loops behind one [`ComputeBackend`] trait, chosen per
+//!   process via `--backend` / `STITCH_BACKEND` / CPU feature detection;
 //! * size utilities for the padding ablation ([`factor::next_smooth`]).
 //!
 //! Conventions: forward kernel `e^{-2πi jk/n}`, unscaled in both directions
@@ -31,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bluestein;
 pub mod complex;
 pub mod factor;
@@ -41,6 +46,7 @@ pub mod real;
 pub mod scratch;
 pub mod vectorops;
 
+pub use backend::{BackendChoice, ComputeBackend};
 pub use bluestein::BluesteinPlan;
 pub use complex::{c64, C64};
 pub use fft2d::{transpose, Fft2d, Fft2dPair};

@@ -10,6 +10,7 @@
 //! mirroring FFTW's `fftw_plan` reuse model that the paper relies on
 //! (plan once during setup, execute thousands of times in the pipeline).
 
+use crate::backend::{self, ComputeBackend, RADIX_DISPATCH_MIN_M};
 use crate::complex::{c64, C64};
 use crate::factor::{radix_schedule, MAX_NAIVE_PRIME};
 
@@ -155,12 +156,23 @@ impl MixedRadixPlan {
     pub fn process(&self, input: &[C64], output: &mut [C64]) {
         assert_eq!(input.len(), self.n);
         assert_eq!(output.len(), self.n);
-        self.rec(input, 1, output, self.n, 0);
+        // Resolve the backend once per transform, not per plan — the
+        // active backend can change between calls (testkit sweeps it).
+        let backend = backend::active();
+        self.rec(backend, input, 1, output, self.n, 0);
     }
 
     /// Recursive DIT step: `inp` is a strided view (stride `is`) of length
     /// `n`, results land contiguously in `out[..n]`.
-    fn rec(&self, inp: &[C64], is: usize, out: &mut [C64], n: usize, level: usize) {
+    fn rec(
+        &self,
+        backend: &dyn ComputeBackend,
+        inp: &[C64],
+        is: usize,
+        out: &mut [C64],
+        n: usize,
+        level: usize,
+    ) {
         if n == 1 {
             out[0] = inp[0];
             return;
@@ -169,6 +181,7 @@ impl MixedRadixPlan {
         let m = n / r;
         for k in 0..r {
             self.rec(
+                backend,
                 &inp[k * is..],
                 is * r,
                 &mut out[k * m..(k + 1) * m],
@@ -183,11 +196,14 @@ impl MixedRadixPlan {
         let mut t = [C64::ZERO; MAX_NAIVE_PRIME + 1];
         match r {
             2 => {
-                for j in 0..m {
-                    let a = out[j];
-                    let b = out[m + j] * self.twiddles[j * tw_step];
-                    out[j] = a + b;
-                    out[m + j] = a - b;
+                // Dispatch through the trait only when the butterfly is
+                // wide enough to amortize the indirect call; the small-m
+                // inline path reuses the scalar backend's definition so
+                // both paths share one expression DAG.
+                if m >= RADIX_DISPATCH_MIN_M {
+                    backend.radix2_pass(&mut out[..2 * m], m, &self.twiddles, tw_step);
+                } else {
+                    backend::scalar::radix2_scalar(&mut out[..2 * m], m, &self.twiddles, tw_step);
                 }
             }
             3 => {
@@ -205,24 +221,16 @@ impl MixedRadixPlan {
             }
             4 => {
                 let fwd = self.direction == Direction::Forward;
-                for j in 0..m {
-                    let a = out[j];
-                    let b = out[m + j] * self.twiddles[j * tw_step];
-                    let c = out[2 * m + j] * self.twiddles[(2 * j * tw_step) % self.n];
-                    let d = out[3 * m + j] * self.twiddles[(3 * j * tw_step) % self.n];
-                    let ac_p = a + c;
-                    let ac_m = a - c;
-                    let bd_p = b + d;
-                    // forward: W_4 = -i ; inverse: W_4 = +i
-                    let bd_m = if fwd {
-                        (b - d).mul_neg_i()
-                    } else {
-                        (b - d).mul_i()
-                    };
-                    out[j] = ac_p + bd_p;
-                    out[m + j] = ac_m + bd_m;
-                    out[2 * m + j] = ac_p - bd_p;
-                    out[3 * m + j] = ac_m - bd_m;
+                if m >= RADIX_DISPATCH_MIN_M {
+                    backend.radix4_pass(&mut out[..4 * m], m, &self.twiddles, tw_step, fwd);
+                } else {
+                    backend::scalar::radix4_scalar(
+                        &mut out[..4 * m],
+                        m,
+                        &self.twiddles,
+                        tw_step,
+                        fwd,
+                    );
                 }
             }
             5 => {

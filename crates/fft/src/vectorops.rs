@@ -7,27 +7,49 @@
 //! far more readily, but the same loops still benefit from being written
 //! in an explicitly unrollable, dependency-free form: fixed-width chunks
 //! with independent accumulator lanes, exactly the shape the paper's
-//! intrinsics imposed. Scalar reference versions stay next to them and
-//! the tests pin them bit-for-bit (the reductions) or to 1 ulp (the
-//! normalized products).
+//! intrinsics imposed.
+//!
+//! This module holds the *implementations* — sequential scalar reference
+//! loops and their lane-unrolled `_vectorized` twins — which the
+//! [`crate::backend`] layer wraps: the `scalar` backend runs the
+//! references, the `portable` backend runs the `_vectorized` forms, and
+//! the `simd` backend replaces them with explicit AVX2 intrinsics
+//! evaluating the same expression DAGs. The element-wise kernels and the
+//! max reduction are bit-identical between scalar and vectorized forms;
+//! the co-moment reductions re-associate across lanes and agree to
+//! ~1e-12 relative (tests pin both properties).
 
 use crate::complex::C64;
 
 /// Accumulator lanes for the reductions. Four independent chains of
 /// `f64` max operations keep the loop free of a serial dependency, the
 /// same trick as the paper's SSE reduction (and Harris's CUDA one).
-const LANES: usize = 4;
+pub(crate) const LANES: usize = 4;
+
+/// Magnitudes at or below this are treated as underflow: the NCC output
+/// is zeroed instead of dividing by a denormal.
+const NCC_MAG_FLOOR: f64 = 1e-300;
 
 /// Scalar reference: `out[i] = a[i]·conj(b[i]) / |a[i]·conj(b[i])|`,
 /// zero where the product magnitude underflows.
+///
+/// The normalization divides each component by the magnitude (`re/mag`,
+/// `im/mag`) rather than multiplying by its reciprocal — the same
+/// expression DAG as the vectorized and AVX2 forms, so all three are
+/// bit-identical (IEEE division is correctly rounded; a reciprocal
+/// multiply is not the same operation).
 pub fn ncc_scalar(a: &[C64], b: &[C64], out: &mut [C64]) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), out.len());
     for i in 0..a.len() {
-        let fc = a[i] * b[i].conj();
-        let mag = fc.abs();
-        out[i] = if mag > 1e-300 {
-            fc.scale(1.0 / mag)
+        let re = a[i].re * b[i].re + a[i].im * b[i].im;
+        let im = a[i].im * b[i].re - a[i].re * b[i].im;
+        let mag = (re * re + im * im).sqrt();
+        out[i] = if mag > NCC_MAG_FLOOR {
+            C64 {
+                re: re / mag,
+                im: im / mag,
+            }
         } else {
             C64::ZERO
         };
@@ -36,7 +58,7 @@ pub fn ncc_scalar(a: &[C64], b: &[C64], out: &mut [C64]) {
 
 /// Vector-shaped NCC: the same computation in stride-[`LANES`] chunks
 /// with no cross-iteration dependencies, so LLVM emits packed SIMD for
-/// the multiply/normalize pipeline.
+/// the multiply/normalize pipeline. Bit-identical to [`ncc_scalar`].
 pub fn ncc_vectorized(a: &[C64], b: &[C64], out: &mut [C64]) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), out.len());
@@ -54,7 +76,7 @@ pub fn ncc_vectorized(a: &[C64], b: &[C64], out: &mut [C64]) {
             let re = ac[l].re * bc[l].re + ac[l].im * bc[l].im;
             let im = ac[l].im * bc[l].re - ac[l].re * bc[l].im;
             let mag = (re * re + im * im).sqrt();
-            oc[l] = if mag > 1e-300 {
+            oc[l] = if mag > NCC_MAG_FLOOR {
                 C64 {
                     re: re / mag,
                     im: im / mag,
@@ -68,55 +90,83 @@ pub fn ncc_vectorized(a: &[C64], b: &[C64], out: &mut [C64]) {
 }
 
 /// Scalar reference: index and squared magnitude of the largest |·|².
-pub fn max_norm_sqr_scalar(data: &[C64]) -> (usize, f64) {
+///
+/// Contract (shared by [`max_norm_sqr_vectorized`] and every
+/// [`crate::backend`] implementation, bit-identical): `None` iff the
+/// input is empty or every element's squared magnitude is NaN; NaN
+/// elements are skipped; ties resolve to the lowest index.
+pub fn max_norm_sqr_scalar(data: &[C64]) -> Option<(usize, f64)> {
     let mut best = 0usize;
     let mut best_m = f64::MIN;
+    let mut found = false;
     for (i, v) in data.iter().enumerate() {
         let m = v.norm_sqr();
+        // NaN compares false and is skipped; strict '>' keeps the
+        // earliest index on ties. Squared magnitudes are ≥ 0, so every
+        // non-NaN element beats the f64::MIN sentinel — `found` flips
+        // on the first usable element.
         if m > best_m {
             best_m = m;
             best = i;
+            found = true;
         }
     }
-    (best, best_m)
+    found.then_some((best, best_m))
 }
 
 /// Vector-shaped max reduction: four independent lanes, merged at the
-/// end. Ties resolve to the lowest index, matching the scalar reference
-/// exactly.
-pub fn max_norm_sqr_vectorized(data: &[C64]) -> (usize, f64) {
-    if data.is_empty() {
-        return (0, f64::MIN);
-    }
+/// end. Same contract as [`max_norm_sqr_scalar`], bit-identical
+/// including tie-breaks across lanes and chunks.
+pub fn max_norm_sqr_vectorized(data: &[C64]) -> Option<(usize, f64)> {
     let chunks = data.len() / LANES;
     let mut lane_best = [f64::MIN; LANES];
     let mut lane_idx = [0usize; LANES];
     for (c, chunk) in data[..chunks * LANES].chunks_exact(LANES).enumerate() {
         for l in 0..LANES {
             let m = chunk[l].norm_sqr();
-            // strict '>' keeps the earliest index on ties, per lane
+            // strict '>' keeps the earliest index on ties, per lane;
+            // NaN compares false and is skipped
             if m > lane_best[l] {
                 lane_best[l] = m;
                 lane_idx[l] = c * LANES + l;
             }
         }
     }
+    merge_lanes_and_tail(data, chunks * LANES, &lane_best, &lane_idx)
+}
+
+/// Shared lane-merge + scalar-tail epilogue for the lane-split max
+/// reductions (the AVX2 backend funnels through this too, so the merge
+/// order — and therefore every tie-break — is identical by
+/// construction). `done` is the number of elements the lanes covered.
+pub(crate) fn merge_lanes_and_tail(
+    data: &[C64],
+    done: usize,
+    lane_best: &[f64; LANES],
+    lane_idx: &[usize; LANES],
+) -> Option<(usize, f64)> {
     let mut best = 0usize;
     let mut best_m = f64::MIN;
+    let mut found = false;
     for l in 0..LANES {
-        if lane_best[l] > best_m || (lane_best[l] == best_m && lane_idx[l] < best) {
+        // a lane that saw only NaNs still holds the f64::MIN sentinel,
+        // which no real squared magnitude (≥ 0) can equal — so a lane
+        // counts as found exactly when it beats the sentinel
+        if lane_best[l] > best_m || (lane_best[l] == best_m && found && lane_idx[l] < best) {
             best_m = lane_best[l];
             best = lane_idx[l];
+            found = true;
         }
     }
-    for (i, v) in data.iter().enumerate().skip(chunks * LANES) {
+    for (i, v) in data.iter().enumerate().skip(done) {
         let m = v.norm_sqr();
         if m > best_m {
             best_m = m;
             best = i;
+            found = true;
         }
     }
-    (best, best_m)
+    found.then_some((best, best_m))
 }
 
 /// Scalar reference: centered dot-product accumulators for the CCF
@@ -167,6 +217,61 @@ pub fn comoment_vectorized(a: &[f64], b: &[f64]) -> [f64; 5] {
     acc
 }
 
+/// Scalar reference for the CCF inner loop: co-moments of `u16` pixel
+/// rows widened and centered on the fly (`va = a[i] − ca`). One
+/// sequential pass — the exact loop `ccf_at_centered` used to inline.
+pub fn comoment_u16_scalar(a: &[u16], b: &[u16], ca: f64, cb: f64) -> [f64; 5] {
+    assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 5];
+    for i in 0..a.len() {
+        let va = a[i] as f64 - ca;
+        let vb = b[i] as f64 - cb;
+        acc[0] += va;
+        acc[1] += vb;
+        acc[2] += va * vb;
+        acc[3] += va * va;
+        acc[4] += vb * vb;
+    }
+    acc
+}
+
+/// Lane-split twin of [`comoment_u16_scalar`]: [`LANES`] independent
+/// accumulator sets broken out of the serial reduction chain, the same
+/// shape as [`comoment_vectorized`] (and the same re-association
+/// caveat). This is the dominant per-pair loop — the CCF evaluates it
+/// over every candidate overlap — so it is the biggest single lever the
+/// backends have.
+pub fn comoment_u16_vectorized(a: &[u16], b: &[u16], ca: f64, cb: f64) -> [f64; 5] {
+    assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    let mut lanes = [[0.0f64; 5]; LANES];
+    for (ac, bc) in a[..chunks * LANES]
+        .chunks_exact(LANES)
+        .zip(b[..chunks * LANES].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            let va = ac[l] as f64 - ca;
+            let vb = bc[l] as f64 - cb;
+            lanes[l][0] += va;
+            lanes[l][1] += vb;
+            lanes[l][2] += va * vb;
+            lanes[l][3] += va * va;
+            lanes[l][4] += vb * vb;
+        }
+    }
+    let mut acc = [0.0f64; 5];
+    for lane in lanes {
+        for k in 0..5 {
+            acc[k] += lane[k];
+        }
+    }
+    let tail = comoment_u16_scalar(&a[chunks * LANES..], &b[chunks * LANES..], ca, cb);
+    for k in 0..5 {
+        acc[k] += tail[k];
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +292,7 @@ mod tests {
     }
 
     #[test]
-    fn ncc_matches_scalar() {
+    fn ncc_matches_scalar_bitwise() {
         for n in [0usize, 1, 3, 4, 7, 64, 1001] {
             let a = data(n, 1);
             let b = data(n, 2);
@@ -196,7 +301,11 @@ mod tests {
             ncc_scalar(&a, &b, &mut s);
             ncc_vectorized(&a, &b, &mut v);
             for i in 0..n {
-                assert!((s[i] - v[i]).abs() < 1e-12, "n={n} i={i}");
+                assert!(
+                    s[i].re.to_bits() == v[i].re.to_bits()
+                        && s[i].im.to_bits() == v[i].im.to_bits(),
+                    "n={n} i={i}"
+                );
             }
         }
     }
@@ -229,12 +338,53 @@ mod tests {
         let mut d = vec![c64(1.0, 0.0); 11];
         d[3] = c64(5.0, 0.0);
         d[7] = c64(5.0, 0.0); // same magnitude, later index
-        assert_eq!(max_norm_sqr_vectorized(&d).0, 3);
+        assert_eq!(max_norm_sqr_vectorized(&d).unwrap().0, 3);
     }
 
     #[test]
-    fn max_empty_input() {
-        assert_eq!(max_norm_sqr_vectorized(&[]), (0, f64::MIN));
+    fn max_cross_lane_ties_match_scalar() {
+        // equal peaks in every pairing of lanes within and across chunks
+        for i in 0..8usize {
+            for j in (i + 1)..16 {
+                let mut d = vec![c64(1.0, 1.0); 19];
+                d[i] = c64(7.0, -24.0);
+                d[j] = c64(-7.0, 24.0); // same |·|², different lane/chunk
+                let s = max_norm_sqr_scalar(&d);
+                let v = max_norm_sqr_vectorized(&d);
+                assert_eq!(s, v, "tie at ({i},{j})");
+                assert_eq!(s.unwrap().0, i);
+            }
+        }
+    }
+
+    #[test]
+    fn max_empty_input_is_none() {
+        assert_eq!(max_norm_sqr_vectorized(&[]), None);
+        assert_eq!(max_norm_sqr_scalar(&[]), None);
+    }
+
+    #[test]
+    fn max_all_nan_is_none() {
+        for n in [1usize, 3, 4, 9, 64] {
+            let d = vec![c64(f64::NAN, 1.0); n];
+            assert_eq!(max_norm_sqr_scalar(&d), None, "scalar n={n}");
+            assert_eq!(max_norm_sqr_vectorized(&d), None, "vectorized n={n}");
+        }
+    }
+
+    #[test]
+    fn max_nan_laden_input_matches_scalar() {
+        for seed in 0..4 {
+            let mut d = data(77, seed);
+            // poison a stripe of every lane alignment
+            for i in (seed as usize..77).step_by(3) {
+                d[i] = c64(f64::NAN, d[i].im);
+            }
+            let s = max_norm_sqr_scalar(&d);
+            assert_eq!(max_norm_sqr_vectorized(&d), s, "seed={seed}");
+            assert!(s.is_some());
+            assert!(s.unwrap().1 >= 0.0);
+        }
     }
 
     #[test]
@@ -252,6 +402,21 @@ mod tests {
                     s[k],
                     v[k]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn comoment_u16_matches_scalar_closely() {
+        for n in [0usize, 1, 7, 64, 333] {
+            let a: Vec<u16> = (0..n).map(|i| ((i * 41 + 3) % 4096) as u16).collect();
+            let b: Vec<u16> = (0..n).map(|i| ((i * 59 + 17) % 4096) as u16).collect();
+            let (ca, cb) = (2048.5, 2047.25);
+            let s = comoment_u16_scalar(&a, &b, ca, cb);
+            let v = comoment_u16_vectorized(&a, &b, ca, cb);
+            for k in 0..5 {
+                let denom = s[k].abs().max(1.0);
+                assert!(((s[k] - v[k]) / denom).abs() < 1e-9, "n={n} k={k}");
             }
         }
     }

@@ -91,11 +91,7 @@ impl Stream {
             a.map(tok, |av| {
                 b.map(tok, |bv| {
                     out.map(tok, |ov| {
-                        stitch_fft::vectorops::ncc_vectorized(
-                            &av[..len],
-                            &bv[..len],
-                            &mut ov[..len],
-                        );
+                        stitch_fft::backend::active().ncc(&av[..len], &bv[..len], &mut ov[..len]);
                     });
                 });
             });
@@ -168,11 +164,18 @@ impl Stream {
         self.launch("max_reduce", move |tok| {
             let loc = buf.map(tok, |d| {
                 // multi-lane reduction (Harris-style, §IV-A) on squared
-                // magnitudes; sqrt once at the end
-                let (index, m) = stitch_fft::vectorops::max_norm_sqr_vectorized(&d[..len]);
-                MaxLoc {
-                    index,
-                    value: m.sqrt(),
+                // magnitudes; sqrt once at the end. An empty or all-NaN
+                // surface has no peak: keep the NaN value (callers treat it
+                // as "no correlation") at a well-defined index 0.
+                match stitch_fft::backend::active().max_norm_sqr(&d[..len]) {
+                    Some((index, m)) => MaxLoc {
+                        index,
+                        value: m.sqrt(),
+                    },
+                    None => MaxLoc {
+                        index: 0,
+                        value: f64::NAN,
+                    },
                 }
             });
             let _ = tx.send(loc);

@@ -13,6 +13,10 @@
 //!   Pipelined-GPU, Fiji-style) on the same `TileSource` and asserts
 //!   bit-identical phase-1 displacements, phase-2 positions, and composed
 //!   mosaics, producing a structured diff report on mismatch;
+//! * [`backends`] — a cross-*backend* differential oracle: the same
+//!   pipeline under each `stitch_fft::backend` compute backend (scalar /
+//!   portable / SIMD) must produce identical integer displacements,
+//!   positions and mosaics over the same ground-truth sweep;
 //! * [`metamorphic`] — metamorphic properties of PCIAM/subpixel:
 //!   translation consistency, flip symmetry, intensity-scale invariance
 //!   of the peak location;
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod backends;
 pub mod cases;
 pub mod metamorphic;
 pub mod oracle;
@@ -39,6 +44,7 @@ pub mod sched_stress;
 pub mod serve_chaos;
 pub mod stress;
 
+pub use backends::{run_backend_case, BackendMismatch, BackendReport};
 pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
 pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
 pub use sched_stress::{

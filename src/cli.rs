@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use stitch_core::pciam_real::TransformKind;
 use stitch_core::prelude::*;
+use stitch_fft::BackendChoice;
 use stitch_gpu::{Device, DeviceConfig, GpuFaultConfig};
 use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
 use stitch_sched::DrainPolicy;
@@ -66,6 +67,9 @@ pub enum Command {
         /// Where to write the run report (per-stage busy/wait, queue
         /// stats, kernel density, copy/compute overlap) as JSON.
         report_out: Option<PathBuf>,
+        /// Compute backend for the phase-1 hot loops. `None` defers to
+        /// the `STITCH_BACKEND` environment variable, then auto-detect.
+        backend: Option<BackendChoice>,
     },
     /// Run the long-lived job daemon on stdin/stdout (and optionally a
     /// Unix socket), speaking the line protocol of [`stitch_serve`].
@@ -179,6 +183,7 @@ USAGE:
                 [--retries N] [--retry-backoff-ms N] [--allow-partial]
                 [--fault-spec SPEC] [--health-json out.json]
                 [--trace-json trace.json] [--run-report report.json]
+                [--backend auto|scalar|portable|simd]
   stitch serve [--workers N] [--budget-mb N] [--max-pending N]
                [--watchdog-ms N] [--tenant-jobs N] [--rate-burst N]
                [--rate-per-sec F] [--tenant-cap-mb N]
@@ -205,6 +210,14 @@ and job lifecycle stream back as `event=... key=value` lines):
 
 IMPLEMENTATIONS: simple-cpu, mt-cpu, pipelined-cpu (default), simple-gpu,
                  pipelined-gpu, fiji
+
+BACKENDS (phase-1 compute kernels; all bit-identical on displacements):
+  auto     pick the fastest the host supports (default)
+  scalar   sequential reference loops
+  portable lane-unrolled loops the compiler auto-vectorizes
+  simd     explicit AVX2 intrinsics (x86_64; falls back to portable)
+  The STITCH_BACKEND environment variable applies when --backend is
+  absent; --backend wins when both are given.
 
 FAULT SPEC (comma-separated key=value):
   seed=N transient=RATE corrupt=R.C+R.C latency-ms=N     (tile reads)
@@ -312,6 +325,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             health_out: flags.get("health-json").map(PathBuf::from),
             trace_out: flags.get("trace-json").map(PathBuf::from),
             report_out: flags.get("run-report").map(PathBuf::from),
+            backend: flags
+                .get("backend")
+                .map(|v| BackendChoice::parse(v).map_err(|e| format!("bad --backend: {e}")))
+                .transpose()?,
         }),
         "serve" => Ok(Command::Serve {
             workers: get_num(&flags, "workers", 2)?,
@@ -736,7 +753,14 @@ pub fn run(cmd: Command) -> i32 {
             health_out,
             trace_out,
             report_out,
+            backend,
         } => {
+            // Pin the compute backend before any pipeline work; when the
+            // flag is absent, the first kernel dispatch resolves it from
+            // STITCH_BACKEND / auto-detection instead.
+            if let Some(choice) = backend {
+                stitch_fft::backend::select(choice);
+            }
             // one shared recorder feeds both outputs; stays disabled (and
             // free) unless an observability flag asked for it
             let trace = if trace_out.is_some() || report_out.is_some() {
@@ -1055,6 +1079,22 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_backend_flag() {
+        match parse(&argv("stitch --dataset /d --backend scalar")).unwrap() {
+            Command::Stitch { backend, .. } => assert_eq!(backend, Some(BackendChoice::Scalar)),
+            other => panic!("{other:?}"),
+        }
+        // absent: defer to STITCH_BACKEND / auto-detection at dispatch time
+        match parse(&argv("stitch --dataset /d")).unwrap() {
+            Command::Stitch { backend, .. } => assert_eq!(backend, None),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&argv("stitch --dataset /d --backend sse9")).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
+        assert!(err.contains("sse9"), "{err}");
     }
 
     #[test]
