@@ -198,6 +198,30 @@ impl Composer {
         )
     }
 
+    /// Composes the mosaic as a sequence of full-width horizontal bands
+    /// of at most `band_rows` pixel rows, calling `sink(y0, band)` for
+    /// each band from top to bottom. Every blend mode resolves a pixel
+    /// from the tiles covering *that pixel* alone, so the stacked bands
+    /// are bit-identical to [`Composer::compose`] while peak memory is
+    /// one band (plus one tile) instead of the whole mosaic — the
+    /// out-of-core composition path used by the sharded stitcher.
+    pub fn compose_bands(
+        &self,
+        source: &dyn TileSource,
+        band_rows: usize,
+        sink: &mut dyn FnMut(usize, Image<u16>),
+    ) {
+        let band_rows = band_rows.max(1);
+        let (mw, mh) = self.mosaic_dims(source);
+        let mut y = 0;
+        while y < mh {
+            let h = band_rows.min(mh - y);
+            let band = self.compose_region(source, 0, y, mw, h);
+            sink(y, band);
+            y += h;
+        }
+    }
+
     /// Renders the tile at grid position `id` into mosaic coordinates —
     /// convenience for spot checks. Positions are translated by
     /// [`Composer::origin`] first, so a tile legitimately placed at a
@@ -250,6 +274,7 @@ mod tests {
     use crate::global_opt::AbsolutePositions;
     use crate::grid::GridShape;
     use crate::source::MemorySource;
+    use crate::stitcher::Stitcher;
 
     fn simple_setup() -> (MemorySource, AbsolutePositions) {
         // 1×2 grid of 8×8 tiles overlapping by 3 px
@@ -278,6 +303,44 @@ mod tests {
         assert_eq!(m.get(2, 4), 100);
         assert_eq!(m.get(6, 4), 300, "overlap region owned by tile b");
         assert_eq!(m.get(12, 4), 300);
+    }
+
+    #[test]
+    fn banded_composition_is_bit_identical_to_full() {
+        use stitch_image::{ScanConfig, SyntheticPlate};
+        let cfg = ScanConfig {
+            grid_rows: 2,
+            grid_cols: 3,
+            tile_width: 24,
+            tile_height: 18,
+            ..ScanConfig::default()
+        };
+        let src = crate::source::SyntheticSource::new(SyntheticPlate::generate(cfg));
+        let result = crate::simple_cpu::SimpleCpuStitcher::default().compute_displacements(&src);
+        let pos = crate::global_opt::GlobalOptimizer::default().solve(&result);
+        for blend in [Blend::Overlay, Blend::Average, Blend::Linear] {
+            let c = Composer::new(pos.clone(), blend);
+            let full = c.compose(&src);
+            // odd band height that does not divide the mosaic: exercises
+            // the remainder band
+            for band_rows in [1usize, 7, 1000] {
+                let (mw, mh) = c.mosaic_dims(&src);
+                let mut stacked = Vec::with_capacity(mw * mh);
+                let mut next_y = 0;
+                c.compose_bands(&src, band_rows, &mut |y0, band| {
+                    assert_eq!(y0, next_y, "bands must arrive in order");
+                    assert_eq!(band.width(), mw);
+                    stacked.extend_from_slice(band.pixels());
+                    next_y += band.height();
+                });
+                assert_eq!(next_y, mh, "bands must cover the mosaic");
+                assert_eq!(
+                    stacked,
+                    full.pixels(),
+                    "band_rows={band_rows} blend={blend:?} must stack to the full compose"
+                );
+            }
+        }
     }
 
     #[test]

@@ -381,7 +381,12 @@ impl GlobalOptimizer {
         let mut hx: Vec<f64> = Vec::new();
         let mut vy: Vec<f64> = Vec::new();
         for e in edges {
-            if e.to == e.from + 1 {
+            // A horizontal (west) edge joins adjacent indices *within one
+            // row*. The index-difference test alone misclassifies north
+            // edges on single-column grids, where vertical neighbors also
+            // differ by exactly one index.
+            let same_row = e.to / shape.cols == e.from / shape.cols;
+            if e.to == e.from + 1 && same_row {
                 hx.push(e.dx);
             } else {
                 vy.push(e.dy);
@@ -484,6 +489,44 @@ mod tests {
             let sol = opt.solve(&r);
             assert_eq!(sol.max_deviation(&truth), (0, 0), "{method:?}");
         }
+    }
+
+    #[test]
+    fn single_column_orphan_uses_vertical_step() {
+        // Regression: on a single-column grid every north edge joins
+        // adjacent indices, so the old horizontal/vertical classifier
+        // (`e.to == e.from + 1`) filed them all as horizontal steps and
+        // extrapolated orphans with a vertical step of 0. A sharded run
+        // routinely produces 1-column sub-grids, so this must hold.
+        let shape = GridShape::new(4, 1);
+        let truth: Vec<(i64, i64)> = (0..4).map(|r| (0, r * 40)).collect();
+        let mut r = exact_result(shape, &truth);
+        // sever the last tile: low correlation gets the edge filtered
+        let i = shape.index(TileId::new(3, 0));
+        r.north[i] = Some(Displacement::new(0, 40, 0.01));
+        let sol = GlobalOptimizer::default().solve(&r);
+        assert_eq!(
+            sol.max_deviation(&truth),
+            (0, 0),
+            "orphan on a 1-column grid must extrapolate the 40 px vertical step: {:?}",
+            sol.positions
+        );
+    }
+
+    #[test]
+    fn single_row_orphan_uses_horizontal_step() {
+        let shape = GridShape::new(1, 4);
+        let truth: Vec<(i64, i64)> = (0..4).map(|c| (c * 50, 0)).collect();
+        let mut r = exact_result(shape, &truth);
+        let i = shape.index(TileId::new(0, 3));
+        r.west[i] = Some(Displacement::new(50, 0, 0.01));
+        let sol = GlobalOptimizer::default().solve(&r);
+        assert_eq!(
+            sol.max_deviation(&truth),
+            (0, 0),
+            "orphan on a 1-row grid must extrapolate the 50 px horizontal step: {:?}",
+            sol.positions
+        );
     }
 
     #[test]

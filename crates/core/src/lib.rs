@@ -78,7 +78,7 @@ pub use pipelined_gpu::{GhostMode, PipelinedGpuConfig, PipelinedGpuStitcher};
 pub use quality::{correlation_stats, coverage, seam_error, CorrelationStats, SeamError};
 pub use simple_cpu::SimpleCpuStitcher;
 pub use simple_gpu::SimpleGpuStitcher;
-pub use source::{DirSource, MemorySource, SyntheticSource, TileSource};
+pub use source::{DirSource, MemorySource, SubgridSource, SyntheticSource, TileSource};
 pub use stitcher::{truth_vectors, StitchResult, Stitcher};
 pub use subpixel::{refine_subpixel, SubpixelDisplacement};
 pub use types::{Displacement, PairKind, TileId};
@@ -92,7 +92,7 @@ pub mod prelude {
     };
     pub use crate::global_opt::{AbsolutePositions, GlobalOptimizer, Method};
     pub use crate::grid::{GridShape, Traversal};
-    pub use crate::source::{DirSource, MemorySource, SyntheticSource, TileSource};
+    pub use crate::source::{DirSource, MemorySource, SubgridSource, SyntheticSource, TileSource};
     pub use crate::stitcher::{truth_vectors, StitchResult, Stitcher};
     pub use crate::types::{Displacement, PairKind, TileId};
     pub use crate::{

@@ -132,6 +132,63 @@ impl TileSource for SyntheticSource {
     }
 }
 
+/// A rectangular window onto another source: tile `(r, c)` of the view
+/// is tile `(r + row0, c + col0)` of the inner source. Loads delegate
+/// directly, so a view returns *literally identical* images to the full
+/// source — the foundation of the sharded stitcher's bit-identity
+/// guarantee (shard-local pair registrations see the same pixels the
+/// unsharded run sees).
+#[derive(Clone)]
+pub struct SubgridSource {
+    inner: Arc<dyn TileSource>,
+    row0: usize,
+    col0: usize,
+    shape: GridShape,
+}
+
+impl SubgridSource {
+    /// Creates a view of `shape` tiles whose top-left tile is
+    /// `(row0, col0)` of `inner`. Panics if the window does not fit
+    /// inside the inner grid.
+    pub fn new(inner: Arc<dyn TileSource>, row0: usize, col0: usize, shape: GridShape) -> Self {
+        let full = inner.shape();
+        assert!(
+            row0 + shape.rows <= full.rows && col0 + shape.cols <= full.cols,
+            "subgrid {}x{} at ({row0},{col0}) exceeds {}x{} grid",
+            shape.rows,
+            shape.cols,
+            full.rows,
+            full.cols
+        );
+        SubgridSource {
+            inner,
+            row0,
+            col0,
+            shape,
+        }
+    }
+
+    /// The view's top-left tile in inner-grid coordinates.
+    pub fn origin(&self) -> (usize, usize) {
+        (self.row0, self.col0)
+    }
+}
+
+impl TileSource for SubgridSource {
+    fn shape(&self) -> GridShape {
+        self.shape
+    }
+
+    fn tile_dims(&self) -> (usize, usize) {
+        self.inner.tile_dims()
+    }
+
+    fn load(&self, id: TileId) -> Result<Image<u16>, SourceError> {
+        self.inner
+            .load(TileId::new(id.row + self.row0, id.col + self.col0))
+    }
+}
+
 /// Tiles read from TIFF files on disk, as listed by a dataset manifest —
 /// the configuration the paper's end-to-end timings use (6.68 GB of tiles
 /// on disk, read by the pipeline's dedicated reader thread).
@@ -240,6 +297,46 @@ mod tests {
         assert_eq!(src.tile_dims(), (32, 24));
         let t = src.load(TileId::new(1, 2)).unwrap();
         assert_eq!(t.dims(), (32, 24));
+    }
+
+    #[test]
+    fn subgrid_view_returns_identical_tiles() {
+        let cfg = ScanConfig {
+            grid_rows: 3,
+            grid_cols: 4,
+            tile_width: 16,
+            tile_height: 12,
+            ..ScanConfig::default()
+        };
+        let full: Arc<dyn TileSource> =
+            Arc::new(SyntheticSource::new(SyntheticPlate::generate(cfg)));
+        let view = SubgridSource::new(Arc::clone(&full), 1, 2, GridShape::new(2, 2));
+        assert_eq!(view.shape(), GridShape::new(2, 2));
+        assert_eq!(view.tile_dims(), (16, 12));
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    view.load(TileId::new(r, c)).unwrap(),
+                    full.load(TileId::new(r + 1, c + 2)).unwrap(),
+                    "view tile ({r},{c}) must be bit-identical to full tile"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn subgrid_view_rejects_out_of_bounds_window() {
+        let cfg = ScanConfig {
+            grid_rows: 2,
+            grid_cols: 2,
+            tile_width: 8,
+            tile_height: 8,
+            ..ScanConfig::default()
+        };
+        let full: Arc<dyn TileSource> =
+            Arc::new(SyntheticSource::new(SyntheticPlate::generate(cfg)));
+        SubgridSource::new(full, 1, 1, GridShape::new(2, 2));
     }
 
     #[test]

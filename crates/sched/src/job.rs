@@ -1,11 +1,12 @@
 //! Job descriptions, handles, and outcomes.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use stitch_core::{AbsolutePositions, StitchResult, TransformKind};
+use stitch_core::{AbsolutePositions, StitchResult, TileSource, TransformKind};
 use stitch_image::{Image, ScanConfig};
 use stitch_trace::RunReport;
 
@@ -85,6 +86,38 @@ impl ChaosHooks {
     }
 }
 
+/// A caller-supplied [`TileSource`] carried by a job in place of the
+/// synthetic plate the scheduler would otherwise generate from the
+/// job's [`ScanConfig`]. Cloning shares the source (it is an `Arc`);
+/// the sharded driver uses this to run many sub-grid views of one
+/// plate through the scheduler.
+#[derive(Clone)]
+pub struct JobSource(Arc<dyn TileSource>);
+
+impl JobSource {
+    /// Wraps a shared tile source.
+    pub fn new(source: Arc<dyn TileSource>) -> JobSource {
+        JobSource(source)
+    }
+
+    /// The wrapped source as a trait object.
+    pub fn as_dyn(&self) -> &dyn TileSource {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for JobSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shape = self.0.shape();
+        let (w, h) = self.0.tile_dims();
+        write!(
+            f,
+            "JobSource({}x{} grid of {w}x{h} tiles)",
+            shape.rows, shape.cols
+        )
+    }
+}
+
 /// One stitching job submitted to the [`Scheduler`](crate::Scheduler):
 /// a synthetic grid spec plus execution parameters.
 #[derive(Clone, Debug)]
@@ -119,6 +152,11 @@ pub struct StitchJob {
     pub compose: bool,
     /// Fault-injection hooks (hang / panic), for chaos testing.
     pub chaos: ChaosHooks,
+    /// When set, the job stitches this source instead of generating a
+    /// synthetic plate from `scan`. `scan` must still describe the
+    /// source's geometry: it is what [`StitchJob::estimated_bytes`]
+    /// sizes the admission-control reservation from.
+    pub source: Option<JobSource>,
 }
 
 impl StitchJob {
@@ -135,7 +173,24 @@ impl StitchJob {
             watchdog: None,
             compose: true,
             chaos: ChaosHooks::default(),
+            source: None,
         }
+    }
+
+    /// A single-threaded Simple-CPU job over a caller-supplied source.
+    /// The job's [`ScanConfig`] is derived from the source's geometry so
+    /// admission control reserves memory for the grid actually stitched.
+    pub fn over_source(name: impl Into<String>, source: Arc<dyn TileSource>) -> StitchJob {
+        let shape = source.shape();
+        let (tw, th) = source.tile_dims();
+        let scan = ScanConfig::for_grid(shape.rows.max(1), shape.cols.max(1), tw, th, 0.25, 0);
+        StitchJob::new(name, scan).with_source(source)
+    }
+
+    /// Sets a caller-supplied tile source (see [`StitchJob::source`]).
+    pub fn with_source(mut self, source: Arc<dyn TileSource>) -> StitchJob {
+        self.source = Some(JobSource::new(source));
+        self
     }
 
     /// Sets the owning tenant (quota-accounting scope).

@@ -50,6 +50,7 @@ use stitch_core::{
 };
 use stitch_core::{
     Correlator, FijiStyleStitcher, PipelinedGpuConfig, PipelinedGpuStitcher, SyntheticSource,
+    TileSource,
 };
 use stitch_fft::PlanMode;
 use stitch_gpu::Device;
@@ -630,15 +631,24 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
         _ => None,
     };
 
-    let plate = SyntheticPlate::generate(job.scan.clone());
-    let source = SyntheticSource::new(plate);
+    // A job either carries its own tile source (e.g. a shard view of a
+    // larger plate) or is fully described by its scan spec, from which a
+    // synthetic plate is generated here.
+    let generated;
+    let source: &dyn TileSource = match &job.source {
+        Some(s) => s.as_dyn(),
+        None => {
+            generated = SyntheticSource::new(SyntheticPlate::generate(job.scan.clone()));
+            &generated
+        }
+    };
     let stitcher = build_stitcher(inner, &job, &job_trace);
 
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if job.chaos.panic_at_start {
             panic!("chaos: injected job panic");
         }
-        stitcher.try_compute_displacements(&source, &FailurePolicy::default())
+        stitcher.try_compute_displacements(source, &FailurePolicy::default())
     }));
     let mut out = JobOutcome::unstarted(&job.name, JobStatus::Completed);
     match outcome {
@@ -653,7 +663,7 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
                 if handle.cancelled() {
                     out.status = handle.cancel_status();
                 } else if job.compose {
-                    let mosaic = Composer::new(positions.clone(), Blend::Overlay).compose(&source);
+                    let mosaic = Composer::new(positions.clone(), Blend::Overlay).compose(source);
                     out.mosaic = Some(mosaic);
                 }
                 out.result = Some(result);

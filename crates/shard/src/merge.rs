@@ -1,0 +1,450 @@
+//! Merging shard-local results into one full-grid solve.
+//!
+//! Three pieces:
+//!
+//! 1. [`register_seams`] — phase-1 registration of the pairs that cross
+//!    shard boundaries, with the *same* correlator kernel and settings
+//!    the in-shard stitchers use. PCIAM phase 1 is a pure function of
+//!    the two tile images, so a seam displacement computed here is
+//!    bit-identical to the one the unsharded run computes for the same
+//!    pair. At most two tiles (and their spectra) are live at a time.
+//! 2. [`merge_results`] — copies shard-local displacements into their
+//!    full-grid slots and adds the seam displacements, reassembling the
+//!    exact pair graph the unsharded run would have produced.
+//! 3. [`solve_hierarchical`] — per-shard local solves plus a weighted
+//!    least-squares solve over *shard anchors* constrained by the seam
+//!    displacements. This is the streaming/provisional frame (each
+//!    shard's tiles are placeable as soon as its local solve and seams
+//!    are in) and a consistency audit for the committed positions; the
+//!    committed positions themselves come from running the standard
+//!    [`GlobalOptimizer`] on the merged full-grid graph, which is what
+//!    makes them bit-identical to the unsharded solve.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stitch_core::{
+    AbsolutePositions, Correlator, Displacement, FailurePolicy, FaultTracker, GlobalOptimizer,
+    HealthReport, OpCounters, StitchError, StitchResult, TileSource, TileStatus, TransformKind,
+};
+use stitch_fft::Planner;
+use stitch_trace::TraceHandle;
+
+use crate::plan::{SeamPair, Shard, ShardPlan};
+
+/// Everything [`register_seams`] produced.
+pub struct SeamOutcome {
+    /// Registered seam displacements (pairs with a failed endpoint are
+    /// absent, mirroring how the in-shard stitchers void such pairs).
+    pub displacements: Vec<(SeamPair, Displacement)>,
+    /// Health of the boundary tiles read during the seam walk.
+    pub health: HealthReport,
+}
+
+/// Registers every seam pair by loading its two tiles, transforming
+/// them, and running the oriented PCIAM displacement — the identical
+/// kernel path `SimpleCpuStitcher` uses, so results are bit-identical
+/// to an unsharded run's for the same pairs. Peak memory is two tiles
+/// plus two spectra regardless of grid size.
+pub fn register_seams(
+    source: &dyn TileSource,
+    plan: &ShardPlan,
+    planner: &Planner,
+    policy: &FailurePolicy,
+    trace: &TraceHandle,
+) -> Result<SeamOutcome, StitchError> {
+    let (w, h) = source.tile_dims();
+    let counters = OpCounters::new_shared();
+    let mut ctx = Correlator::new(TransformKind::Complex, planner, w, h, Arc::clone(&counters));
+    let tracker = FaultTracker::new(plan.grid);
+    let mut displacements = Vec::new();
+    let _span = trace.scope("shard/merge", "compute", "register seams");
+    for pair in plan.seam_pairs() {
+        // a tile that already failed permanently voids all its pairs;
+        // don't hammer it with another retry cycle per pair
+        if tracker.is_failed(pair.a) || tracker.is_failed(pair.b) {
+            continue;
+        }
+        let r0 = trace.now_ns();
+        let ia = tracker.load(source, pair.a, &policy.retry);
+        let ib = tracker.load(source, pair.b, &policy.retry);
+        trace.record(
+            "shard/merge",
+            "io",
+            format!(
+                "read seam r{}c{}-r{}c{}",
+                pair.a.row, pair.a.col, pair.b.row, pair.b.col
+            ),
+            r0,
+            trace.now_ns(),
+        );
+        let (Some(ia), Some(ib)) = (ia, ib) else {
+            continue;
+        };
+        counters.count_read();
+        counters.count_read();
+        let c0 = trace.now_ns();
+        let fa = ctx.forward_fft(&ia);
+        let fb = ctx.forward_fft(&ib);
+        let d = ctx.displacement_oriented(&fa, &fb, &ia, &ib, Some(pair.kind));
+        trace.record(
+            "shard/merge",
+            "compute",
+            format!(
+                "seam ccf r{}c{}-r{}c{}",
+                pair.a.row, pair.a.col, pair.b.row, pair.b.col
+            ),
+            c0,
+            trace.now_ns(),
+        );
+        displacements.push((pair, d));
+    }
+    let health = tracker.finish(policy)?;
+    Ok(SeamOutcome {
+        displacements,
+        health,
+    })
+}
+
+/// Reassembles the full-grid [`StitchResult`] from shard-local results
+/// (indexed like `plan.shards()`) and the registered seam
+/// displacements. Because each shard saw the identical tile images the
+/// full grid holds and seam pairs were registered with the identical
+/// kernel, the merged pair graph is bit-identical to the unsharded
+/// run's. Ops and retries are summed; `elapsed` is left at zero for the
+/// driver to stamp with its own wall clock.
+pub fn merge_results(
+    plan: &ShardPlan,
+    shards: &[(Shard, StitchResult)],
+    seams: &SeamOutcome,
+) -> StitchResult {
+    let mut merged = StitchResult::empty(plan.grid);
+    let mut peak_live = 0usize;
+    for (shard, local) in shards {
+        for local_id in shard.shape.ids() {
+            let g = plan.grid.index(shard.to_global(local_id));
+            let l = shard.shape.index(local_id);
+            if local.west[l].is_some() {
+                merged.west[g] = local.west[l];
+            }
+            if local.north[l].is_some() {
+                merged.north[g] = local.north[l];
+            }
+            merge_tile_status(
+                &mut merged.health.tiles[g],
+                &local.health.tiles[shard.shape.index(local_id)],
+            );
+        }
+        merged.ops.reads += local.ops.reads;
+        merged.ops.forward_ffts += local.ops.forward_ffts;
+        merged.ops.elementwise_mults += local.ops.elementwise_mults;
+        merged.ops.inverse_ffts += local.ops.inverse_ffts;
+        merged.ops.max_reductions += local.ops.max_reductions;
+        merged.ops.ccf_groups += local.ops.ccf_groups;
+        merged.health.total_retries += local.health.total_retries;
+        peak_live = peak_live.max(local.peak_live_tiles);
+    }
+    for (pair, d) in &seams.displacements {
+        let slot = plan.grid.index(pair.b);
+        match pair.kind {
+            stitch_core::PairKind::West => merged.west[slot] = Some(*d),
+            stitch_core::PairKind::North => merged.north[slot] = Some(*d),
+        }
+    }
+    for id in plan.grid.ids() {
+        merge_tile_status(
+            &mut merged.health.tiles[plan.grid.index(id)],
+            &seams.health.tiles[plan.grid.index(id)],
+        );
+    }
+    merged.health.total_retries += seams.health.total_retries;
+    // the seam walk holds at most 2 tiles live on top of the per-shard peak
+    merged.peak_live_tiles = peak_live.max(2);
+    merged.elapsed = Duration::ZERO;
+    merged
+}
+
+/// Combines two observations of the same tile (a shard job's and the
+/// seam walk's): `Failed` dominates, then `Recovered` (attempts summed),
+/// then `Ok`.
+fn merge_tile_status(into: &mut TileStatus, other: &TileStatus) {
+    match (&*into, other) {
+        (TileStatus::Failed { .. }, _) => {}
+        (_, TileStatus::Failed { error }) => {
+            *into = TileStatus::Failed {
+                error: error.clone(),
+            };
+        }
+        (TileStatus::Recovered { attempts: a }, TileStatus::Recovered { attempts: b }) => {
+            *into = TileStatus::Recovered { attempts: a + b };
+        }
+        (TileStatus::Ok, TileStatus::Recovered { attempts }) => {
+            *into = TileStatus::Recovered {
+                attempts: *attempts,
+            };
+        }
+        (_, TileStatus::Ok) => {}
+    }
+}
+
+/// The hierarchical (two-level) solve: shard-local positions re-anchored
+/// into one absolute frame.
+pub struct HierarchicalSolve {
+    /// Per-shard anchor offsets (indexed like `plan.shards()`), before
+    /// normalization.
+    pub anchors: Vec<(f64, f64)>,
+    /// Re-anchored absolute positions, normalized to a `(0, 0)` minimum
+    /// like [`GlobalOptimizer::solve`]'s output.
+    pub positions: AbsolutePositions,
+}
+
+/// Solves shard anchors from seam constraints and re-anchors each
+/// shard's local positions into one frame.
+///
+/// For a seam pair `a → b` with displacement `d` joining shard `i` to
+/// shard `j`, consistency demands
+/// `anchor_j − anchor_i = local_i(a) + d − local_j(b)` per axis. The
+/// over-constrained system is solved by correlation-weighted least
+/// squares (conjugate gradient on the shard-anchor Laplacian, anchor 0
+/// pinned). Note this two-level decomposition is *not* algebraically
+/// identical to the flat least-squares-with-IRLS solve on the merged
+/// graph when measurements disagree — which is why the driver commits
+/// the merged-graph solve and uses this as the provisional streaming
+/// frame plus a consistency audit.
+pub fn solve_hierarchical(
+    plan: &ShardPlan,
+    locals: &[AbsolutePositions],
+    seams: &SeamOutcome,
+    optimizer: &GlobalOptimizer,
+    tile_dims: (usize, usize),
+) -> HierarchicalSolve {
+    let n = plan.shard_count();
+    assert_eq!(locals.len(), n, "one local solve per shard");
+    let shards = plan.shards();
+    // weighted constraints between anchors
+    struct C {
+        i: usize,
+        j: usize,
+        dx: f64,
+        dy: f64,
+        w: f64,
+    }
+    let mut cs: Vec<C> = Vec::new();
+    for (pair, d) in &seams.displacements {
+        if d.correlation < optimizer.min_correlation {
+            continue;
+        }
+        let i = plan.shard_of(pair.a);
+        let j = plan.shard_of(pair.b);
+        let la = locals[i].get(shards[i].to_local(pair.a));
+        let lb = locals[j].get(shards[j].to_local(pair.b));
+        cs.push(C {
+            i,
+            j,
+            dx: (la.0 + d.x - lb.0) as f64,
+            dy: (la.1 + d.y - lb.1) as f64,
+            w: d.correlation.max(1e-3),
+        });
+    }
+    // CG on the anchor Laplacian, anchor 0 pinned at the origin
+    let mut lap = vec![0.0f64; n * n];
+    let mut rhs_x = vec![0.0f64; n];
+    let mut rhs_y = vec![0.0f64; n];
+    for c in &cs {
+        lap[c.i * n + c.i] += c.w;
+        lap[c.j * n + c.j] += c.w;
+        lap[c.i * n + c.j] -= c.w;
+        lap[c.j * n + c.i] -= c.w;
+        rhs_x[c.j] += c.w * c.dx;
+        rhs_x[c.i] -= c.w * c.dx;
+        rhs_y[c.j] += c.w * c.dy;
+        rhs_y[c.i] -= c.w * c.dy;
+    }
+    let solve_axis = |rhs: &[f64]| -> Vec<f64> {
+        let mut x = vec![0.0f64; n];
+        if n <= 1 {
+            return x;
+        }
+        // project out node 0 (pin): solve over indices 1..n
+        let mut r: Vec<f64> = rhs[1..].to_vec();
+        let mut p = r.clone();
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        for _ in 0..optimizer.max_iterations.max(n) {
+            if rs.sqrt() <= optimizer.tolerance {
+                break;
+            }
+            // ap = L[1.., 1..] * p
+            let mut ap = vec![0.0f64; n - 1];
+            for (ri, ap_i) in ap.iter_mut().enumerate() {
+                let row = &lap[(ri + 1) * n..(ri + 2) * n];
+                *ap_i = row[1..]
+                    .iter()
+                    .zip(p.iter())
+                    .map(|(l, pv)| l * pv)
+                    .sum::<f64>();
+            }
+            let denom: f64 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
+            if denom.abs() < f64::EPSILON {
+                break;
+            }
+            let alpha = rs / denom;
+            for i in 0..n - 1 {
+                x[i + 1] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            rs = rs_new;
+            for i in 0..n - 1 {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        x
+    };
+    let ax = solve_axis(&rhs_x);
+    let ay = solve_axis(&rhs_y);
+    let mut anchors: Vec<(f64, f64)> = ax.into_iter().zip(ay).collect();
+    // shards with no usable seam constraint to the pinned component sit
+    // at the origin in the CG solution; place them at their nominal
+    // raster offset (default 25% overlap) so the provisional frame stays
+    // renderable even with a severed seam
+    let mut placed = vec![false; n];
+    placed[0] = true;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in &cs {
+        adj[c.i].push(c.j);
+        adj[c.j].push(c.i);
+    }
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !placed[v] {
+                placed[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    let (tw, th) = tile_dims;
+    let (step_x, step_y) = (tw as f64 * 0.75, th as f64 * 0.75);
+    for (s, anchor) in anchors.iter_mut().enumerate() {
+        if !placed[s] {
+            *anchor = (
+                shards[s].col0 as f64 * step_x,
+                shards[s].row0 as f64 * step_y,
+            );
+        }
+    }
+    // re-anchor: global tile position = shard anchor + local position
+    let mut positions = vec![(0i64, 0i64); plan.grid.tiles()];
+    for (s, shard) in shards.iter().enumerate() {
+        for local_id in shard.shape.ids() {
+            let (lx, ly) = locals[s].get(local_id);
+            let g = plan.grid.index(shard.to_global(local_id));
+            positions[g] = (
+                (anchors[s].0 + lx as f64).round() as i64,
+                (anchors[s].1 + ly as f64).round() as i64,
+            );
+        }
+    }
+    let min_x = positions.iter().map(|p| p.0).min().unwrap_or(0);
+    let min_y = positions.iter().map(|p| p.1).min().unwrap_or(0);
+    for p in &mut positions {
+        p.0 -= min_x;
+        p.1 -= min_y;
+    }
+    HierarchicalSolve {
+        anchors,
+        positions: AbsolutePositions {
+            shape: plan.grid,
+            positions,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_core::{GridShape, PairKind, TileId};
+
+    /// Hand-builds a consistent two-shard world and checks the anchor
+    /// solve recovers the exact offset between the shards.
+    #[test]
+    fn anchor_solve_recovers_exact_offsets() {
+        let grid = GridShape::new(2, 4);
+        let plan = ShardPlan::new(grid, 2, 2).unwrap();
+        let shards = plan.shards();
+        assert_eq!(shards.len(), 2);
+        // each shard's local solve: a clean 50x40 raster
+        let local = |shape: GridShape| AbsolutePositions {
+            shape,
+            positions: shape
+                .ids()
+                .map(|id| (id.col as i64 * 50, id.row as i64 * 40))
+                .collect(),
+        };
+        let locals = vec![local(shards[0].shape), local(shards[1].shape)];
+        // two seam pairs between col 1 and col 2, both implying that the
+        // right shard starts 100 px right of the left shard's origin
+        let seams = SeamOutcome {
+            displacements: vec![
+                (
+                    SeamPair {
+                        a: TileId::new(0, 1),
+                        b: TileId::new(0, 2),
+                        kind: PairKind::West,
+                    },
+                    Displacement::new(50, 0, 0.9),
+                ),
+                (
+                    SeamPair {
+                        a: TileId::new(1, 1),
+                        b: TileId::new(1, 2),
+                        kind: PairKind::West,
+                    },
+                    Displacement::new(50, 0, 0.9),
+                ),
+            ],
+            health: HealthReport::new(grid),
+        };
+        let h = solve_hierarchical(
+            &plan,
+            &locals,
+            &seams,
+            &GlobalOptimizer::default(),
+            (64, 48),
+        );
+        let expect: Vec<(i64, i64)> = grid
+            .ids()
+            .map(|id| (id.col as i64 * 50, id.row as i64 * 40))
+            .collect();
+        assert_eq!(h.positions.positions, expect);
+    }
+
+    /// A shard with every seam severed gets the nominal-raster fallback
+    /// instead of collapsing onto the origin.
+    #[test]
+    fn disconnected_shard_falls_back_to_nominal_raster() {
+        let grid = GridShape::new(1, 4);
+        let plan = ShardPlan::new(grid, 1, 2).unwrap();
+        let shards = plan.shards();
+        let local = |shape: GridShape| AbsolutePositions {
+            shape,
+            positions: shape.ids().map(|id| (id.col as i64 * 48, 0)).collect(),
+        };
+        let locals = vec![local(shards[0].shape), local(shards[1].shape)];
+        let seams = SeamOutcome {
+            displacements: Vec::new(),
+            health: HealthReport::new(grid),
+        };
+        let h = solve_hierarchical(
+            &plan,
+            &locals,
+            &seams,
+            &GlobalOptimizer::default(),
+            (64, 48),
+        );
+        // right shard anchored at col0 * 64 * 0.75 = 2 * 48 = 96
+        assert_eq!(h.anchors[1], (96.0, 0.0));
+        assert_eq!(h.positions.get(TileId::new(0, 2)), (96, 0));
+    }
+}

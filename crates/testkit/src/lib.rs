@@ -24,6 +24,11 @@
 //!   `stitch serve` daemon: tenant storms, hung and panicking jobs,
 //!   mid-run cancels, malformed lines, and client disconnects, with a
 //!   deterministic fate digest and lease/queue-depth audits;
+//! * [`shard`] — the sharded-vs-unsharded differential oracle and a
+//!   seeded shard stress harness: random shard geometries (including
+//!   degenerate 1×1/1×N/N×1 and uneven remainders), tight memory
+//!   budgets, boundary-tile fault injection, and mid-run shard
+//!   cancellation, with leak audits on every exit path;
 //! * [`stress`] — a seeded stress runner that drives the pipelined
 //!   variants under randomized-but-seeded queue capacities, worker
 //!   counts, transfer-model latencies, and fault specs; the same seed
@@ -42,6 +47,7 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod sched_stress;
 pub mod serve_chaos;
+pub mod shard;
 pub mod stress;
 
 pub use backends::{run_backend_case, BackendMismatch, BackendReport};
@@ -52,5 +58,9 @@ pub use sched_stress::{
 };
 pub use serve_chaos::{
     run_serve_chaos, run_serve_soak, JobFate, ServeChaosConfig, ServeChaosOutcome, ServeSoakOutcome,
+};
+pub use shard::{
+    run_shard_differential, run_shard_stress, shard_cases, ShardCaseSpec, ShardMismatch,
+    ShardReport, ShardStressOutcome,
 };
 pub use stress::{run_stress, StressConfig, StressOutcome};

@@ -220,6 +220,15 @@ impl TraceHandle {
         }
     }
 
+    /// Distinct track names seen so far, sorted — e.g. to assert that a
+    /// merged batch trace carries one `job.<name>/…` lane per job.
+    pub fn tracks(&self) -> Vec<String> {
+        let mut tracks: Vec<String> = self.spans().into_iter().map(|s| s.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        tracks
+    }
+
     /// Snapshot of all spans recorded so far.
     pub fn spans(&self) -> Vec<TraceSpan> {
         match &self.inner {
