@@ -8,6 +8,8 @@
 //! run on demand — "the third phase can be carried out on demand as part
 //! of visualizing the stitched image."
 
+use std::collections::HashMap;
+
 use stitch_image::Image;
 use stitch_trace::TraceHandle;
 
@@ -35,19 +37,27 @@ pub struct Composer {
     positions: AbsolutePositions,
     blend: Blend,
     /// Draw 1-px tile borders at full intensity (Fig 14's highlighted
-    /// tiles).
+    /// tiles). Borders *override* the blend: a border pixel renders at
+    /// full intensity even where `Average`/`Linear` would otherwise mix
+    /// it down with overlapping interiors.
     pub highlight_tiles: bool,
     trace: TraceHandle,
+    /// Cached at construction (positions are immutable afterwards), so
+    /// per-region composition doesn't rescan every position.
+    origin: (i64, i64),
 }
 
 impl Composer {
     /// Creates a composer.
     pub fn new(positions: AbsolutePositions, blend: Blend) -> Composer {
+        let ox = positions.positions.iter().map(|p| p.0).min().unwrap_or(0);
+        let oy = positions.positions.iter().map(|p| p.1).min().unwrap_or(0);
         Composer {
             positions,
             blend,
             highlight_tiles: false,
             trace: TraceHandle::disabled(),
+            origin: (ox, oy),
         }
     }
 
@@ -74,18 +84,16 @@ impl Composer {
     /// partially-updated position sets may legitimately place tiles at
     /// negative coordinates; every composition method translates by this
     /// origin so such sets render correctly instead of wrapping through an
-    /// unsigned cast.
+    /// unsigned cast. The origin is computed once at construction.
     pub fn origin(&self) -> (i64, i64) {
-        let ox = self.positions.positions.iter().map(|p| p.0).min();
-        let oy = self.positions.positions.iter().map(|p| p.1).min();
-        (ox.unwrap_or(0), oy.unwrap_or(0))
+        self.origin
     }
 
     /// Full mosaic dimensions for `source`'s tile size (origin-translated
     /// bounding box of every tile).
     pub fn mosaic_dims(&self, source: &dyn TileSource) -> (usize, usize) {
         let (tw, th) = source.tile_dims();
-        let (ox, oy) = self.origin();
+        let (ox, oy) = self.origin;
         let max_x = self.positions.positions.iter().map(|p| p.0).max();
         let max_y = self.positions.positions.iter().map(|p| p.1).max();
         match (max_x, max_y) {
@@ -112,11 +120,29 @@ impl Composer {
         w: usize,
         h: usize,
     ) -> Image<u16> {
+        self.compose_region_cached(source, x0, y0, w, h, None)
+    }
+
+    /// [`Composer::compose_region`] with an optional cross-call tile
+    /// cache: cached tiles are blended without re-reading the source (and
+    /// without re-recording an `io` trace span). Failed reads are not
+    /// cached, so a hole in one region is still retried by the next.
+    fn compose_region_cached(
+        &self,
+        source: &dyn TileSource,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+        mut cache: Option<&mut HashMap<TileId, Image<u16>>>,
+    ) -> Image<u16> {
         let (tw, th) = source.tile_dims();
-        let (ox, oy) = self.origin();
+        let (ox, oy) = self.origin;
         let shape = self.positions.shape;
         let mut acc = vec![0.0f64; w * h];
         let mut weight = vec![0.0f64; w * h];
+        // borders beat the blend: marked here, stamped after resolution
+        let mut border_mask = self.highlight_tiles.then(|| vec![false; w * h]);
         let (rx0, ry0, rx1, ry1) = (x0 as i64, y0 as i64, (x0 + w) as i64, (y0 + h) as i64);
         let _span = self
             .trace
@@ -134,27 +160,37 @@ impl Composer {
             }
             // a tile that can't be read leaves a hole in the mosaic
             // rather than aborting the whole composition
-            let r0 = self.trace.now_ns();
-            let loaded = source.load(id);
-            self.trace.record(
-                "compose",
-                "io",
-                format!("read r{}c{}", id.row, id.col),
-                r0,
-                self.trace.now_ns(),
-            );
-            let Ok(tile) = loaded else {
-                continue;
+            let mut owned = None;
+            let tile: &Image<u16> = match cache.as_deref_mut() {
+                Some(tiles) => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = tiles.entry(id) {
+                        let Ok(loaded) = self.traced_load(source, id) else {
+                            continue;
+                        };
+                        slot.insert(loaded);
+                    }
+                    &tiles[&id]
+                }
+                None => {
+                    let Ok(loaded) = self.traced_load(source, id) else {
+                        continue;
+                    };
+                    owned.insert(loaded)
+                }
             };
             for gy in iy0..iy1 {
                 let ty = (gy - py) as usize;
+                let row = tile.row(ty);
+                let out_row = (gy - ry0) as usize * w;
                 for gx in ix0..ix1 {
                     let tx = (gx - px) as usize;
-                    let v = tile.get(tx, ty) as f64;
-                    let oi = (gy - ry0) as usize * w + (gx - rx0) as usize;
-                    let border = self.highlight_tiles
-                        && (tx == 0 || ty == 0 || tx == tw - 1 || ty == th - 1);
-                    let v = if border { 65535.0 } else { v };
+                    let v = row[tx] as f64;
+                    let oi = out_row + (gx - rx0) as usize;
+                    if let Some(mask) = border_mask.as_deref_mut() {
+                        if tx == 0 || ty == 0 || tx == tw - 1 || ty == th - 1 {
+                            mask[oi] = true;
+                        }
+                    }
                     match self.blend {
                         Blend::Overlay => {
                             acc[oi] = v;
@@ -182,20 +218,38 @@ impl Composer {
                 }
             }
         }
-        Image::from_vec(
-            w,
-            h,
-            acc.into_iter()
-                .zip(weight)
-                .map(|(a, wt)| {
-                    if wt > 0.0 {
-                        (a / wt).clamp(0.0, 65535.0).round() as u16
-                    } else {
-                        0
-                    }
-                })
-                .collect(),
-        )
+        let mut pixels: Vec<u16> = acc
+            .into_iter()
+            .zip(weight)
+            .map(|(a, wt)| {
+                if wt > 0.0 {
+                    (a / wt).clamp(0.0, 65535.0).round() as u16
+                } else {
+                    0
+                }
+            })
+            .collect();
+        if let Some(mask) = border_mask {
+            for (px, is_border) in pixels.iter_mut().zip(mask) {
+                if is_border {
+                    *px = 65535;
+                }
+            }
+        }
+        Image::from_vec(w, h, pixels)
+    }
+
+    fn traced_load(&self, source: &dyn TileSource, id: TileId) -> Result<Image<u16>, ()> {
+        let r0 = self.trace.now_ns();
+        let loaded = source.load(id);
+        self.trace.record(
+            "compose",
+            "io",
+            format!("read r{}c{}", id.row, id.col),
+            r0,
+            self.trace.now_ns(),
+        );
+        loaded.map_err(|_| ())
     }
 
     /// Composes the mosaic as a sequence of full-width horizontal bands
@@ -203,8 +257,14 @@ impl Composer {
     /// each band from top to bottom. Every blend mode resolves a pixel
     /// from the tiles covering *that pixel* alone, so the stacked bands
     /// are bit-identical to [`Composer::compose`] while peak memory is
-    /// one band (plus one tile) instead of the whole mosaic — the
-    /// out-of-core composition path used by the sharded stitcher.
+    /// one band plus the row of tiles it intersects, instead of the whole
+    /// mosaic — the out-of-core composition path used by the sharded
+    /// stitcher.
+    ///
+    /// Tiles spanning several bands are read once and kept in a cache
+    /// until the bands have moved past their footprint (they used to be
+    /// re-read ⌈tile_h / band_rows⌉ times); the `compose` trace records
+    /// exactly one `io` span per tile actually read.
     pub fn compose_bands(
         &self,
         source: &dyn TileSource,
@@ -213,12 +273,17 @@ impl Composer {
     ) {
         let band_rows = band_rows.max(1);
         let (mw, mh) = self.mosaic_dims(source);
+        let (_, th) = source.tile_dims();
+        let (_, oy) = self.origin;
+        let mut cache: HashMap<TileId, Image<u16>> = HashMap::new();
         let mut y = 0;
         while y < mh {
             let h = band_rows.min(mh - y);
-            let band = self.compose_region(source, 0, y, mw, h);
+            let band = self.compose_region_cached(source, 0, y, mw, h, Some(&mut cache));
             sink(y, band);
             y += h;
+            // evict tiles whose footprint lies fully above the next band
+            cache.retain(|id, _| self.positions.get(*id).1 - oy + th as i64 > y as i64);
         }
     }
 
@@ -403,6 +468,58 @@ mod tests {
         assert_eq!(m.get(0, 0), 65535);
         assert_eq!(m.get(12, 7), 65535);
         assert_eq!(m.get(2, 4), 100, "interior untouched");
+    }
+
+    #[test]
+    fn banded_compose_reads_each_tile_once() {
+        use stitch_image::{ScanConfig, SyntheticPlate};
+        let cfg = ScanConfig {
+            grid_rows: 3,
+            grid_cols: 4,
+            tile_width: 24,
+            tile_height: 18,
+            ..ScanConfig::default()
+        };
+        let src = crate::source::SyntheticSource::new(SyntheticPlate::generate(cfg));
+        let result = crate::simple_cpu::SimpleCpuStitcher::default().compute_displacements(&src);
+        let pos = crate::global_opt::GlobalOptimizer::default().solve(&result);
+        // band_rows far below tile_height: every tile spans several bands
+        // and used to be re-read once per band it intersected
+        for band_rows in [1usize, 5] {
+            let trace = stitch_trace::TraceHandle::new();
+            let c = Composer::new(pos.clone(), Blend::Average).with_trace(trace.clone());
+            c.compose_bands(&src, band_rows, &mut |_, _| {});
+            let reads = trace.spans().iter().filter(|s| s.cat == "io").count();
+            assert_eq!(
+                reads,
+                pos.shape.tiles(),
+                "band_rows={band_rows}: each tile must be read exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn highlight_borders_override_blend_in_overlaps() {
+        // Regression: border pixels used to enter the Average/Linear
+        // accumulators like any other sample, so a border crossing an
+        // overlap was mixed down (e.g. (65535 + 300) / 2) and Fig-14
+        // style tile outlines dimmed or vanished. Borders must override.
+        let (src, pos) = simple_setup();
+        for blend in [Blend::Overlay, Blend::First, Blend::Average, Blend::Linear] {
+            let mut c = Composer::new(pos.clone(), blend);
+            c.highlight_tiles = true;
+            let m = c.compose(&src);
+            // tile a's right border (x=7) and tile b's left border (x=5)
+            // both sit inside the overlap x∈[5,8)
+            assert_eq!(m.get(7, 4), 65535, "{blend:?}: a's border must show");
+            assert_eq!(m.get(5, 4), 65535, "{blend:?}: b's border must show");
+            assert_eq!(m.get(0, 0), 65535, "{blend:?}: outer border");
+            assert_eq!(m.get(2, 4), 100, "{blend:?}: interior untouched");
+        }
+        // non-border overlap pixels still blend normally
+        let mut c = Composer::new(pos, Blend::Average);
+        c.highlight_tiles = true;
+        assert_eq!(c.compose(&src).get(6, 2), 200);
     }
 
     #[test]

@@ -86,17 +86,32 @@ impl<T: Copy + Default> Image<T> {
         (self.width, self.height)
     }
 
-    /// Pixel at `(x, y)`. Panics out of bounds.
+    /// Pixel at `(x, y)`. Panics out of bounds — in release builds too:
+    /// a `debug_assert!` here once let `get(width, 0)` silently alias
+    /// pixel `(0, 1)` through the row-major index. Hot kernels that have
+    /// already validated their bounds should iterate [`Image::row`] /
+    /// [`Image::pixels`] slices instead of calling this per pixel.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> T {
-        debug_assert!(x < self.width && y < self.height);
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
         self.data[y * self.width + x]
     }
 
-    /// Sets pixel `(x, y)`. Panics out of bounds.
+    /// Sets pixel `(x, y)`. Panics out of bounds — in release builds too
+    /// (see [`Image::get`]).
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: T) {
-        debug_assert!(x < self.width && y < self.height);
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} image",
+            self.width,
+            self.height
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -232,6 +247,25 @@ mod tests {
         let c = img.crop(1, 1, 3, 2);
         assert_eq!(c.dims(), (3, 2));
         assert_eq!(c.pixels(), &[6, 7, 8, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_row_end_panics_instead_of_aliasing() {
+        // Regression: with only a debug_assert!, release builds resolved
+        // get(width, 0) to index `width` — i.e. pixel (0, 1) — and
+        // silently returned the wrong pixel. The check must be a real
+        // assert so both build profiles panic.
+        let img = Image::from_fn(4, 3, |x, y| (10 * y + x) as u16);
+        assert_eq!(img.get(0, 1), 10, "the pixel (4, 0) used to alias");
+        img.get(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut img: Image<u16> = Image::new(4, 3);
+        img.set(0, 3, 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | `watchdog-ms=` | max *run* time before the watchdog cancels the job | none |
 //! | `tenant=` | owning tenant (quota-accounting scope) | none |
 //! | `compose=` | `true`/`false`: build the full mosaic | `true` |
+//! | `preview=` | `true`/`false`: incremental canvas path with live region previews | `false` |
 //! | `hang-ms=` | chaos hook: cancellable hang before doing work | none |
 //! | `panic=` | chaos hook: `true` panics at start (contained) | `false` |
 //!
@@ -179,6 +180,11 @@ pub fn parse_job_line(line: &str) -> Result<StitchJob, String> {
                 job_tmpl.compose = value
                     .parse::<bool>()
                     .map_err(|_| format!("bad compose '{value}' (true/false)"))?;
+            }
+            "preview" => {
+                job_tmpl.preview = value
+                    .parse::<bool>()
+                    .map_err(|_| format!("bad preview '{value}' (true/false)"))?;
             }
             other => return Err(format!("unknown key '{other}'")),
         }

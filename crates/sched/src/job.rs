@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use stitch_canvas::SharedCanvas;
 use stitch_core::{AbsolutePositions, StitchResult, TileSource, TransformKind};
 use stitch_image::{Image, ScanConfig};
 use stitch_trace::RunReport;
@@ -150,6 +151,15 @@ pub struct StitchJob {
     pub watchdog: Option<Duration>,
     /// Whether to compose the full mosaic after global optimization.
     pub compose: bool,
+    /// Run the job through the incremental canvas path: tiles are
+    /// registered in arrival (row-major) order onto a shared
+    /// [`SharedCanvas`](stitch_canvas::SharedCanvas) with periodic
+    /// re-solves, so [`JobHandle::preview_canvas`] serves progressive
+    /// region previews while the job is still running. The final
+    /// displacements and positions are bit-identical to the batch path
+    /// (phase 1 is a pure per-pair function), but execution is
+    /// sequential — `variant` is ignored for compute.
+    pub preview: bool,
     /// Fault-injection hooks (hang / panic), for chaos testing.
     pub chaos: ChaosHooks,
     /// When set, the job stitches this source instead of generating a
@@ -172,6 +182,7 @@ impl StitchJob {
             deadline: None,
             watchdog: None,
             compose: true,
+            preview: false,
             chaos: ChaosHooks::default(),
             source: None,
         }
@@ -238,6 +249,13 @@ impl StitchJob {
     /// Sets whether the mosaic is composed.
     pub fn compose(mut self, compose: bool) -> StitchJob {
         self.compose = compose;
+        self
+    }
+
+    /// Sets whether the job runs the incremental preview-canvas path
+    /// (see [`StitchJob::preview`]).
+    pub fn preview(mut self, preview: bool) -> StitchJob {
+        self.preview = preview;
         self
     }
 
@@ -327,6 +345,9 @@ pub(crate) struct JobShared {
     /// Pokes the scheduler's dispatcher so a cancelled *queued* job is
     /// finalized promptly instead of at the next natural wakeup.
     pub(crate) wake_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    /// Live preview canvas, installed at submit time for preview jobs
+    /// so callers can read regions while the job runs.
+    pub(crate) preview: Mutex<Option<Arc<SharedCanvas>>>,
 }
 
 /// Caller-side handle to a submitted job: await or cancel it.
@@ -344,6 +365,7 @@ impl JobHandle {
                 outcome: Mutex::new(None),
                 done: Condvar::new(),
                 wake_hook: Mutex::new(None),
+                preview: Mutex::new(None),
             }),
         }
     }
@@ -381,6 +403,19 @@ impl JobHandle {
 
     pub(crate) fn set_wake_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
         *self.shared.wake_hook.lock() = Some(Box::new(hook));
+    }
+
+    /// The job's live preview canvas, when it was submitted with
+    /// [`StitchJob::preview`]. Available from the moment `submit`
+    /// returns — regions read before (or while) tiles land simply come
+    /// back as background zeros, and the canvas stays readable after
+    /// the job finishes.
+    pub fn preview_canvas(&self) -> Option<Arc<SharedCanvas>> {
+        self.shared.preview.lock().clone()
+    }
+
+    pub(crate) fn set_preview_canvas(&self, canvas: Arc<SharedCanvas>) {
+        *self.shared.preview.lock() = Some(canvas);
     }
 
     pub(crate) fn cancelled(&self) -> bool {

@@ -44,13 +44,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use stitch_canvas::{CanvasConfig, IncrementalConfig, IncrementalStitcher, SharedCanvas};
 use stitch_core::{
     Blend, Composer, FailurePolicy, GlobalOptimizer, MtCpuStitcher, PipelinedCpuConfig,
     PipelinedCpuStitcher, SimpleCpuStitcher, SimpleGpuStitcher, Stitcher, TransformKind,
 };
 use stitch_core::{
-    Correlator, FijiStyleStitcher, PipelinedGpuConfig, PipelinedGpuStitcher, SyntheticSource,
-    TileSource,
+    Correlator, FaultTracker, FijiStyleStitcher, PipelinedGpuConfig, PipelinedGpuStitcher,
+    StitchError, StitchResult, SyntheticSource, TileSource,
 };
 use stitch_fft::PlanMode;
 use stitch_gpu::Device;
@@ -365,6 +366,11 @@ impl Scheduler {
             let inner = Arc::clone(&self.inner);
             handle.set_wake_hook(move || inner.wake.notify_all());
         }
+        if job.preview {
+            // Installed before the job is queued so the caller can start
+            // polling regions immediately; unplaced areas read as zeros.
+            handle.set_preview_canvas(Arc::new(SharedCanvas::new(CanvasConfig::default())));
+        }
         q.names_in_flight.push(job.name.clone());
         q.seq += 1;
         let seq = q.seq;
@@ -642,13 +648,16 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
             &generated
         }
     };
-    let stitcher = build_stitcher(inner, &job, &job_trace);
-
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if job.chaos.panic_at_start {
             panic!("chaos: injected job panic");
         }
-        stitcher.try_compute_displacements(source, &FailurePolicy::default())
+        if job.preview {
+            run_preview(source, &handle)
+        } else {
+            let stitcher = build_stitcher(inner, &job, &job_trace);
+            stitcher.try_compute_displacements(source, &FailurePolicy::default())
+        }
     }));
     let mut out = JobOutcome::unstarted(&job.name, JobStatus::Completed);
     match outcome {
@@ -679,6 +688,40 @@ fn run_job(inner: &Arc<SchedInner>, job: StitchJob, handle: JobHandle, guard: Jo
     }
     out.elapsed = t0.elapsed();
     handle.finish(out);
+}
+
+/// Preview-path phase 1: feed tiles in row-major order through an
+/// [`IncrementalStitcher`] so the job's [`SharedCanvas`] (installed on
+/// the handle at submit) fills in as registration proceeds. The
+/// returned displacements are bit-identical to the batch stitchers —
+/// phase 1 is a pure per-pair function, so arrival order is
+/// irrelevant — and cancellation is honored between tiles.
+fn run_preview(source: &dyn TileSource, handle: &JobHandle) -> Result<StitchResult, StitchError> {
+    let canvas = handle
+        .preview_canvas()
+        .expect("preview canvas installed at submit");
+    let shape = source.shape();
+    let mut inc = IncrementalStitcher::new(
+        shape,
+        source.tile_dims(),
+        IncrementalConfig::default(),
+        canvas,
+    );
+    let policy = FailurePolicy::default();
+    let tracker = FaultTracker::new(shape);
+    for id in shape.ids() {
+        if handle.cancelled() {
+            // Stop offering tiles; the partial result is finalized below
+            // and the caller resolves the job as cancelled.
+            break;
+        }
+        if let Some(img) = tracker.load(source, id, &policy.retry) {
+            inc.offer(id, img);
+        }
+    }
+    let mut outcome = inc.finish();
+    outcome.result.health = tracker.finish(&policy)?;
+    Ok(outcome.result)
 }
 
 fn build_stitcher(
@@ -759,6 +802,36 @@ mod tests {
         sched.join();
         assert_eq!(sched.arbiter().active_reservations(), 0);
         assert_eq!(sched.arbiter().leased_spectra(), 0);
+    }
+
+    #[test]
+    fn preview_job_matches_batch_and_serves_regions() {
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        });
+        let scan = ScanConfig::for_grid(2, 3, 32, 24, 0.25, 5);
+        let hp = sched
+            .submit(StitchJob::new("pv", scan.clone()).preview(true))
+            .expect("submit preview");
+        // The canvas is readable the moment submit returns.
+        let canvas = hp.preview_canvas().expect("preview canvas at submit");
+        let outp = hp.wait();
+        assert_eq!(outp.status, JobStatus::Completed);
+        let hb = sched
+            .submit(StitchJob::new("batch", scan))
+            .expect("submit batch");
+        let outb = hb.wait();
+        assert_eq!(outb.status, JobStatus::Completed);
+        assert!(hb.preview_canvas().is_none(), "batch jobs carry no canvas");
+        let (rp, rb) = (outp.result.unwrap(), outb.result.unwrap());
+        assert_eq!(rp.west, rb.west, "arrival-order phase 1 must match batch");
+        assert_eq!(rp.north, rb.north);
+        assert_eq!(outp.positions, outb.positions);
+        // The finished canvas serves the exact composed mosaic.
+        let mosaic = outb.mosaic.expect("batch composes by default");
+        let region = canvas.get_region(0, 0, 0, mosaic.width(), mosaic.height());
+        assert_eq!(region.pixels(), mosaic.pixels());
     }
 
     #[test]

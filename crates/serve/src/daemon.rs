@@ -32,6 +32,7 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use stitch_canvas::SharedCanvas;
 use stitch_gpu::{Device, DeviceConfig};
 use stitch_sched::{
     DrainPolicy, DrainReport, JobHandle, JobStatus, Scheduler, SchedulerConfig, StitchJob,
@@ -169,10 +170,20 @@ struct InFlight {
     handle: JobHandle,
 }
 
+/// Preview canvases of the most recently *finished* preview jobs are
+/// retained (in finish order) so `region` keeps working after `done` —
+/// a subscriber that reacts to the done event can still fetch the
+/// final mosaic. Bounded so a daemon that serves many preview jobs
+/// doesn't accumulate canvases forever.
+const RETAINED_PREVIEWS: usize = 8;
+
 struct DaemonState {
     tenants: HashMap<String, TenantState>,
     /// Keyed by the scheduler-side name `<tenant>/<job>`.
     inflight: HashMap<String, InFlight>,
+    /// Canvases of finished preview jobs, oldest first (see
+    /// [`RETAINED_PREVIEWS`]). Same `<tenant>/<job>` key as `inflight`.
+    previews: Vec<(String, Arc<SharedCanvas>)>,
     /// How much of `Scheduler::dispatch_order` has been turned into
     /// `running` events already.
     dispatch_seen: usize,
@@ -227,6 +238,7 @@ impl ServeDaemon {
             state: Mutex::new(DaemonState {
                 tenants: HashMap::new(),
                 inflight: HashMap::new(),
+                previews: Vec::new(),
                 dispatch_seen: 0,
                 admitting: true,
                 breaker: CircuitBreaker::new(config.breaker),
@@ -393,6 +405,15 @@ impl Inner {
                 events
             }
             Request::Cancel { tenant, name } => self.cancel(tenant, name),
+            Request::Region {
+                tenant,
+                name,
+                scale,
+                x,
+                y,
+                w,
+                h,
+            } => self.region(tenant, name, scale, x, y, w, h),
             Request::Submit(job) => self.submit(*job),
             Request::Drain(policy) => {
                 let summary = self.drain(policy);
@@ -422,6 +443,83 @@ impl Inner {
         self.broadcast(&events);
         drop(state);
         events
+    }
+
+    /// Serves a `region` read against a preview job's canvas: in-flight
+    /// jobs are looked up live through their handle, finished ones
+    /// through the bounded retained-preview list.
+    #[allow(clippy::too_many_arguments)]
+    fn region(
+        &self,
+        tenant: Option<String>,
+        name: String,
+        scale: usize,
+        x: i64,
+        y: i64,
+        w: usize,
+        h: usize,
+    ) -> Vec<Event> {
+        let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let key = format!("{tenant}/{name}");
+        let canvas = {
+            let state = self.state.lock();
+            state
+                .inflight
+                .get(&key)
+                .and_then(|entry| entry.handle.preview_canvas())
+                .or_else(|| {
+                    state
+                        .previews
+                        .iter()
+                        .rev()
+                        .find(|(k, _)| k == &key)
+                        .map(|(_, canvas)| Arc::clone(canvas))
+                })
+        };
+        let event = match canvas {
+            None => Event::Error {
+                reason: format!(
+                    "region: no preview canvas for job '{name}' of tenant '{tenant}' \
+                     (submit with preview=true)"
+                ),
+            },
+            Some(canvas) if scale > canvas.max_scale() => Event::Error {
+                reason: format!(
+                    "region: scale {scale} beyond canvas max {}",
+                    canvas.max_scale()
+                ),
+            },
+            Some(canvas) => {
+                // Pixel work happens outside the state lock so a large
+                // read cannot stall admission or the reaper.
+                let img = canvas.get_region(scale, x, y, w, h);
+                let placed = canvas.stats().placements as u64;
+                let (mut nonzero, mut sum) = (0u64, 0u64);
+                for &p in img.pixels() {
+                    nonzero += u64::from(p != 0);
+                    sum += u64::from(p);
+                }
+                Event::Region {
+                    tenant,
+                    job: name,
+                    scale,
+                    x,
+                    y,
+                    w,
+                    h,
+                    placed,
+                    nonzero,
+                    sum,
+                    digest: fnv64(img.pixels()),
+                }
+            }
+        };
+        // Broadcast under the state lock like every other emitter, so
+        // subscribers keep seeing one global event order.
+        let state = self.state.lock();
+        self.broadcast(std::slice::from_ref(&event));
+        drop(state);
+        vec![event]
     }
 
     fn submit(&self, job: StitchJob) -> Vec<Event> {
@@ -572,6 +670,16 @@ impl Inner {
             .collect();
         for key in done_keys {
             let entry = state.inflight.remove(&key).expect("key just seen");
+            if let Some(canvas) = entry.handle.preview_canvas() {
+                // Keep the finished job's canvas addressable for
+                // `region`, evicting the oldest past the cap.
+                state.previews.retain(|(k, _)| k != &key);
+                state.previews.push((key.clone(), canvas));
+                if state.previews.len() > RETAINED_PREVIEWS {
+                    let excess = state.previews.len() - RETAINED_PREVIEWS;
+                    state.previews.drain(..excess);
+                }
+            }
             let outcome = entry.handle.wait();
             match &outcome.status {
                 JobStatus::Completed => {
@@ -658,6 +766,19 @@ impl Inner {
     }
 }
 
+/// FNV-1a over the region's pixel bytes (little-endian); the `region`
+/// reply's change-detection digest.
+fn fnv64(pixels: &[u16]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &p in pixels {
+        for b in p.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +830,57 @@ mod tests {
             .expect("done event");
         assert!(queued < running && running < done);
         assert_eq!(daemon.scheduler().arbiter().reserved(), 0);
+    }
+
+    #[test]
+    fn region_serves_previews_before_and_after_done() {
+        let daemon = ServeDaemon::new(tiny_config());
+        let events =
+            daemon.handle_line("submit name=pv tenant=acme grid=2x2 tile=32x24 preview=true");
+        assert!(matches!(events.last(), Some(Event::Queued { .. })));
+        // Readable immediately (possibly before any tile lands): the
+        // empty canvas answers with zero coverage, never an error.
+        let events = daemon.handle_line("region tenant=acme name=pv w=16 h=16");
+        match events.last() {
+            Some(Event::Region { placed, w, h, .. }) => {
+                assert_eq!((*w, *h), (16, 16));
+                assert!(*placed <= 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        daemon.drain(DrainPolicy::Finish);
+        assert_eq!(daemon.stats().completed, 1);
+        // Still readable after done, from the retained-preview list,
+        // and deterministic: same read, same digest.
+        let read = || match daemon
+            .handle_line("region tenant=acme name=pv scale=1 x=0 y=0 w=32 h=24")
+            .pop()
+        {
+            Some(Event::Region {
+                placed,
+                nonzero,
+                digest,
+                ..
+            }) => (placed, nonzero, digest),
+            other => panic!("{other:?}"),
+        };
+        let (placed, nonzero, digest) = read();
+        assert_eq!(placed, 4, "all four tiles placed");
+        assert!(nonzero > 0, "finished preview must show pixels");
+        assert_eq!(read(), (placed, nonzero, digest));
+        // A job that never asked for a preview is a contained error.
+        daemon.handle_line("submit name=plain tenant=acme grid=2x2 tile=32x24 compose=false");
+        let events = daemon.handle_line("region tenant=acme name=plain");
+        assert!(
+            matches!(events.last(), Some(Event::Error { reason }) if reason.contains("preview")),
+            "{events:?}"
+        );
+        // Out-of-range scale is a contained error too.
+        let events = daemon.handle_line("region tenant=acme name=pv scale=99");
+        assert!(
+            matches!(events.last(), Some(Event::Error { reason }) if reason.contains("scale")),
+            "{events:?}"
+        );
     }
 
     #[test]

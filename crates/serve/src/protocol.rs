@@ -9,6 +9,7 @@
 //! ```text
 //! submit tenant=acme name=p7 variant=pipelined-cpu grid=4x5 tile=64x48
 //! cancel tenant=acme name=p7
+//! region tenant=acme name=p7 scale=2 x=0 y=0 w=64 h=64
 //! stats
 //! drain policy=finish
 //! ping
@@ -42,6 +43,26 @@ pub enum Request {
         tenant: Option<String>,
         /// Job name, as submitted.
         name: String,
+    },
+    /// Read a progressive-preview region from a `preview=true` job's
+    /// canvas (works mid-run and after completion; the reply is a
+    /// summary — coverage counts plus a pixel digest — not raw pixels,
+    /// keeping the text protocol line-oriented).
+    Region {
+        /// Owning tenant (defaults to the daemon's default tenant).
+        tenant: Option<String>,
+        /// Job name, as submitted.
+        name: String,
+        /// Pyramid scale (0 = full resolution).
+        scale: usize,
+        /// Region origin in scale-`scale` canvas coordinates.
+        x: i64,
+        /// Region origin in scale-`scale` canvas coordinates.
+        y: i64,
+        /// Region width in pixels.
+        w: usize,
+        /// Region height in pixels.
+        h: usize,
     },
     /// Ask for a stats snapshot.
     Stats,
@@ -86,6 +107,48 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                 _ => Err("cancel needs name=<job>".into()),
             }
         }
+        "region" => {
+            let mut tenant = None;
+            let mut name = None;
+            let (mut scale, mut x, mut y, mut w, mut h) = (0usize, 0i64, 0i64, 64usize, 64usize);
+            for token in rest.split_whitespace() {
+                match token.split_once('=') {
+                    Some(("tenant", v)) => tenant = Some(v.to_string()),
+                    Some(("name", v)) => name = Some(v.to_string()),
+                    Some(("scale", v)) => {
+                        scale = v.parse().map_err(|_| format!("region: bad scale '{v}'"))?;
+                    }
+                    Some(("x", v)) => {
+                        x = v.parse().map_err(|_| format!("region: bad x '{v}'"))?;
+                    }
+                    Some(("y", v)) => {
+                        y = v.parse().map_err(|_| format!("region: bad y '{v}'"))?;
+                    }
+                    Some(("w", v)) => {
+                        w = v.parse().map_err(|_| format!("region: bad w '{v}'"))?;
+                    }
+                    Some(("h", v)) => {
+                        h = v.parse().map_err(|_| format!("region: bad h '{v}'"))?;
+                    }
+                    _ => return Err(format!("region: unexpected token '{token}'")),
+                }
+            }
+            if w == 0 || h == 0 || w > 4096 || h > 4096 {
+                return Err(format!("region: w/h must be 1..=4096, got {w}x{h}"));
+            }
+            match name {
+                Some(name) if !name.is_empty() => Ok(Some(Request::Region {
+                    tenant,
+                    name,
+                    scale,
+                    x,
+                    y,
+                    w,
+                    h,
+                })),
+                _ => Err("region needs name=<job>".into()),
+            }
+        }
         "stats" => Ok(Some(Request::Stats)),
         "drain" => {
             let mut policy = DrainPolicy::Finish;
@@ -107,7 +170,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         }
         "ping" => Ok(Some(Request::Ping)),
         other => Err(format!(
-            "unknown verb '{other}' (submit, cancel, stats, drain, ping)"
+            "unknown verb '{other}' (submit, cancel, region, stats, drain, ping)"
         )),
     }
 }
@@ -207,6 +270,36 @@ pub enum Event {
         /// Job name.
         job: String,
     },
+    /// Reply to `region`: a summary of a preview-canvas read. `placed`
+    /// counts tiles placed on the canvas so far (coverage grows as the
+    /// job runs), `nonzero`/`sum` summarize the region's pixels, and
+    /// `digest` is an FNV-1a hash of the pixel data so clients can
+    /// detect change (and tests can pin determinism) without shipping
+    /// raw pixels over the line protocol.
+    Region {
+        /// Owning tenant.
+        tenant: String,
+        /// Job name.
+        job: String,
+        /// Pyramid scale that was read.
+        scale: usize,
+        /// Region origin (scale coordinates).
+        x: i64,
+        /// Region origin (scale coordinates).
+        y: i64,
+        /// Region width in pixels.
+        w: usize,
+        /// Region height in pixels.
+        h: usize,
+        /// Tiles placed on the canvas so far.
+        placed: u64,
+        /// Count of non-zero pixels in the region.
+        nonzero: u64,
+        /// Sum of the region's pixel values.
+        sum: u64,
+        /// FNV-1a 64-bit digest of the region's pixels.
+        digest: u64,
+    },
     /// A malformed or unserviceable line, contained.
     Error {
         /// What was wrong.
@@ -302,6 +395,32 @@ impl Event {
                 push_kv(&mut out, "tenant", tenant);
                 push_kv(&mut out, "job", job);
             }
+            Event::Region {
+                tenant,
+                job,
+                scale,
+                x,
+                y,
+                w,
+                h,
+                placed,
+                nonzero,
+                sum,
+                digest,
+            } => {
+                out.push_str("region");
+                push_kv(&mut out, "tenant", tenant);
+                push_kv(&mut out, "job", job);
+                push_kv(&mut out, "scale", &scale.to_string());
+                push_kv(&mut out, "x", &x.to_string());
+                push_kv(&mut out, "y", &y.to_string());
+                push_kv(&mut out, "w", &w.to_string());
+                push_kv(&mut out, "h", &h.to_string());
+                push_kv(&mut out, "placed", &placed.to_string());
+                push_kv(&mut out, "nonzero", &nonzero.to_string());
+                push_kv(&mut out, "sum", &sum.to_string());
+                push_kv(&mut out, "digest", &format!("{digest:016x}"));
+            }
             Event::Error { reason } => {
                 out.push_str("error");
                 push_kv(&mut out, "reason", reason);
@@ -355,6 +474,28 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        match parse_request("region tenant=acme name=j1 scale=2 x=-8 y=4 w=32 h=16") {
+            Ok(Some(Request::Region {
+                tenant,
+                name,
+                scale,
+                x,
+                y,
+                w,
+                h,
+            })) => {
+                assert_eq!(tenant.as_deref(), Some("acme"));
+                assert_eq!(name, "j1");
+                assert_eq!((scale, x, y, w, h), (2, -8, 4, 32, 16));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("region name=j1") {
+            Ok(Some(Request::Region {
+                scale, x, y, w, h, ..
+            })) => assert_eq!((scale, x, y, w, h), (0, 0, 0, 64, 64)),
+            other => panic!("{other:?}"),
+        }
         assert!(matches!(
             parse_request("drain policy=cancel-pending"),
             Ok(Some(Request::Drain(DrainPolicy::CancelPending)))
@@ -376,6 +517,11 @@ mod tests {
             "cancel what",           // bare token
             "drain policy=sideways", // unknown policy
             "submit name=x variant=quantum",
+            "region",                 // no name
+            "region name=x scale=no", // bad number
+            "region name=x w=0",      // degenerate region
+            "region name=x w=65536",  // absurd region
+            "region name=x frob=1",   // unknown key
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
         }

@@ -185,6 +185,24 @@ pub fn stitch_sharded_streaming(
     run_sharded(source, config, sink)
 }
 
+/// Stitches `source` shard-by-shard, baking each composition band into
+/// `canvas` (at `(0, y0)`, scale 0) instead of collecting images — the
+/// out-of-core sink that leaves a readable pyramid behind: after the
+/// run, `canvas.get_region(scale, …)` serves any window of the mosaic
+/// at any scale, bit-identical to composing whole and downsampling.
+/// Band images are not retained beyond their chunks, so peak memory
+/// stays the banded path's. Requires [`ShardConfig::compose`] to be set
+/// (otherwise no bands are produced and the canvas stays empty).
+pub fn stitch_sharded_into_canvas(
+    source: Arc<dyn TileSource>,
+    config: &ShardConfig,
+    canvas: &stitch_canvas::SharedCanvas,
+) -> Result<ShardOutcome, ShardError> {
+    run_sharded(source, config, &mut |y0, band| {
+        canvas.bake_region((0, y0 as i64), &band);
+    })
+}
+
 fn run_sharded(
     source: Arc<dyn TileSource>,
     config: &ShardConfig,

@@ -28,8 +28,11 @@
 //!    so composition memory is one band plus one tile.
 //!
 //! Entry points: [`stitch_sharded`] (collects the mosaic when
-//! composition is requested) and [`stitch_sharded_streaming`] (hands
-//! bands to a sink and never materializes the mosaic).
+//! composition is requested), [`stitch_sharded_streaming`] (hands
+//! bands to a sink and never materializes the mosaic), and
+//! [`stitch_sharded_into_canvas`] (bakes the bands into a
+//! [`stitch_canvas::SharedCanvas`] pyramid for on-demand region reads
+//! at any scale).
 
 #![warn(missing_docs)]
 
@@ -37,7 +40,10 @@ pub mod driver;
 pub mod merge;
 pub mod plan;
 
-pub use driver::{stitch_sharded, stitch_sharded_streaming, ShardConfig, ShardError, ShardOutcome};
+pub use driver::{
+    stitch_sharded, stitch_sharded_into_canvas, stitch_sharded_streaming, ShardConfig, ShardError,
+    ShardOutcome,
+};
 pub use merge::{
     merge_results, register_seams, solve_hierarchical, HierarchicalSolve, SeamOutcome,
 };

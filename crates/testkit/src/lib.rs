@@ -4,6 +4,13 @@
 //! *same* stitching result and differ only in schedule. This crate turns
 //! that claim into machine-checked oracles:
 //!
+//! * [`canvas`] — the incremental-canvas differential oracle: a
+//!   seeded-random arrival order with mid-run re-anchors fed through
+//!   `stitch_canvas::run_incremental` must leave every pyramid scale
+//!   bit-identical to one-shot compose + `pyramid()`, for every blend
+//!   mode, with peak canvas residency bounded by touched chunks; plus
+//!   a seeded stress harness over random geometries, chunk sizes,
+//!   solve cadences, out-of-bounds reads, and resets;
 //! * [`cases`] — a ground-truth grid generator over
 //!   `stitch_image::synth`: textured scenes cut into `r×c` tile grids
 //!   with known absolute positions, swept over overlap %, noise level,
@@ -42,6 +49,7 @@
 
 pub mod alloc;
 pub mod backends;
+pub mod canvas;
 pub mod cases;
 pub mod metamorphic;
 pub mod oracle;
@@ -51,6 +59,9 @@ pub mod shard;
 pub mod stress;
 
 pub use backends::{run_backend_case, BackendMismatch, BackendReport};
+pub use canvas::{
+    run_canvas_differential, run_canvas_stress, CanvasMismatch, CanvasReport, CanvasStressOutcome,
+};
 pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
 pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
 pub use sched_stress::{

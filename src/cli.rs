@@ -20,7 +20,7 @@ use stitch_gpu::{Device, DeviceConfig, GpuFaultConfig};
 use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
 use stitch_sched::{DrainPolicy, JobVariant};
 use stitch_serve::{BreakerConfig, RateLimit, ServeConfig, ServeDaemon, TenantPolicy};
-use stitch_shard::{stitch_sharded, ShardConfig as ShardRunConfig};
+use stitch_shard::{stitch_sharded, stitch_sharded_into_canvas, ShardConfig as ShardRunConfig};
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
@@ -98,6 +98,13 @@ pub enum Command {
         positions_out: Option<PathBuf>,
         /// Pixel rows per composition band.
         band_rows: usize,
+        /// Where to write a downsampled overview image (`.pgm` or
+        /// `.tif`). Routes the banded composition through the chunked
+        /// pyramid canvas, so the overview comes from `--preview-scale`
+        /// without ever materializing the full mosaic.
+        preview_out: Option<PathBuf>,
+        /// Pyramid scale for `--preview` (0 = full resolution).
+        preview_scale: usize,
         /// Where to write the merged per-shard timeline as Chrome
         /// trace-event JSON.
         trace_out: Option<PathBuf>,
@@ -221,6 +228,7 @@ USAGE:
                [--workers N] [--impl NAME] [--threads N]
                [--blend overlay|first|average|linear] [--band-rows N]
                [--out mosaic.pgm|.tif] [--positions out.tsv]
+               [--preview overview.pgm|.tif] [--preview-scale N]
                [--trace-json trace.json]
   stitch serve [--workers N] [--budget-mb N] [--max-pending N]
                [--watchdog-ms N] [--tenant-jobs N] [--rate-burst N]
@@ -241,8 +249,9 @@ JOB FILE (serve-batch; one job per line, `#` comments):
 
 SERVE PROTOCOL (one request per line on stdin or the socket; responses
 and job lifecycle stream back as `event=... key=value` lines):
-  submit name=a tenant=acme grid=6x8 tile=64x48 [watchdog-ms=N] ...
+  submit name=a tenant=acme grid=6x8 tile=64x48 [preview=true] ...
   cancel name=a [tenant=acme]
+  region name=a [tenant=acme] [scale=N] [x=N] [y=N] [w=N] [h=N]
   stats | ping | drain [policy=finish|cancel-pending|cancel-all]
   EOF on stdin drains the daemon (--drain policy) and exits.
 
@@ -403,6 +412,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             out: flags.get("out").map(PathBuf::from),
             positions_out: flags.get("positions").map(PathBuf::from),
             band_rows: get_num(&flags, "band-rows", 64)?,
+            preview_out: flags.get("preview").map(PathBuf::from),
+            preview_scale: get_num(&flags, "preview-scale", 2)?,
             trace_out: flags.get("trace-json").map(PathBuf::from),
         }),
         "serve" => Ok(Command::Serve {
@@ -824,6 +835,8 @@ pub fn run(cmd: Command) -> i32 {
             out,
             positions_out,
             band_rows,
+            preview_out,
+            preview_scale,
             trace_out,
         } => {
             let variant = match implementation {
@@ -860,17 +873,28 @@ pub fn run(cmd: Command) -> i32 {
                 memory_budget: budget_mb << 20,
                 variant,
                 threads,
-                compose: out.is_some().then_some(blend),
+                compose: (out.is_some() || preview_out.is_some()).then_some(blend),
                 band_rows,
                 trace: trace.clone(),
                 ..ShardRunConfig::default()
             };
             let shape = source.shape();
+            let (tile_w, tile_h) = source.tile_dims();
             println!(
                 "sharded stitch: {}x{} grid in {}x{}-tile shards, {} worker(s), {budget_mb} MB budget",
                 shape.rows, shape.cols, shard_rows, shard_cols, workers
             );
-            let outcome = match stitch_sharded(source, &shard_config) {
+            // --preview routes the banded composition through the
+            // chunked pyramid canvas (still out-of-core: bands are baked
+            // and dropped, only live chunks stay resident).
+            let canvas = preview_out
+                .as_ref()
+                .map(|_| stitch_canvas::SharedCanvas::new(stitch_canvas::CanvasConfig::default()));
+            let run = match &canvas {
+                Some(canvas) => stitch_sharded_into_canvas(source, &shard_config, canvas),
+                None => stitch_sharded(source, &shard_config),
+            };
+            let outcome = match run {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -900,7 +924,19 @@ pub fn run(cmd: Command) -> i32 {
                 }
                 println!("positions -> {}", path.display());
             }
-            if let (Some(path), Some(mosaic)) = (&out, &outcome.mosaic) {
+            // In canvas mode the driver never collects the mosaic; a
+            // requested --out is materialized from the canvas's scale-0
+            // plane instead (bit-identical to the collected path).
+            let canvas_mosaic = match (&canvas, &out) {
+                (Some(canvas), Some(_)) => {
+                    let (mw, mh) = outcome.positions.mosaic_dims(tile_w, tile_h);
+                    Some(canvas.get_region(0, 0, 0, mw, mh))
+                }
+                _ => None,
+            };
+            if let (Some(path), Some(mosaic)) =
+                (&out, canvas_mosaic.as_ref().or(outcome.mosaic.as_ref()))
+            {
                 let res = match path.extension().and_then(|e| e.to_str()) {
                     Some("tif") | Some("tiff") => tiff::write_tiff(path, mosaic),
                     _ => pgm::write_pgm(path, mosaic),
@@ -915,6 +951,27 @@ pub fn run(cmd: Command) -> i32 {
                     ),
                     Err(e) => {
                         eprintln!("error writing mosaic: {e}");
+                        return 1;
+                    }
+                }
+            }
+            if let (Some(path), Some(canvas)) = (&preview_out, &canvas) {
+                let (mw, mh) = outcome.positions.mosaic_dims(tile_w, tile_h);
+                let scale = preview_scale.min(canvas.max_scale());
+                let (pw, ph) = ((mw >> scale).max(1), (mh >> scale).max(1));
+                let overview = canvas.get_region(scale, 0, 0, pw, ph);
+                let res = match path.extension().and_then(|e| e.to_str()) {
+                    Some("tif") | Some("tiff") => tiff::write_tiff(path, &overview),
+                    _ => pgm::write_pgm(path, &overview),
+                };
+                match res {
+                    Ok(()) => println!(
+                        "scale-{scale} overview {pw}x{ph} ({} live canvas chunks) -> {}",
+                        canvas.stats().live_chunks,
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("error writing preview: {e}");
                         return 1;
                     }
                 }
@@ -1199,7 +1256,8 @@ mod tests {
         let cmd = parse(&argv(
             "shard --rows 10 --cols 12 --tile-width 64 --tile-height 48 \
              --shard-rows 2 --shard-cols 3 --mem-budget-mb 64 --workers 3 \
-             --impl mt-cpu --threads 4 --band-rows 32 --out m.pgm --positions p.tsv",
+             --impl mt-cpu --threads 4 --band-rows 32 --out m.pgm --positions p.tsv \
+             --preview ov.pgm --preview-scale 3",
         ))
         .unwrap();
         match cmd {
@@ -1215,6 +1273,8 @@ mod tests {
                 out,
                 positions_out,
                 band_rows,
+                preview_out,
+                preview_scale,
                 ..
             } => {
                 assert_eq!(dataset, None);
@@ -1228,13 +1288,24 @@ mod tests {
                 assert_eq!(out, Some(PathBuf::from("m.pgm")));
                 assert_eq!(positions_out, Some(PathBuf::from("p.tsv")));
                 assert_eq!(band_rows, 32);
+                assert_eq!(preview_out, Some(PathBuf::from("ov.pgm")));
+                assert_eq!(preview_scale, 3);
             }
             other => panic!("{other:?}"),
         }
         // datasets and synthetic specs both parse; GPU variants are
         // rejected at run time, not parse time
         match parse(&argv("shard --dataset /d")).unwrap() {
-            Command::Shard { dataset, .. } => assert_eq!(dataset, Some(PathBuf::from("/d"))),
+            Command::Shard {
+                dataset,
+                preview_out,
+                preview_scale,
+                ..
+            } => {
+                assert_eq!(dataset, Some(PathBuf::from("/d")));
+                assert_eq!(preview_out, None, "preview is opt-in");
+                assert_eq!(preview_scale, 2);
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -186,6 +186,51 @@ fn streaming_composition_stays_banded_and_ordered() {
     assert!(out.max_band_bytes <= mw * band_rows * 2);
 }
 
+/// Out-of-core composition into the pyramid canvas: baking the shard
+/// run's bands must reproduce the collected mosaic bit-for-bit at
+/// scale 0 and match the `pyramid()` kernel at every scale above,
+/// while retaining zero placements (bands are pre-composed, so only
+/// the pyramid stays lazy).
+#[test]
+fn sharded_canvas_sink_matches_collected_mosaic_at_every_scale() {
+    use stitch_canvas::{CanvasConfig, SharedCanvas};
+    use stitch_core::pyramid;
+    use stitch_shard::stitch_sharded_into_canvas;
+
+    let scan = ScanConfig::for_grid(4, 6, 32, 24, 0.25, 13);
+    let source: Arc<dyn TileSource> =
+        Arc::new(SyntheticSource::new(SyntheticPlate::generate(scan)));
+    let config = ShardConfig {
+        shard_rows: 2,
+        shard_cols: 2,
+        compose: Some(Blend::Overlay),
+        band_rows: 17, // deliberately unaligned with tile and chunk sizes
+        ..ShardConfig::default()
+    };
+    let canvas = SharedCanvas::new(CanvasConfig {
+        chunk: 64,
+        ..CanvasConfig::default()
+    });
+    let out =
+        stitch_sharded_into_canvas(Arc::clone(&source), &config, &canvas).expect("canvas-sink run");
+    assert!(out.mosaic.is_none(), "sink path must stream, not collect");
+
+    let collected = stitch_sharded(source, &config)
+        .expect("collected run")
+        .mosaic
+        .expect("compose requested");
+    let (mw, mh) = (collected.width(), collected.height());
+    let base = canvas.get_region(0, 0, 0, mw, mh);
+    assert_eq!(base.pixels(), collected.pixels(), "scale 0 diverges");
+    let levels = pyramid(collected, canvas.max_scale());
+    for (scale, level) in levels.iter().enumerate().skip(1) {
+        let got = canvas.get_region(scale, 0, 0, level.width(), level.height());
+        assert_eq!(got.pixels(), level.pixels(), "scale {scale} diverges");
+    }
+    let stats = canvas.stats();
+    assert_eq!(stats.placements, 0, "baked mode retains no tile images");
+}
+
 /// Sharded runs carry per-shard trace lanes plus the merge/compose
 /// phases, so a trace viewer can see every shard as its own track.
 #[test]
