@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod channel;
 pub mod compose;
 pub mod fault;
 pub mod global_opt;
@@ -60,6 +61,11 @@ pub mod subpixel;
 pub mod types;
 
 pub use baseline::FijiStyleStitcher;
+pub use channel::{
+    estimate_channel_flat_field, run_channel_plan, ChannelPlan, ChannelRun, ChannelSession,
+    ComposeUnit, CorrectedSource, MaxZSource, MultiDirSource, MultiSyntheticSource,
+    MultiTileSource, PlaneSource, ZMode,
+};
 pub use compose::{pyramid, Blend, Composer};
 pub use fault::{
     load_with_retry, FailurePolicy, FaultSpec, FaultTracker, FaultySource, HealthReport,
@@ -79,12 +85,16 @@ pub use quality::{correlation_stats, coverage, seam_error, CorrelationStats, Sea
 pub use simple_cpu::SimpleCpuStitcher;
 pub use simple_gpu::SimpleGpuStitcher;
 pub use source::{DirSource, MemorySource, SubgridSource, SyntheticSource, TileSource};
-pub use stitcher::{truth_vectors, StitchResult, Stitcher};
+pub use stitcher::{truth_vectors, StitchResult, Stitcher, TruthVector};
 pub use subpixel::{refine_subpixel, SubpixelDisplacement};
 pub use types::{Displacement, PairKind, TileId};
 
 /// Convenience re-exports for application code.
 pub mod prelude {
+    pub use crate::channel::{
+        run_channel_plan, ChannelPlan, ChannelSession, ComposeUnit, MultiDirSource,
+        MultiSyntheticSource, MultiTileSource, ZMode,
+    };
     pub use crate::compose::{Blend, Composer};
     pub use crate::fault::{
         FailurePolicy, FaultSpec, FaultySource, HealthReport, RetryPolicy, SourceError,

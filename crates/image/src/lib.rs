@@ -20,11 +20,16 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod flatfield;
 pub mod image;
 pub mod pgm;
 pub mod synth;
 pub mod tiff;
 
 pub use error::{ImageError, Result};
+pub use flatfield::{FlatField, FlatFieldEstimator};
 pub use image::Image;
-pub use synth::{GridManifest, ScanConfig, Scene, SceneParams, SyntheticPlate};
+pub use synth::{
+    ChannelConfig, GridManifest, MultiChannelPlate, MultiGridManifest, MultiScanConfig, ScanConfig,
+    Scene, SceneParams, SyntheticPlate,
+};

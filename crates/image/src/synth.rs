@@ -46,25 +46,33 @@ pub struct Cell {
     pub sin_t: f64,
     /// Peak intensity above background.
     pub amp: f64,
+    /// Focal depth in z-plane units (0 for flat 2-D scenes).
+    pub z: f64,
 }
 
 impl Cell {
-    /// Radius beyond which the blob's contribution is negligible.
+    /// In-focus radius beyond which the blob's contribution is negligible.
+    /// Volume scenes widen this by the worst-case defocus blur factor.
     fn support(&self) -> f64 {
         3.5 * self.sx.max(self.sy)
     }
 
-    /// Intensity contribution at plate point `(px, py)`.
-    fn eval(&self, px: f64, py: f64) -> f64 {
+    /// Intensity contribution as imaged from focal plane `plane`: an
+    /// out-of-focus cell blurs (σ grows with the defocus distance) and dims
+    /// (peak falls as 1/blur², conserving integrated energy) — the standard
+    /// thin-lens defocus approximation.
+    fn eval_at_plane(&self, px: f64, py: f64, plane: f64, defocus: f64) -> f64 {
+        let dz = (plane - self.z) * defocus;
+        let f2 = 1.0 + dz * dz;
         let dx = px - self.x;
         let dy = py - self.y;
         let u = dx * self.cos_t + dy * self.sin_t;
         let v = -dx * self.sin_t + dy * self.cos_t;
-        let e = -(u * u / (2.0 * self.sx * self.sx) + v * v / (2.0 * self.sy * self.sy));
+        let e = -(u * u / (2.0 * self.sx * self.sx * f2) + v * v / (2.0 * self.sy * self.sy * f2));
         if e < -12.0 {
             0.0
         } else {
-            self.amp * e.exp()
+            self.amp / f2 * e.exp()
         }
     }
 }
@@ -122,13 +130,34 @@ pub struct Scene {
     bucket: f64,
     buckets_x: usize,
     buckets_y: usize,
+    /// Number of focal planes this scene was generated for (1 = flat).
+    z_planes: usize,
+    /// Defocus blur growth per plane of distance from a cell's focal depth.
+    defocus: f64,
     /// bucket index → indices into `cells`
     index: Vec<Vec<u32>>,
 }
 
 impl Scene {
-    /// Generates a scene covering `width × height` plate pixels.
+    /// Generates a flat (single-plane) scene covering `width × height`
+    /// plate pixels.
     pub fn generate(width: f64, height: f64, params: SceneParams) -> Scene {
+        Self::generate_volume(width, height, params, 1, 0.0)
+    }
+
+    /// Generates a volumetric scene: cells additionally carry a focal depth
+    /// in `[0, z_planes-1]`, and rendering a given plane defocuses cells in
+    /// proportion to their distance from it. Focal depths come from a hash
+    /// stream separate from the colony RNG, so the cell layout of a stacked
+    /// scene is identical to the flat scene with the same parameters.
+    pub fn generate_volume(
+        width: f64,
+        height: f64,
+        params: SceneParams,
+        z_planes: usize,
+        defocus: f64,
+    ) -> Scene {
+        let z_planes = z_planes.max(1);
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut cells = Vec::new();
         for _ in 0..params.colony_count {
@@ -147,16 +176,27 @@ impl Scene {
                     cos_t: theta.cos(),
                     sin_t: theta.sin(),
                     amp: rng.gen_range(params.cell_intensity.0..=params.cell_intensity.1),
+                    z: 0.0,
                 });
             }
         }
-        let max_support = cells.iter().map(|c| c.support()).fold(8.0, f64::max);
+        let zspan = (z_planes - 1) as f64;
+        if zspan > 0.0 {
+            for (i, c) in cells.iter_mut().enumerate() {
+                c.z = hash01(i as u64, params.seed) * zspan;
+            }
+        }
+        // Worst-case blur factor across the stack: a cell can be at most
+        // `zspan` planes out of focus. The spatial index must cover the
+        // blurred support, not just the in-focus one.
+        let max_blur = (1.0 + (zspan * defocus) * (zspan * defocus)).sqrt();
+        let max_support = cells.iter().map(|c| c.support()).fold(8.0, f64::max) * max_blur;
         let bucket = (max_support * 2.0).max(64.0);
         let buckets_x = (width / bucket).ceil().max(1.0) as usize;
         let buckets_y = (height / bucket).ceil().max(1.0) as usize;
         let mut index = vec![Vec::new(); buckets_x * buckets_y];
         for (i, c) in cells.iter().enumerate() {
-            let r = c.support();
+            let r = c.support() * max_blur;
             let bx0 = (((c.x - r) / bucket).floor().max(0.0) as usize).min(buckets_x - 1);
             let bx1 = (((c.x + r) / bucket).floor().max(0.0) as usize).min(buckets_x - 1);
             let by0 = (((c.y - r) / bucket).floor().max(0.0) as usize).min(buckets_y - 1);
@@ -175,6 +215,8 @@ impl Scene {
             bucket,
             buckets_x,
             buckets_y,
+            z_planes,
+            defocus,
             index,
         }
     }
@@ -189,8 +231,22 @@ impl Scene {
         self.cells.len()
     }
 
-    /// Noise-free scene intensity at a plate point.
+    /// Number of focal planes the scene was generated for.
+    pub fn z_planes(&self) -> usize {
+        self.z_planes
+    }
+
+    /// Noise-free scene intensity at a plate point, seen from plane 0.
     pub fn intensity(&self, px: f64, py: f64) -> f64 {
+        self.intensity_at_plane(px, py, 0.0)
+    }
+
+    /// Noise-free scene intensity at a plate point as imaged from focal
+    /// plane `plane`. Background, the slow illumination gradient, and the
+    /// plate-fixed texture are depth-independent; cells defocus with their
+    /// distance from the plane. For flat scenes this equals
+    /// [`Scene::intensity`] at every plane.
+    pub fn intensity_at_plane(&self, px: f64, py: f64, plane: f64) -> f64 {
         let mut v = self.params.background
             + self.params.illumination_amplitude
                 * ((2.0 * PI * px / self.width).sin() * (2.0 * PI * py / self.height).cos());
@@ -201,7 +257,7 @@ impl Scene {
         let bx = ((px / self.bucket).floor().max(0.0) as usize).min(self.buckets_x - 1);
         let by = ((py / self.bucket).floor().max(0.0) as usize).min(self.buckets_y - 1);
         for &ci in &self.index[by * self.buckets_x + bx] {
-            v += self.cells[ci as usize].eval(px, py);
+            v += self.cells[ci as usize].eval_at_plane(px, py, plane, self.defocus);
         }
         v
     }
@@ -222,6 +278,25 @@ impl Scene {
         noise_sigma: f64,
         noise_seed: u64,
     ) -> Image<u16> {
+        self.render_region_plane(x0, y0, w, h, 0.0, vignette, noise_sigma, noise_seed)
+    }
+
+    /// [`Scene::render_region`] imaged from focal plane `plane` of a
+    /// volumetric scene. The vignette is *tile-fixed* — centered on the
+    /// rendered region, not the plate — which is exactly why an uncorrected
+    /// illumination field biases registration toward grid-aligned peaks.
+    #[allow(clippy::too_many_arguments)] // mirrors the microscope's knobs
+    pub fn render_region_plane(
+        &self,
+        x0: f64,
+        y0: f64,
+        w: usize,
+        h: usize,
+        plane: f64,
+        vignette: f64,
+        noise_sigma: f64,
+        noise_seed: u64,
+    ) -> Image<u16> {
         let mut rng = StdRng::seed_from_u64(noise_seed);
         let cx = w as f64 / 2.0;
         let cy = h as f64 / 2.0;
@@ -229,7 +304,7 @@ impl Scene {
         Image::from_fn(w, h, |x, y| {
             let px = x0 + x as f64;
             let py = y0 + y as f64;
-            let mut v = self.intensity(px, py);
+            let mut v = self.intensity_at_plane(px, py, plane);
             if vignette > 0.0 {
                 let dx = x as f64 - cx;
                 let dy = y as f64 - cy;
@@ -256,6 +331,18 @@ fn plate_texture(x: i64, y: i64, seed: u64) -> f64 {
     h = h.wrapping_mul(0xFF51AFD7ED558CCD);
     h ^= h >> 33;
     (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Deterministic hash of `(i, seed)` mapped to `[0, 1)` — used for per-cell
+/// focal depths so they ride outside the colony RNG stream.
+fn hash01(i: u64, seed: u64) -> f64 {
+    let mut h = i
+        .wrapping_mul(0xD1B54A32D192ED03)
+        .wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Box-Muller standard normal pair.
@@ -381,6 +468,33 @@ impl ScanConfig {
     }
 }
 
+/// Simulates one pass of the motorized stage: nominal serpentine steps
+/// perturbed by per-tile jitter and odd-row backlash, all drawn from
+/// `config.seed`. This is *the* ground truth of a scan — every channel and
+/// every z-plane of an acquisition shares the one physical stage path, so
+/// multi-channel plates reuse the same vector by construction.
+fn stage_positions(config: &ScanConfig) -> Vec<(i64, i64)> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let margin = config.stage_jitter + 8.0;
+    let mut positions = Vec::with_capacity(config.tiles());
+    for r in 0..config.grid_rows {
+        for c in 0..config.grid_cols {
+            let nominal_x = margin + config.step_x() * c as f64;
+            let nominal_y = margin + config.step_y() * r as f64;
+            let jx = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
+            let jy = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
+            // serpentine backlash: odd rows scan right-to-left, shifting
+            // every tile by a consistent bias
+            let bx = if r % 2 == 1 { config.backlash_x } else { 0.0 };
+            positions.push((
+                (nominal_x + jx + bx).round() as i64,
+                (nominal_y + jy).round() as i64,
+            ));
+        }
+    }
+    positions
+}
+
 /// A synthesized plate: scene + ground-truth stage positions. Tiles are
 /// rendered lazily so plates of any size fit in memory.
 pub struct SyntheticPlate {
@@ -413,24 +527,7 @@ impl SyntheticPlate {
     pub fn generate_with_scene(config: ScanConfig, params: SceneParams) -> SyntheticPlate {
         let (pw, ph) = config.plate_dims();
         let scene = Scene::generate(pw, ph, params);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let margin = config.stage_jitter + 8.0;
-        let mut positions = Vec::with_capacity(config.tiles());
-        for r in 0..config.grid_rows {
-            for c in 0..config.grid_cols {
-                let nominal_x = margin + config.step_x() * c as f64;
-                let nominal_y = margin + config.step_y() * r as f64;
-                let jx = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
-                let jy = rng.gen_range(-config.stage_jitter..=config.stage_jitter);
-                // serpentine backlash: odd rows scan right-to-left, shifting
-                // every tile by a consistent bias
-                let bx = if r % 2 == 1 { config.backlash_x } else { 0.0 };
-                positions.push((
-                    (nominal_x + jx + bx).round() as i64,
-                    (nominal_y + jy).round() as i64,
-                ));
-            }
-        }
+        let positions = stage_positions(&config);
         SyntheticPlate {
             config,
             scene,
@@ -492,9 +589,31 @@ impl SyntheticPlate {
     }
 
     /// Standard tile file name, mirroring microscope acquisition software
-    /// conventions.
-    pub fn tile_file_name(row: usize, col: usize) -> String {
-        format!("img_r{row:03}_c{col:03}.tif")
+    /// conventions. Carries the full tile identity — channel, z-plane, row,
+    /// column — so the tiles of a multi-channel z-stack acquisition never
+    /// collide on disk.
+    pub fn tile_file_name(channel: usize, plane: usize, row: usize, col: usize) -> String {
+        format!("img_c{channel:02}_z{plane:02}_r{row:03}_c{col:03}.tif")
+    }
+
+    /// Parses a tile file name back into `(channel, plane, row, col)`.
+    /// Accepts both the current four-field names and the legacy
+    /// `img_rRRR_cCCC.tif` single-channel form (mapped to channel 0,
+    /// plane 0). Returns `None` for anything else.
+    pub fn parse_tile_file_name(name: &str) -> Option<(usize, usize, usize, usize)> {
+        let stem = name.strip_suffix(".tif")?.strip_prefix("img_")?;
+        let fields: Vec<&str> = stem.split('_').collect();
+        let field = |s: &str, tag: char| -> Option<usize> { s.strip_prefix(tag)?.parse().ok() };
+        match fields.as_slice() {
+            [c, z, r, cc] => Some((
+                field(c, 'c')?,
+                field(z, 'z')?,
+                field(r, 'r')?,
+                field(cc, 'c')?,
+            )),
+            [r, cc] => Some((0, 0, field(r, 'r')?, field(cc, 'c')?)),
+            _ => None,
+        }
     }
 
     /// Writes every tile as TIFF plus a `manifest.tsv` with the ground
@@ -516,7 +635,7 @@ impl SyntheticPlate {
         )?;
         for r in 0..self.config.grid_rows {
             for c in 0..self.config.grid_cols {
-                let name = Self::tile_file_name(r, c);
+                let name = Self::tile_file_name(0, 0, r, c);
                 let tile = self.render_tile(r, c);
                 tiff::write_tiff(dir.join(&name), &tile)?;
                 let (x, y) = self.true_position(r, c);
@@ -524,6 +643,214 @@ impl SyntheticPlate {
             }
         }
         Ok(self.config.tiles())
+    }
+}
+
+/// Per-channel imaging parameters of a multi-channel acquisition: each
+/// fluorescence channel images its own structures (its own scene) through
+/// its own optical path (its own vignette and sensor noise), but over the
+/// *same* stage positions as every other channel.
+#[derive(Clone, Debug)]
+pub struct ChannelConfig {
+    /// Display name (e.g. `ch00`, `DAPI`).
+    pub name: String,
+    /// Scene content this channel's fluorophore labels.
+    pub scene: SceneParams,
+    /// Radial illumination falloff of this channel's optical path, in
+    /// `[0, 1]` (fraction lost at the tile corner).
+    pub vignette: f64,
+    /// Sensor read-noise sigma for this channel.
+    pub noise_sigma: f64,
+}
+
+impl ChannelConfig {
+    /// Default channel derived from the scan geometry: channel 0 matches
+    /// the single-channel plate (same scene seed, same vignette); higher
+    /// channels image different structures (different scene seed) through
+    /// progressively stronger illumination falloff — the shape real
+    /// filter-wheel systems show.
+    pub fn for_channel(base: &ScanConfig, channel: usize) -> ChannelConfig {
+        let (pw, ph) = base.plate_dims();
+        let colonies = ((pw * ph) / (160.0 * 160.0)).ceil() as usize;
+        ChannelConfig {
+            name: format!("ch{channel:02}"),
+            scene: SceneParams {
+                colony_count: colonies.max(4),
+                seed: base.seed ^ 0x5ce11e ^ (channel as u64).wrapping_mul(0x9E37_79B9),
+                ..SceneParams::default()
+            },
+            vignette: (base.vignette + 0.06 * channel as f64).min(0.8),
+            noise_sigma: base.noise_sigma,
+        }
+    }
+}
+
+/// A multi-channel z-stack scan: one stage path (`base`) shared by all
+/// channels, per-channel optics, and `z_planes` focal planes imaged with
+/// defocus blur growing `defocus` per plane of distance.
+#[derive(Clone, Debug)]
+pub struct MultiScanConfig {
+    /// Stage geometry and mechanics; also seeds the shared stage path.
+    pub base: ScanConfig,
+    /// Per-channel content and optics (must be non-empty).
+    pub channels: Vec<ChannelConfig>,
+    /// Number of focal planes per tile position (≥ 1).
+    pub z_planes: usize,
+    /// Defocus blur growth per plane of distance from a cell's focal depth.
+    pub defocus: f64,
+}
+
+impl MultiScanConfig {
+    /// A stack with `channels` default channels ([`ChannelConfig::for_channel`])
+    /// and `z_planes` focal planes at a moderate defocus.
+    pub fn for_channels(base: ScanConfig, channels: usize, z_planes: usize) -> MultiScanConfig {
+        let channels = channels.max(1);
+        MultiScanConfig {
+            channels: (0..channels)
+                .map(|ch| ChannelConfig::for_channel(&base, ch))
+                .collect(),
+            base,
+            z_planes: z_planes.max(1),
+            defocus: 0.35,
+        }
+    }
+
+    /// Compact one-line description for test failure reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{} · {} channels × {} planes",
+            self.base.label(),
+            self.channels.len(),
+            self.z_planes
+        )
+    }
+
+    /// Total images in the acquisition (channels × planes × grid tiles).
+    pub fn images(&self) -> usize {
+        self.channels.len() * self.z_planes * self.base.tiles()
+    }
+}
+
+/// A synthesized multi-channel z-stack plate. All channels and planes share
+/// one ground-truth stage path — per-channel true positions are identical
+/// *by construction*, which is what lets registration run once on a
+/// reference channel and replay everywhere.
+pub struct MultiChannelPlate {
+    /// The acquisition that produced this plate.
+    pub config: MultiScanConfig,
+    scenes: Vec<Scene>,
+    positions: Vec<(i64, i64)>,
+}
+
+impl MultiChannelPlate {
+    /// Synthesizes the plate: one volumetric scene per channel, one shared
+    /// stage path from `config.base.seed`.
+    pub fn generate(config: MultiScanConfig) -> MultiChannelPlate {
+        assert!(!config.channels.is_empty(), "at least one channel");
+        let (pw, ph) = config.base.plate_dims();
+        let scenes = config
+            .channels
+            .iter()
+            .map(|ch| {
+                Scene::generate_volume(pw, ph, ch.scene.clone(), config.z_planes, config.defocus)
+            })
+            .collect();
+        let positions = stage_positions(&config.base);
+        MultiChannelPlate {
+            config,
+            scenes,
+            positions,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.config.channels.len()
+    }
+
+    /// Number of focal planes.
+    pub fn z_planes(&self) -> usize {
+        self.config.z_planes
+    }
+
+    /// Stage geometry shared by every channel and plane.
+    pub fn base(&self) -> &ScanConfig {
+        &self.config.base
+    }
+
+    /// Ground-truth top-left position of tile `(row, col)` — the same for
+    /// every channel and plane.
+    pub fn true_position(&self, row: usize, col: usize) -> (i64, i64) {
+        self.positions[row * self.config.base.grid_cols + col]
+    }
+
+    /// All ground-truth positions, row-major.
+    pub fn positions(&self) -> &[(i64, i64)] {
+        &self.positions
+    }
+
+    /// The volumetric scene a channel images.
+    pub fn scene(&self, channel: usize) -> &Scene {
+        &self.scenes[channel]
+    }
+
+    /// Renders one image of the acquisition — deterministic, with a noise
+    /// stream unique to the `(channel, plane, row, col)` exposure.
+    pub fn render_tile(&self, channel: usize, plane: usize, row: usize, col: usize) -> Image<u16> {
+        let base = &self.config.base;
+        let (x, y) = self.true_position(row, col);
+        let exposure =
+            (channel * self.config.z_planes + plane) * base.tiles() + row * base.grid_cols + col;
+        let noise_seed = base
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(exposure as u64);
+        let ch = &self.config.channels[channel];
+        self.scenes[channel].render_region_plane(
+            x as f64,
+            y as f64,
+            base.tile_width,
+            base.tile_height,
+            plane as f64,
+            ch.vignette,
+            ch.noise_sigma,
+            noise_seed,
+        )
+    }
+
+    /// Writes every image as TIFF plus a `manifest.tsv` (extended header
+    /// with `channels=`/`z_planes=`, seven-field lines carrying channel and
+    /// plane) into `dir`. Returns the number of images written.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> Result<usize> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let base = &self.config.base;
+        let mut manifest = fs::File::create(dir.join("manifest.tsv"))?;
+        writeln!(
+            manifest,
+            "# rows={} cols={} tile_w={} tile_h={} overlap={} channels={} z_planes={}",
+            base.grid_rows,
+            base.grid_cols,
+            base.tile_width,
+            base.tile_height,
+            base.overlap,
+            self.channels(),
+            self.z_planes()
+        )?;
+        for ch in 0..self.channels() {
+            for z in 0..self.z_planes() {
+                for r in 0..base.grid_rows {
+                    for c in 0..base.grid_cols {
+                        let name = SyntheticPlate::tile_file_name(ch, z, r, c);
+                        let tile = self.render_tile(ch, z, r, c);
+                        tiff::write_tiff(dir.join(&name), &tile)?;
+                        let (x, y) = self.true_position(r, c);
+                        writeln!(manifest, "{ch}\t{z}\t{r}\t{c}\t{x}\t{y}\t{name}")?;
+                    }
+                }
+            }
+        }
+        Ok(self.config.images())
     }
 }
 
@@ -625,6 +952,151 @@ impl GridManifest {
     }
 
     /// Total tile count.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A multi-channel z-stack dataset on disk (as produced by
+/// [`MultiChannelPlate::write_to_dir`]). Also loads legacy single-channel
+/// manifests, which appear as one channel × one plane.
+#[derive(Clone, Debug)]
+pub struct MultiGridManifest {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Tile width.
+    pub tile_width: usize,
+    /// Tile height.
+    pub tile_height: usize,
+    /// Nominal overlap fraction.
+    pub overlap: f64,
+    /// Channel count (≥ 1).
+    pub channels: usize,
+    /// Focal-plane count (≥ 1).
+    pub z_planes: usize,
+    /// Image file paths, indexed `(channel, plane, row, col)` — see
+    /// [`MultiGridManifest::index`].
+    pub files: Vec<std::path::PathBuf>,
+    /// Ground-truth stage positions, row-major over the grid (shared by all
+    /// channels/planes; empty when unknown).
+    pub truth: Vec<(i64, i64)>,
+}
+
+impl MultiGridManifest {
+    /// Loads `manifest.tsv` from a dataset directory. Accepts both the
+    /// extended seven-field format and the legacy five-field single-channel
+    /// format.
+    pub fn load(dir: impl AsRef<Path>) -> Result<MultiGridManifest> {
+        let dir = dir.as_ref();
+        let file = fs::File::open(dir.join("manifest.tsv"))?;
+        let mut lines = BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ImageError::Format("empty manifest".into()))??;
+        let mut rows = 0usize;
+        let mut cols = 0usize;
+        let mut tile_width = 0usize;
+        let mut tile_height = 0usize;
+        let mut overlap = 0.0f64;
+        let mut channels = 1usize;
+        let mut z_planes = 1usize;
+        for part in header.trim_start_matches('#').split_whitespace() {
+            let mut kv = part.splitn(2, '=');
+            let (k, v) = (kv.next().unwrap_or(""), kv.next().unwrap_or(""));
+            let bad = || ImageError::Format(format!("bad manifest header field {part}"));
+            match k {
+                "rows" => rows = v.parse().map_err(|_| bad())?,
+                "cols" => cols = v.parse().map_err(|_| bad())?,
+                "tile_w" => tile_width = v.parse().map_err(|_| bad())?,
+                "tile_h" => tile_height = v.parse().map_err(|_| bad())?,
+                "overlap" => overlap = v.parse().map_err(|_| bad())?,
+                "channels" => channels = v.parse().map_err(|_| bad())?,
+                "z_planes" => z_planes = v.parse().map_err(|_| bad())?,
+                _ => {}
+            }
+        }
+        if rows == 0 || cols == 0 {
+            return Err(ImageError::Format("manifest missing grid dims".into()));
+        }
+        if channels == 0 || z_planes == 0 {
+            return Err(ImageError::Format(
+                "manifest has zero channels/planes".into(),
+            ));
+        }
+        let images = channels * z_planes * rows * cols;
+        let mut files = vec![std::path::PathBuf::new(); images];
+        let mut truth = vec![(0i64, 0i64); rows * cols];
+        let mut seen = 0usize;
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let f: Vec<&str> = line.split('\t').collect();
+            let bad = |what: &str| ImageError::Format(format!("bad {what} in line: {line}"));
+            // seven fields carry (ch, z, r, c, x, y, name); legacy five
+            // carry (r, c, x, y, name) for channel 0 / plane 0
+            let (ch, z, rest) = match f.len() {
+                7 => (
+                    f[0].parse().map_err(|_| bad("channel"))?,
+                    f[1].parse().map_err(|_| bad("plane"))?,
+                    &f[2..],
+                ),
+                5 => (0usize, 0usize, &f[..]),
+                _ => return Err(ImageError::Format(format!("bad manifest line: {line}"))),
+            };
+            let r: usize = rest[0].parse().map_err(|_| bad("row"))?;
+            let c: usize = rest[1].parse().map_err(|_| bad("col"))?;
+            let x: i64 = rest[2].parse().map_err(|_| bad("x"))?;
+            let y: i64 = rest[3].parse().map_err(|_| bad("y"))?;
+            if ch >= channels || z >= z_planes {
+                return Err(ImageError::Format(format!(
+                    "image (ch {ch}, z {z}) outside stack"
+                )));
+            }
+            if r >= rows || c >= cols {
+                return Err(ImageError::Format(format!("tile ({r},{c}) outside grid")));
+            }
+            files[((ch * z_planes + z) * rows + r) * cols + c] = dir.join(rest[4]);
+            truth[r * cols + c] = (x, y);
+            seen += 1;
+        }
+        if seen != images {
+            return Err(ImageError::Format(format!(
+                "manifest lists {seen} images, expected {images}"
+            )));
+        }
+        Ok(MultiGridManifest {
+            rows,
+            cols,
+            tile_width,
+            tile_height,
+            overlap,
+            channels,
+            z_planes,
+            files,
+            truth,
+        })
+    }
+
+    /// Flat index of image `(channel, plane, row, col)` into `files`.
+    pub fn index(&self, channel: usize, plane: usize, row: usize, col: usize) -> usize {
+        ((channel * self.z_planes + plane) * self.rows + row) * self.cols + col
+    }
+
+    /// Image file path for `(channel, plane, row, col)`.
+    pub fn file(&self, channel: usize, plane: usize, row: usize, col: usize) -> &Path {
+        &self.files[self.index(channel, plane, row, col)]
+    }
+
+    /// Total image count (channels × planes × grid tiles).
+    pub fn images(&self) -> usize {
+        self.channels * self.z_planes * self.rows * self.cols
+    }
+
+    /// Grid tile count per (channel, plane).
     pub fn tiles(&self) -> usize {
         self.rows * self.cols
     }
@@ -770,5 +1242,143 @@ mod tests {
         let scene = Scene::generate(300.0, 300.0, SceneParams::default());
         let v = scene.intensity(150.0, 150.0);
         assert!(v > 0.0 && v < 65535.0);
+    }
+
+    fn small_multi() -> MultiScanConfig {
+        MultiScanConfig::for_channels(small_config(), 3, 2)
+    }
+
+    #[test]
+    fn tile_file_name_round_trip() {
+        for (ch, z, r, c) in [(0, 0, 0, 0), (2, 3, 41, 58), (11, 7, 999, 1)] {
+            let name = SyntheticPlate::tile_file_name(ch, z, r, c);
+            assert_eq!(
+                SyntheticPlate::parse_tile_file_name(&name),
+                Some((ch, z, r, c)),
+                "{name}"
+            );
+        }
+        // distinct identities never collide on disk
+        assert_ne!(
+            SyntheticPlate::tile_file_name(0, 1, 2, 3),
+            SyntheticPlate::tile_file_name(1, 0, 2, 3)
+        );
+        // legacy single-channel names still parse
+        assert_eq!(
+            SyntheticPlate::parse_tile_file_name("img_r004_c017.tif"),
+            Some((0, 0, 4, 17))
+        );
+        assert_eq!(SyntheticPlate::parse_tile_file_name("whatever.tif"), None);
+        assert_eq!(
+            SyntheticPlate::parse_tile_file_name("img_r004_c017.png"),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_channel_positions_shared_and_match_single() {
+        let multi = MultiChannelPlate::generate(small_multi());
+        let single = SyntheticPlate::generate(small_config());
+        // one stage path: identical to the single-channel plate with the
+        // same base scan, for every channel by construction
+        assert_eq!(multi.positions(), single.positions());
+        assert_eq!(multi.true_position(2, 3), single.true_position(2, 3));
+    }
+
+    #[test]
+    fn multi_channel_rendering_deterministic_and_distinct() {
+        let a = MultiChannelPlate::generate(small_multi());
+        let b = MultiChannelPlate::generate(small_multi());
+        assert_eq!(a.render_tile(1, 1, 2, 2), b.render_tile(1, 1, 2, 2));
+        // channels image different structures; planes defocus differently
+        assert_ne!(a.render_tile(0, 0, 1, 1), a.render_tile(1, 0, 1, 1));
+        assert_ne!(a.render_tile(0, 0, 1, 1), a.render_tile(0, 1, 1, 1));
+    }
+
+    #[test]
+    fn flat_scene_unchanged_by_volume_path() {
+        // generate() is the z_planes=1 special case of generate_volume()
+        let p = SceneParams::default();
+        let flat = Scene::generate(400.0, 300.0, p.clone());
+        let vol = Scene::generate_volume(400.0, 300.0, p, 1, 0.0);
+        for (x, y) in [(10.3, 20.7), (200.0, 150.0), (399.0, 299.0)] {
+            assert_eq!(
+                flat.intensity(x, y).to_bits(),
+                vol.intensity(x, y).to_bits()
+            );
+            assert_eq!(
+                vol.intensity(x, y).to_bits(),
+                vol.intensity_at_plane(x, y, 3.0).to_bits(),
+                "flat scenes are plane-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn write_and_reload_multi_manifest() {
+        let dir = std::env::temp_dir().join("stitch_synth_multi_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut cfg = small_multi();
+        cfg.base.grid_rows = 2;
+        cfg.base.grid_cols = 3;
+        let plate = MultiChannelPlate::generate(cfg);
+        let n = plate.write_to_dir(&dir).unwrap();
+        assert_eq!(n, 3 * 2 * 6);
+        let m = MultiGridManifest::load(&dir).unwrap();
+        assert_eq!((m.rows, m.cols, m.channels, m.z_planes), (2, 3, 3, 2));
+        assert_eq!(m.truth[4], plate.true_position(1, 1));
+        let img = tiff::read_tiff(m.file(2, 1, 1, 2)).unwrap();
+        assert_eq!(img, plate.render_tile(2, 1, 1, 2));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_manifest_reads_legacy_single_channel_dataset() {
+        let dir = std::env::temp_dir().join("stitch_synth_legacy_test");
+        let _ = fs::remove_dir_all(&dir);
+        let plate = SyntheticPlate::generate(small_config());
+        plate.write_to_dir(&dir).unwrap();
+        let m = MultiGridManifest::load(&dir).unwrap();
+        assert_eq!((m.channels, m.z_planes), (1, 1));
+        assert_eq!((m.rows, m.cols), (3, 4));
+        assert_eq!(m.truth[5], plate.true_position(1, 1));
+        let img = tiff::read_tiff(m.file(0, 0, 1, 1)).unwrap();
+        assert_eq!(img, plate.render_tile(1, 1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn defocus_blurs_and_dims_out_of_focus_planes() {
+        // a single in-focus cell at z=0: plane 3 must show a lower peak
+        let params = SceneParams {
+            colony_count: 0,
+            texture_amplitude: 0.0,
+            illumination_amplitude: 0.0,
+            ..SceneParams::default()
+        };
+        let mut scene = Scene::generate_volume(256.0, 256.0, params, 4, 0.5);
+        // inject a known cell directly to keep the check analytic
+        scene.cells.push(Cell {
+            x: 128.0,
+            y: 128.0,
+            sx: 3.0,
+            sy: 3.0,
+            cos_t: 1.0,
+            sin_t: 0.0,
+            amp: 10_000.0,
+            z: 0.0,
+        });
+        for b in scene.index.iter_mut() {
+            b.push(0);
+        }
+        let focused = scene.intensity_at_plane(128.0, 128.0, 0.0);
+        let blurred = scene.intensity_at_plane(128.0, 128.0, 3.0);
+        let expected = 10_000.0 / (1.0 + (3.0f64 * 0.5).powi(2));
+        assert!((focused - (params_background() + 10_000.0)).abs() < 1e-6);
+        assert!((blurred - (params_background() + expected)).abs() < 1e-6);
+    }
+
+    fn params_background() -> f64 {
+        SceneParams::default().background
     }
 }

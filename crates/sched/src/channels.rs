@@ -1,0 +1,268 @@
+//! Scheduler-backed multi-channel / z-stack driver.
+//!
+//! A multi-channel acquisition is one *registration* problem and many
+//! *composition* problems: the stage moved once, so every `(channel,
+//! plane)` shares the reference channel's solved frame. This driver maps
+//! that structure onto the [`Scheduler`]: one ordinary stitch job
+//! registers the session's reference source, then each compose unit is
+//! submitted as an independent [`StitchJob::fixed_positions`] replay job
+//! carrying a clone of the solved frame. Replay jobs skip phases 1–2
+//! entirely, so they are cheap, freely reorderable by the dispatcher,
+//! and — because composition is a pure function of `(positions, source)`
+//! — bit-identical to the sequential
+//! [`run_channel_plan`](stitch_core::run_channel_plan) driver (proved by
+//! `stitch_testkit`'s channel differential).
+
+use std::fmt;
+
+use stitch_core::{AbsolutePositions, ChannelSession, ComposeUnit};
+
+use crate::job::{JobOutcome, JobStatus, JobVariant, StitchJob};
+use crate::scheduler::{Scheduler, SubmitError};
+
+/// Execution parameters shared by every job of a channel batch.
+#[derive(Clone, Debug)]
+pub struct ChannelBatchOptions {
+    /// Stitcher variant for the registration job (replay jobs never run
+    /// a stitcher).
+    pub variant: JobVariant,
+    /// Compute threads for the registration job.
+    pub threads: usize,
+    /// Scheduling weight for every job of the batch.
+    pub priority: u32,
+    /// Owning tenant for quota accounting, applied to every job.
+    pub tenant: Option<String>,
+}
+
+impl Default for ChannelBatchOptions {
+    fn default() -> Self {
+        ChannelBatchOptions {
+            variant: JobVariant::SimpleCpu,
+            threads: 1,
+            priority: 1,
+            tenant: None,
+        }
+    }
+}
+
+/// Why a channel batch could not complete.
+#[derive(Debug)]
+pub enum ChannelBatchError {
+    /// A job was refused at submission.
+    Submit(SubmitError),
+    /// The registration job ended without a solved frame, so there was
+    /// nothing to replay.
+    Registration(JobStatus),
+}
+
+impl fmt::Display for ChannelBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelBatchError::Submit(e) => write!(f, "submission refused: {e}"),
+            ChannelBatchError::Registration(s) => {
+                write!(f, "registration job did not complete: {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelBatchError {}
+
+impl From<SubmitError> for ChannelBatchError {
+    fn from(e: SubmitError) -> Self {
+        ChannelBatchError::Submit(e)
+    }
+}
+
+/// Everything a finished channel batch produced. The registration
+/// outcome carries the phase-1 result; each unit outcome carries its
+/// mosaic and a copy of the shared frame.
+pub struct ChannelBatch {
+    /// Outcome of the registration job (phase-1 result + solved frame).
+    pub registration: JobOutcome,
+    /// The solved frame every unit was composed with.
+    pub positions: AbsolutePositions,
+    /// Per-unit replay outcomes, in [`ChannelSession::units`] order.
+    pub units: Vec<(ComposeUnit, JobOutcome)>,
+}
+
+/// Runs a [`ChannelSession`] through the scheduler: one registration job
+/// on the session's reference source, then one fixed-positions compose
+/// job per unit, all named `<name>.reg` / `<name>.<unit label>`.
+///
+/// Unit jobs are submitted together (with backpressure via
+/// `submit_blocking`) so the dispatcher can run them concurrently under
+/// its normal admission control; the call blocks until every unit has a
+/// terminal outcome. Unit failures are not short-circuited — each
+/// outcome is reported so callers can distinguish a lost unit from a
+/// lost batch.
+pub fn run_channel_batch(
+    sched: &Scheduler,
+    name: &str,
+    session: &ChannelSession,
+    opts: &ChannelBatchOptions,
+) -> Result<ChannelBatch, ChannelBatchError> {
+    let mut reg_job = StitchJob::over_source(format!("{name}.reg"), session.registration_source())
+        .variant(opts.variant)
+        .threads(opts.threads)
+        .priority(opts.priority)
+        .compose(false);
+    if let Some(t) = &opts.tenant {
+        reg_job = reg_job.tenant(t.clone());
+    }
+    let registration = sched.submit_blocking(reg_job)?.wait();
+    let Some(positions) = registration.positions.clone() else {
+        return Err(ChannelBatchError::Registration(registration.status));
+    };
+
+    let mut handles = Vec::new();
+    for unit in session.units() {
+        let mut job = StitchJob::over_source(
+            format!("{name}.{}", unit.label()),
+            session.unit_source(unit),
+        )
+        .fixed_positions(positions.clone())
+        .priority(opts.priority);
+        if let Some(t) = &opts.tenant {
+            job = job.tenant(t.clone());
+        }
+        handles.push((unit, sched.submit_blocking(job)?));
+    }
+    let units = handles
+        .into_iter()
+        .map(|(unit, h)| (unit, h.wait()))
+        .collect();
+    Ok(ChannelBatch {
+        registration,
+        positions,
+        units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+    use std::sync::Arc;
+    use stitch_core::{
+        run_channel_plan, Blend, ChannelPlan, MultiSyntheticSource, SimpleCpuStitcher,
+    };
+    use stitch_image::{MultiChannelPlate, MultiScanConfig, ScanConfig};
+
+    fn session(channels: usize, z_planes: usize, plan: ChannelPlan) -> ChannelSession {
+        let cfg = MultiScanConfig::for_channels(
+            ScanConfig {
+                grid_rows: 2,
+                grid_cols: 3,
+                tile_width: 48,
+                tile_height: 36,
+                ..ScanConfig::default()
+            },
+            channels,
+            z_planes,
+        );
+        let src = Arc::new(MultiSyntheticSource::new(MultiChannelPlate::generate(cfg)));
+        ChannelSession::new(src, plan).expect("valid plan")
+    }
+
+    #[test]
+    fn batch_matches_sequential_driver_bit_for_bit() {
+        let s = session(2, 2, ChannelPlan::default());
+        let sequential =
+            run_channel_plan(&s, &SimpleCpuStitcher::default(), Blend::Overlay).unwrap();
+        let sched = Scheduler::new(SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        });
+        let batch =
+            run_channel_batch(&sched, "plate", &s, &ChannelBatchOptions::default()).unwrap();
+        assert_eq!(batch.registration.status, JobStatus::Completed);
+        assert_eq!(batch.positions, sequential.positions);
+        assert_eq!(batch.units.len(), sequential.mosaics.len());
+        for ((unit, out), (seq_unit, seq_mosaic)) in
+            batch.units.iter().zip(sequential.mosaics.iter())
+        {
+            assert_eq!(unit, seq_unit);
+            assert_eq!(out.status, JobStatus::Completed, "{}", unit.label());
+            assert_eq!(
+                out.positions.as_ref(),
+                Some(&batch.positions),
+                "every unit carries the shared frame"
+            );
+            assert!(
+                out.result.is_none(),
+                "replay jobs must skip phase 1 ({})",
+                unit.label()
+            );
+            assert_eq!(
+                out.mosaic.as_ref(),
+                Some(seq_mosaic),
+                "unit {} diverged from the sequential driver",
+                unit.label()
+            );
+        }
+        sched.join();
+        assert_eq!(sched.arbiter().active_reservations(), 0);
+    }
+
+    #[test]
+    fn replay_job_skips_registration_even_standalone() {
+        let s = session(1, 1, ChannelPlan::default());
+        let sched = Scheduler::new(SchedulerConfig::default());
+        // Solve a frame the ordinary way, then replay it.
+        let reg = sched
+            .submit(StitchJob::over_source("solve", s.registration_source()).compose(false))
+            .unwrap()
+            .wait();
+        let frame = reg.positions.expect("solved");
+        let out = sched
+            .submit(
+                StitchJob::over_source("replay", s.registration_source())
+                    .fixed_positions(frame.clone()),
+            )
+            .unwrap()
+            .wait();
+        assert_eq!(out.status, JobStatus::Completed);
+        assert!(out.result.is_none());
+        assert_eq!(out.positions, Some(frame));
+        assert!(out.mosaic.is_some());
+    }
+
+    #[test]
+    fn refused_submission_surfaces_as_batch_error() {
+        let s = session(1, 1, ChannelPlan::default());
+        // A budget far below any job's footprint refuses the
+        // registration job outright; the batch reports it and never
+        // submits a replay.
+        let sched = Scheduler::new(SchedulerConfig {
+            memory_budget: 1024,
+            ..SchedulerConfig::default()
+        });
+        let res = run_channel_batch(&sched, "starved", &s, &ChannelBatchOptions::default());
+        assert!(matches!(
+            res,
+            Err(ChannelBatchError::Submit(SubmitError::TooLarge { .. }))
+        ));
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn maxz_batch_composes_one_unit_per_channel() {
+        let s = session(
+            2,
+            3,
+            ChannelPlan {
+                z_mode: stitch_core::ZMode::MaxProject,
+                ..ChannelPlan::default()
+            },
+        );
+        let sched = Scheduler::new(SchedulerConfig::default());
+        let batch = run_channel_batch(&sched, "mz", &s, &ChannelBatchOptions::default()).unwrap();
+        assert_eq!(batch.units.len(), 2);
+        for (unit, out) in &batch.units {
+            assert!(unit.plane.is_none());
+            assert_eq!(out.status, JobStatus::Completed);
+            assert!(out.mosaic.is_some());
+        }
+    }
+}

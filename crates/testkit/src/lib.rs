@@ -24,6 +24,11 @@
 //!   pipeline under each `stitch_fft::backend` compute backend (scalar /
 //!   portable / SIMD) must produce identical integer displacements,
 //!   positions and mosaics over the same ground-truth sweep;
+//! * [`channels`] — the multi-channel replay oracle: every channel and
+//!   plane of a stacked acquisition must be composed with positions
+//!   bit-identical to the reference-channel solo run (sequential and
+//!   scheduler-backed drivers alike), plus a corrected-vs-uncorrected
+//!   registration-accuracy sweep over vignetting strengths;
 //! * [`metamorphic`] — metamorphic properties of PCIAM/subpixel:
 //!   translation consistency, flip symmetry, intensity-scale invariance
 //!   of the peak location;
@@ -51,6 +56,7 @@ pub mod alloc;
 pub mod backends;
 pub mod canvas;
 pub mod cases;
+pub mod channels;
 pub mod metamorphic;
 pub mod oracle;
 pub mod sched_stress;
@@ -63,6 +69,9 @@ pub use canvas::{
     run_canvas_differential, run_canvas_stress, CanvasMismatch, CanvasReport, CanvasStressOutcome,
 };
 pub use cases::{exhaustive_sweep, standard_sweep, sweep, SweepCase};
+pub use channels::{
+    multi_truth_vectors, run_channel_differential, AccuracyPoint, ChannelMismatch, ChannelReport,
+};
 pub use oracle::{run_case, variants, CaseReport, Mismatch, MismatchDetail};
 pub use sched_stress::{
     run_job_solo, run_sched_stress, solo_digests, JobDigest, SchedStressConfig, SchedStressOutcome,

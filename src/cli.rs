@@ -17,7 +17,7 @@ use stitch_core::pciam_real::TransformKind;
 use stitch_core::prelude::*;
 use stitch_fft::BackendChoice;
 use stitch_gpu::{Device, DeviceConfig, GpuFaultConfig};
-use stitch_image::{pgm, tiff, ScanConfig, SyntheticPlate};
+use stitch_image::{pgm, tiff, MultiChannelPlate, MultiScanConfig, ScanConfig, SyntheticPlate};
 use stitch_sched::{DrainPolicy, JobVariant};
 use stitch_serve::{BreakerConfig, RateLimit, ServeConfig, ServeDaemon, TenantPolicy};
 use stitch_shard::{stitch_sharded, stitch_sharded_into_canvas, ShardConfig as ShardRunConfig};
@@ -31,6 +31,10 @@ pub enum Command {
         out: PathBuf,
         /// Scan geometry.
         config: ScanConfig,
+        /// Fluorescence channels (> 1 writes a multi-channel manifest).
+        channels: usize,
+        /// Focal planes per tile position (> 1 writes a z-stack).
+        z_planes: usize,
     },
     /// Stitch a dataset directory end-to-end.
     Stitch {
@@ -71,6 +75,14 @@ pub enum Command {
         /// Compute backend for the phase-1 hot loops. `None` defers to
         /// the `STITCH_BACKEND` environment variable, then auto-detect.
         backend: Option<BackendChoice>,
+        /// Channel whose images drive registration (multi-channel datasets).
+        ref_channel: usize,
+        /// Estimate per-channel flat fields and correct every image before
+        /// registration and composition.
+        correct_illumination: bool,
+        /// Compose one max-z projection per channel instead of one mosaic
+        /// per (channel, plane).
+        maxz: bool,
     },
     /// Stitch shard-by-shard under a fixed memory budget (out-of-core).
     Shard {
@@ -215,6 +227,7 @@ stitch — hybrid CPU-GPU microscopy image stitching (ICPP 2014 reproduction)
 USAGE:
   stitch generate --out DIR [--rows N] [--cols N] [--tile-width N]
                   [--tile-height N] [--overlap F] [--seed N]
+                  [--channels N] [--z-planes N]
   stitch stitch --dataset DIR [--impl NAME] [--threads N] [--gpus N]
                 [--transform complex|real|padded] [--blend overlay|first|average|linear]
                 [--out mosaic.pgm|.tif] [--positions out.tsv] [--highlight]
@@ -222,6 +235,7 @@ USAGE:
                 [--fault-spec SPEC] [--health-json out.json]
                 [--trace-json trace.json] [--run-report report.json]
                 [--backend auto|scalar|portable|simd]
+                [--ref-channel N] [--correct-illumination] [--maxz]
   stitch shard [--dataset DIR | --rows N --cols N [--tile-width N]
                [--tile-height N] [--overlap F] [--seed N]]
                [--shard-rows N] [--shard-cols N] [--mem-budget-mb N]
@@ -266,6 +280,15 @@ BACKENDS (phase-1 compute kernels; all bit-identical on displacements):
   The STITCH_BACKEND environment variable applies when --backend is
   absent; --backend wins when both are given.
 
+MULTI-CHANNEL / Z-STACK (generate --channels/--z-planes writes an
+extended manifest; stitch detects it and registers ONCE on the
+reference channel, replaying the solved frame across every channel and
+plane — outputs are suffixed `_cCC_zZZ` / `_cCC_maxz`):
+  --ref-channel N          channel whose images drive registration
+  --correct-illumination   estimate per-channel flat fields from the
+                           tile stack and correct before registering
+  --maxz                   compose one max-z projection per channel
+
 FAULT SPEC (comma-separated key=value):
   seed=N transient=RATE corrupt=R.C+R.C latency-ms=N     (tile reads)
   gpu-seed=N gpu-h2d=RATE gpu-d2h=RATE gpu-kernel=RATE
@@ -279,7 +302,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value
-            if name == "highlight" || name == "allow-partial" {
+            if name == "highlight"
+                || name == "allow-partial"
+                || name == "correct-illumination"
+                || name == "maxz"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
                 continue;
@@ -334,7 +361,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 vignette: 0.03,
                 seed: get_num(&flags, "seed", 2014)?,
             };
-            Ok(Command::Generate { out, config })
+            Ok(Command::Generate {
+                out,
+                config,
+                channels: get_num(&flags, "channels", 1)?,
+                z_planes: get_num(&flags, "z-planes", 1)?,
+            })
         }
         "stitch" => Ok(Command::Stitch {
             dataset: flags
@@ -376,6 +408,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .get("backend")
                 .map(|v| BackendChoice::parse(v).map_err(|e| format!("bad --backend: {e}")))
                 .transpose()?,
+            ref_channel: get_num(&flags, "ref-channel", 0)?,
+            correct_illumination: flags.contains_key("correct-illumination"),
+            maxz: flags.contains_key("maxz"),
         }),
         "shard" => Ok(Command::Shard {
             dataset: flags.get("dataset").map(PathBuf::from),
@@ -553,7 +588,35 @@ pub fn run(cmd: Command) -> i32 {
             print!("{USAGE}");
             0
         }
-        Command::Generate { out, config } => {
+        Command::Generate {
+            out,
+            config,
+            channels,
+            z_planes,
+        } => {
+            if channels > 1 || z_planes > 1 {
+                let cfg = MultiScanConfig::for_channels(config.clone(), channels, z_planes);
+                let plate = MultiChannelPlate::generate(cfg);
+                match plate.write_to_dir(&out) {
+                    Ok(n) => {
+                        println!(
+                            "wrote {n} images ({}x{} grid of {}x{}, {} channel(s) x {} plane(s)) to {}",
+                            config.grid_rows,
+                            config.grid_cols,
+                            config.tile_width,
+                            config.tile_height,
+                            channels.max(1),
+                            z_planes.max(1),
+                            out.display()
+                        );
+                        return 0;
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
+            }
             let plate = SyntheticPlate::generate(config.clone());
             match plate.write_to_dir(&out) {
                 Ok(n) => {
@@ -1003,6 +1066,9 @@ pub fn run(cmd: Command) -> i32 {
             trace_out,
             report_out,
             backend,
+            ref_channel,
+            correct_illumination,
+            maxz,
         } => {
             // Pin the compute backend before any pipeline work; when the
             // flag is absent, the first kernel dispatch resolves it from
@@ -1045,17 +1111,6 @@ pub fn run(cmd: Command) -> i32 {
                 fault: gpu_faults,
                 ..DeviceConfig::default()
             };
-            let dir = match DirSource::open(&dataset) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot open dataset: {e}");
-                    return 1;
-                }
-            };
-            let source: Box<dyn TileSource> = match tile_faults {
-                Some(spec) => Box::new(FaultySource::new(dir, spec)),
-                None => Box::new(dir),
-            };
             let stitcher: Box<dyn Stitcher> = match implementation {
                 Implementation::SimpleCpu => Box::new(
                     SimpleCpuStitcher::default()
@@ -1094,6 +1149,43 @@ pub fn run(cmd: Command) -> i32 {
                 Implementation::Fiji => {
                     Box::new(FijiStyleStitcher::new(threads).with_trace(trace.clone()))
                 }
+            };
+            // Multi-channel / z-stack datasets (extended manifest) — or an
+            // explicit channel flag — take the register-once/replay path:
+            // one phase-1+2 solve on the reference channel, then pure
+            // composition of every (channel, plane) unit in that frame.
+            let is_multi = stitch_image::MultiGridManifest::load(&dataset)
+                .ok()
+                .is_some_and(|m| m.channels > 1 || m.z_planes > 1);
+            if is_multi || ref_channel > 0 || correct_illumination || maxz {
+                return run_channel_stitch(
+                    &dataset,
+                    stitcher.as_ref(),
+                    ChannelPlan {
+                        reference_channel: ref_channel,
+                        z_mode: if maxz {
+                            ZMode::MaxProject
+                        } else {
+                            ZMode::Stack
+                        },
+                        registration_plane: None,
+                        correct_illumination,
+                    },
+                    blend,
+                    out.as_deref(),
+                    positions_out.as_deref(),
+                );
+            }
+            let dir = match DirSource::open(&dataset) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot open dataset: {e}");
+                    return 1;
+                }
+            };
+            let source: Box<dyn TileSource> = match tile_faults {
+                Some(spec) => Box::new(FaultySource::new(dir, spec)),
+                None => Box::new(dir),
             };
             println!(
                 "stitching {} ({}x{} grid) with {}",
@@ -1194,6 +1286,111 @@ pub fn run(cmd: Command) -> i32 {
     }
 }
 
+/// Splices a compose-unit label into an output path before the
+/// extension: `m.pgm` + `c01_z02` → `m_c01_z02.pgm`.
+fn unit_output_path(base: &std::path::Path, label: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("mosaic");
+    let name = match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}_{label}.{ext}"),
+        None => format!("{stem}_{label}"),
+    };
+    base.with_file_name(name)
+}
+
+/// Executes `stitch` on a multi-channel / z-stack dataset: registration
+/// runs once on the reference channel, the solved frame replays across
+/// every (channel, plane) compose unit, and each unit's mosaic lands in
+/// its own label-suffixed file.
+fn run_channel_stitch(
+    dataset: &std::path::Path,
+    stitcher: &dyn Stitcher,
+    plan: ChannelPlan,
+    blend: Blend,
+    out: Option<&std::path::Path>,
+    positions_out: Option<&std::path::Path>,
+) -> i32 {
+    let source: Arc<dyn MultiTileSource> = match MultiDirSource::open(dataset) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: cannot open dataset: {e}");
+            return 1;
+        }
+    };
+    let (channels, z_planes) = (source.channels(), source.z_planes());
+    let corrected = plan.correct_illumination;
+    let session = match ChannelSession::new(source, plan) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "stitching {} ({} channel(s) x {} plane(s), registering on channel {}{}) with {}",
+        dataset.display(),
+        channels,
+        z_planes,
+        session.plan().reference_channel,
+        if corrected {
+            ", flat-field corrected"
+        } else {
+            ""
+        },
+        stitcher.name()
+    );
+    let run = match run_channel_plan(&session, stitcher, blend) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "phase 1+2: {} pair(s) registered once in {:.2?}; frame replays over {} unit(s)",
+        run.registration.shape.pairs(),
+        run.registration.elapsed,
+        run.mosaics.len()
+    );
+    if let Some(path) = positions_out {
+        let mut tsv = String::from("row\tcol\tx\ty\n");
+        for id in run.registration.shape.ids() {
+            let (x, y) = run.positions.get(id);
+            tsv.push_str(&format!("{}\t{}\t{x}\t{y}\n", id.row, id.col));
+        }
+        if let Err(e) = std::fs::write(path, tsv) {
+            eprintln!("error writing positions: {e}");
+            return 1;
+        }
+        println!("positions (shared by all units) -> {}", path.display());
+    }
+    if let Some(base) = out {
+        for (unit, mosaic) in &run.mosaics {
+            let path = unit_output_path(base, &unit.label());
+            let res = match path.extension().and_then(|e| e.to_str()) {
+                Some("tif") | Some("tiff") => tiff::write_tiff(&path, mosaic),
+                _ => pgm::write_pgm(&path, mosaic),
+            };
+            match res {
+                Ok(()) => println!(
+                    "phase 3: {}x{} mosaic ({}) -> {}",
+                    mosaic.width(),
+                    mosaic.height(),
+                    unit.label(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("error writing mosaic: {e}");
+                    return 1;
+                }
+            }
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1212,7 +1409,7 @@ mod tests {
     fn parses_generate_defaults() {
         let cmd = parse(&argv("generate --out /tmp/x")).unwrap();
         match cmd {
-            Command::Generate { out, config } => {
+            Command::Generate { out, config, .. } => {
                 assert_eq!(out, PathBuf::from("/tmp/x"));
                 assert_eq!(config.grid_rows, 8);
                 assert_eq!(config.tile_width, 128);
@@ -1550,6 +1747,71 @@ mod tests {
         assert!(
             parse(&argv("generate --out")).is_err(),
             "flag without value"
+        );
+    }
+
+    #[test]
+    fn parses_channel_flags() {
+        match parse(&argv("generate --out /tmp/x --channels 3 --z-planes 4")).unwrap() {
+            Command::Generate {
+                channels, z_planes, ..
+            } => assert_eq!((channels, z_planes), (3, 4)),
+            other => panic!("{other:?}"),
+        }
+        // single-channel by default: existing datasets are unchanged
+        match parse(&argv("generate --out /tmp/x")).unwrap() {
+            Command::Generate {
+                channels, z_planes, ..
+            } => assert_eq!((channels, z_planes), (1, 1)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "stitch --dataset /d --ref-channel 1 --correct-illumination --maxz",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stitch {
+                ref_channel,
+                correct_illumination,
+                maxz,
+                ..
+            } => {
+                assert_eq!(ref_channel, 1);
+                assert!(correct_illumination);
+                assert!(maxz);
+            }
+            other => panic!("{other:?}"),
+        }
+        // defaults: register on channel 0, no correction, full stacks
+        match parse(&argv("stitch --dataset /d")).unwrap() {
+            Command::Stitch {
+                ref_channel,
+                correct_illumination,
+                maxz,
+                ..
+            } => {
+                assert_eq!(ref_channel, 0);
+                assert!(!correct_illumination, "correction must be opt-in");
+                assert!(!maxz);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("stitch --dataset /d --ref-channel x")).is_err());
+    }
+
+    #[test]
+    fn unit_output_paths_carry_the_label() {
+        assert_eq!(
+            unit_output_path(std::path::Path::new("/t/m.pgm"), "c01_z02"),
+            PathBuf::from("/t/m_c01_z02.pgm")
+        );
+        assert_eq!(
+            unit_output_path(std::path::Path::new("m.tif"), "c00_maxz"),
+            PathBuf::from("m_c00_maxz.tif")
+        );
+        assert_eq!(
+            unit_output_path(std::path::Path::new("mosaic"), "c00_z00"),
+            PathBuf::from("mosaic_c00_z00")
         );
     }
 

@@ -1,0 +1,153 @@
+//! Multi-channel / z-stack conformance battery: registration runs once
+//! on the reference channel and replays everywhere, flat-field
+//! correction helps exactly where it should, and the scheduler-backed
+//! batch driver is a drop-in for the sequential one.
+
+use std::sync::Arc;
+
+use stitch_core::{ChannelPlan, ChannelSession, MultiSyntheticSource, ZMode};
+use stitch_image::{MultiChannelPlate, MultiScanConfig, ScanConfig};
+use stitch_sched::{run_channel_batch, ChannelBatchOptions, JobStatus, Scheduler, SchedulerConfig};
+use stitch_testkit::run_channel_differential;
+
+#[test]
+fn channel_differential_battery_is_clean() {
+    for seed in [5u64, 11] {
+        let report = run_channel_differential(seed);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {} violations over {} cases:\n{}",
+            report.mismatches.len(),
+            report.cases,
+            report
+                .mismatches
+                .iter()
+                .map(|m| format!("  {}: {}", m.label, m.detail))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn channel_differential_digest_is_pure_in_seed() {
+    let a = run_channel_differential(42);
+    let b = run_channel_differential(42);
+    assert_eq!(a.digest, b.digest, "same seed must reproduce bit-for-bit");
+    let c = run_channel_differential(43);
+    assert_ne!(
+        a.digest, c.digest,
+        "different seed stitches different plates"
+    );
+}
+
+/// The accuracy sweep's headline shape, pinned end to end: no vignette →
+/// the estimator snaps to the identity and the error counts are equal;
+/// strong vignette → corrected registration is strictly more accurate.
+#[test]
+fn correction_is_noop_when_flat_and_wins_when_vignetted() {
+    let report = run_channel_differential(5);
+    let flat = &report.accuracy[0];
+    assert_eq!(flat.vignette, 0.0);
+    assert_eq!(
+        flat.estimated_falloff, 0.0,
+        "un-vignetted stacks must estimate the exact identity"
+    );
+    assert_eq!(flat.uncorrected_errors, flat.corrected_errors);
+    for p in &report.accuracy {
+        assert!(
+            p.corrected_errors <= p.uncorrected_errors,
+            "correction made vignette {} worse: {} -> {}",
+            p.vignette,
+            p.uncorrected_errors,
+            p.corrected_errors
+        );
+        if p.vignette >= report.improvement_threshold {
+            assert!(
+                p.corrected_errors < p.uncorrected_errors,
+                "no strict win at vignette {}: {} vs {}",
+                p.vignette,
+                p.uncorrected_errors,
+                p.corrected_errors
+            );
+        }
+    }
+}
+
+/// Scheduler batch over a 3-channel × 2-plane acquisition: one
+/// registration job, six replay jobs, every replay sharing the solved
+/// frame and skipping phase 1.
+#[test]
+fn scheduler_batch_registers_once_and_replays_each_unit() {
+    let cfg = MultiScanConfig::for_channels(
+        ScanConfig {
+            grid_rows: 2,
+            grid_cols: 2,
+            tile_width: 48,
+            tile_height: 36,
+            ..ScanConfig::default()
+        },
+        3,
+        2,
+    );
+    let source = Arc::new(MultiSyntheticSource::new(MultiChannelPlate::generate(cfg)));
+    let session = ChannelSession::new(source, ChannelPlan::default()).expect("valid plan");
+    let sched = Scheduler::new(SchedulerConfig {
+        workers: 2,
+        ..SchedulerConfig::default()
+    });
+    let batch = run_channel_batch(&sched, "plate", &session, &ChannelBatchOptions::default())
+        .expect("batch completes");
+    assert_eq!(batch.registration.status, JobStatus::Completed);
+    assert!(
+        batch.registration.result.is_some(),
+        "registration runs phase 1"
+    );
+    assert_eq!(batch.units.len(), 6);
+    for (unit, out) in &batch.units {
+        assert_eq!(out.status, JobStatus::Completed, "{}", unit.label());
+        assert!(out.result.is_none(), "replay jobs skip phase 1");
+        assert_eq!(out.positions.as_ref(), Some(&batch.positions));
+        assert!(out.mosaic.is_some());
+    }
+    // Dispatch order shows exactly one registration before the replays.
+    let order = sched.dispatch_order();
+    assert_eq!(order[0], "plate.reg");
+    assert_eq!(order.len(), 7);
+    sched.join();
+    assert_eq!(sched.arbiter().active_reservations(), 0);
+}
+
+/// Max-z projection mode: one mosaic per channel, and the projection is
+/// a pixelwise upper bound of every plane's mosaic at the same frame.
+#[test]
+fn maxz_mode_produces_one_mosaic_per_channel() {
+    let cfg = MultiScanConfig::for_channels(
+        ScanConfig {
+            grid_rows: 2,
+            grid_cols: 2,
+            tile_width: 48,
+            tile_height: 36,
+            ..ScanConfig::default()
+        },
+        2,
+        3,
+    );
+    let source = Arc::new(MultiSyntheticSource::new(MultiChannelPlate::generate(cfg)));
+    let session = ChannelSession::new(
+        source,
+        ChannelPlan {
+            z_mode: ZMode::MaxProject,
+            ..ChannelPlan::default()
+        },
+    )
+    .expect("valid plan");
+    let sched = Scheduler::new(SchedulerConfig::default());
+    let batch = run_channel_batch(&sched, "mz", &session, &ChannelBatchOptions::default())
+        .expect("batch completes");
+    assert_eq!(batch.units.len(), 2);
+    for (unit, out) in &batch.units {
+        assert!(unit.plane.is_none(), "max-z units carry no plane index");
+        assert_eq!(out.status, JobStatus::Completed);
+    }
+}

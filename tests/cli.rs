@@ -20,7 +20,7 @@ fn generate_then_info_then_stitch() {
     .unwrap();
     assert_eq!(run(cmd), 0);
     assert!(dir.join("manifest.tsv").exists());
-    assert!(dir.join("img_r000_c000.tif").exists());
+    assert!(dir.join("img_c00_z00_r000_c000.tif").exists());
 
     // info
     let cmd = parse(&argv(&format!("info --dataset {dir_s}"))).unwrap();
@@ -51,6 +51,62 @@ fn generate_then_info_then_stitch() {
     )))
     .unwrap();
     assert_eq!(run(cmd), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_then_stitch_multichannel_stack() {
+    let dir = std::env::temp_dir().join("stitch_cli_it_channels");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    // generate a 2-channel × 2-plane stack
+    let cmd = parse(&argv(&format!(
+        "generate --out {dir_s} --rows 2 --cols 3 --tile-width 64 --tile-height 48 \
+         --channels 2 --z-planes 2"
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+    assert!(dir.join("manifest.tsv").exists());
+    assert!(dir.join("img_c01_z01_r001_c002.tif").exists());
+
+    // stitch: the extended manifest flips the CLI into channel mode with
+    // no extra flags — one mosaic per (channel, plane)
+    let mosaic = dir.join("m.pgm");
+    let pos = dir.join("pos.tsv");
+    let cmd = parse(&argv(&format!(
+        "stitch --dataset {dir_s} --impl simple-cpu --out {} --positions {}",
+        mosaic.display(),
+        pos.display()
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+    for label in ["c00_z00", "c00_z01", "c01_z00", "c01_z01"] {
+        assert!(
+            dir.join(format!("m_{label}.pgm")).exists(),
+            "missing unit {label}"
+        );
+    }
+    let tsv = std::fs::read_to_string(&pos).unwrap();
+    assert_eq!(tsv.lines().count(), 1 + 6, "one shared frame for all units");
+
+    // max-z + flat-field correction: one projection per channel
+    let cmd = parse(&argv(&format!(
+        "stitch --dataset {dir_s} --impl simple-cpu --maxz --correct-illumination \
+         --ref-channel 1 --out {}",
+        mosaic.display()
+    )))
+    .unwrap();
+    assert_eq!(run(cmd), 0);
+    assert!(dir.join("m_c00_maxz.pgm").exists());
+    assert!(dir.join("m_c01_maxz.pgm").exists());
+    let img = stitching::image::pgm::read_pgm(dir.join("m_c01_maxz.pgm")).unwrap();
+    assert!(img.width() > 64 && img.height() > 48);
+
+    // an out-of-range reference channel fails cleanly
+    let cmd = parse(&argv(&format!("stitch --dataset {dir_s} --ref-channel 9"))).unwrap();
+    assert_eq!(run(cmd), 1);
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -5,7 +5,9 @@ use stitching::core::grid::{GridShape, Traversal};
 use stitching::core::pciam::{ccf_at, overlap_pixels, peak_candidates};
 use stitching::core::prelude::*;
 use stitching::core::stitcher::StitchResult;
-use stitching::image::{Image, Scene, SceneParams};
+use stitching::image::{
+    FlatFieldEstimator, Image, MultiChannelPlate, MultiScanConfig, ScanConfig, Scene, SceneParams,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -122,6 +124,105 @@ proptest! {
             let opt = GlobalOptimizer { method, ..GlobalOptimizer::default() };
             let sol = opt.solve(&result);
             prop_assert_eq!(sol.max_deviation(&truth), (0, 0), "{:?}", method);
+        }
+    }
+
+    /// Tiled rendering of a volumetric scene equals the whole-region
+    /// render, for every focal plane: region rasterization is a pure
+    /// function of absolute plate coordinates. (Vignette and noise are
+    /// excluded by design — the first is tile-fixed, the second
+    /// per-exposure, so neither can tile.)
+    #[test]
+    fn volume_render_region_tiles_exactly(seed in 0u64..200, plane in 0usize..3) {
+        let scene = Scene::generate_volume(
+            96.0,
+            72.0,
+            SceneParams { seed, ..SceneParams::default() },
+            3,
+            0.35,
+        );
+        let plane = plane as f64;
+        let whole = scene.render_region_plane(6.0, 4.0, 40, 24, plane, 0.0, 0.0, 0);
+        let left = scene.render_region_plane(6.0, 4.0, 20, 24, plane, 0.0, 0.0, 0);
+        let right = scene.render_region_plane(26.0, 4.0, 20, 24, plane, 0.0, 0.0, 0);
+        for y in 0..24usize {
+            for x in 0..40usize {
+                let tiled = if x < 20 { left.get(x, y) } else { right.get(x - 20, y) };
+                prop_assert_eq!(whole.get(x, y), tiled, "at ({}, {})", x, y);
+            }
+        }
+    }
+
+    /// The flat-field estimate of an un-vignetted plate is the *exact*
+    /// identity (the flatness prior snaps near-flat fits to zero), and
+    /// applying it returns every tile bit-for-bit.
+    #[test]
+    fn flatfield_of_unvignetted_plate_is_identity(seed in 0u64..100) {
+        let base = ScanConfig {
+            grid_rows: 3,
+            grid_cols: 3,
+            tile_width: 48,
+            tile_height: 36,
+            vignette: 0.0,
+            seed,
+            ..ScanConfig::default()
+        };
+        let mut cfg = MultiScanConfig::for_channels(base, 2, 2);
+        for ch in &mut cfg.channels {
+            ch.vignette = 0.0;
+            // Sparse bright-background scenes: the per-pixel minimum then
+            // tracks the (flat) background instead of scene structure.
+            ch.scene.colony_count = 3;
+            ch.scene.texture_amplitude = 60.0;
+            ch.scene.background = 10_000.0;
+            ch.scene.illumination_amplitude = 0.0;
+            ch.noise_sigma = 20.0;
+        }
+        let plate = MultiChannelPlate::generate(cfg);
+        for ch in 0..plate.channels() {
+            let mut est = FlatFieldEstimator::new(48, 36);
+            for z in 0..plate.z_planes() {
+                for r in 0..3 {
+                    for c in 0..3 {
+                        est.add(&plate.render_tile(ch, z, r, c));
+                    }
+                }
+            }
+            let flat = est.finish();
+            prop_assert!(flat.is_identity(), "channel {} falloff {}", ch, flat.falloff());
+            let tile = plate.render_tile(ch, 0, 1, 1);
+            prop_assert_eq!(&flat.apply(&tile), &tile, "apply must be bit-exact");
+        }
+    }
+
+    /// Seeded multi-channel generation is deterministic: the same config
+    /// reproduces positions and every (channel, plane) tile bit-for-bit,
+    /// and all channels share one set of stage positions.
+    #[test]
+    fn multichannel_generation_is_deterministic(seed in 0u64..200) {
+        let cfg = MultiScanConfig::for_channels(
+            ScanConfig {
+                grid_rows: 2,
+                grid_cols: 2,
+                tile_width: 32,
+                tile_height: 24,
+                seed,
+                ..ScanConfig::default()
+            },
+            2,
+            2,
+        );
+        let a = MultiChannelPlate::generate(cfg.clone());
+        let b = MultiChannelPlate::generate(cfg);
+        prop_assert_eq!(a.positions(), b.positions());
+        for ch in 0..2usize {
+            for z in 0..2usize {
+                prop_assert_eq!(
+                    &a.render_tile(ch, z, 1, 1),
+                    &b.render_tile(ch, z, 1, 1),
+                    "channel {} plane {}", ch, z
+                );
+            }
         }
     }
 
